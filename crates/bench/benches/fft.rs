@@ -1,0 +1,56 @@
+//! Criterion microbench: the from-scratch FFT, the DCT kernels, and a
+//! full spectral Poisson solve — the per-iteration cost of the
+//! electrostatic density system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mep_density::fft::fft_in_place;
+use mep_density::poisson::PoissonSolver;
+use mep_density::transform::{dct2, TransformScratch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("fft");
+    for &n in &[256usize, 1024, 4096] {
+        let re: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let im: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        group.bench_with_input(BenchmarkId::new("complex_fft", n), &n, |b, _| {
+            b.iter(|| {
+                let mut r = re.clone();
+                let mut i = im.clone();
+                fft_in_place(&mut r, &mut i, false);
+                black_box(r[0])
+            })
+        });
+        let mut scratch = TransformScratch::new();
+        let mut out = vec![0.0; n];
+        group.bench_with_input(BenchmarkId::new("dct2", n), &n, |b, _| {
+            b.iter(|| {
+                dct2(black_box(&re), &mut out, &mut scratch);
+                black_box(out[0])
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("poisson_solve");
+    for &n in &[64usize, 128, 256] {
+        let rho: Vec<f64> = (0..n * n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let mut solver = PoissonSolver::new(n, n, 1.0, 1.0);
+        let mut psi = vec![0.0; n * n];
+        let mut ex = vec![0.0; n * n];
+        let mut ey = vec![0.0; n * n];
+        group.bench_with_input(BenchmarkId::new("grid", n), &n, |b, _| {
+            b.iter(|| {
+                solver.solve(black_box(&rho), &mut psi, &mut ex, &mut ey);
+                black_box(psi[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion macrobench: the non-GP pipeline stages — legalization,
+//! detailed placement, and the B2B quadratic solve — on the smoke circuit
+//! (the cost behind the LG/DP portions of the RT columns).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mep_netlist::synth;
+use mep_placer::detail::{refine, DetailConfig};
+use mep_placer::global::{place, GlobalConfig};
+use mep_placer::legalize::legalize;
+use mep_placer::quadratic::{place_b2b, B2bConfig};
+use mep_wirelength::ModelKind;
+use std::hint::black_box;
+
+fn bench_stages(c: &mut Criterion) {
+    let circuit = synth::generate(&synth::smoke_spec());
+    let gp = place(
+        &circuit,
+        &GlobalConfig {
+            model: ModelKind::Moreau,
+            max_iters: 400,
+            threads: 1,
+            ..GlobalConfig::default()
+        },
+    );
+
+    let mut group = c.benchmark_group("flow_stages");
+    group.bench_function("legalize_smoke", |b| {
+        b.iter(|| {
+            let (legal, _) = legalize(&circuit.design, black_box(&gp.placement));
+            black_box(legal.x[0])
+        })
+    });
+    let (legal, _) = legalize(&circuit.design, &gp.placement);
+    group.bench_function("detail_place_smoke", |b| {
+        b.iter(|| {
+            let mut pl = legal.clone();
+            let report = refine(&circuit.design, &mut pl, &DetailConfig::default());
+            black_box(report.hpwl_after)
+        })
+    });
+    group.bench_function("b2b_quadratic_smoke", |b| {
+        b.iter(|| {
+            let (pl, report) = place_b2b(black_box(&circuit), &B2bConfig::default());
+            black_box((pl.x[0], report.hpwl))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

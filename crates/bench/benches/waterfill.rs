@@ -1,0 +1,38 @@
+//! Criterion microbench: water-filling cost split — the `O(n)` solve
+//! versus the `O(n log n)` sort the paper calls "the bottleneck"
+//! (§III-B).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mep_wirelength::waterfill;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_waterfill(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut group = c.benchmark_group("waterfill");
+    for &n in &[4usize, 64, 1024, 65536] {
+        let unsorted: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1e4)).collect();
+        let mut sorted = unsorted.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let t = 10.0;
+        group.bench_with_input(BenchmarkId::new("solve_only", n), &sorted, |b, s| {
+            b.iter(|| black_box(waterfill::solve_lower(black_box(s), t)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("sort_plus_solve", n),
+            &unsorted,
+            |b, u| {
+                b.iter(|| {
+                    let mut s = u.clone();
+                    s.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+                    black_box(waterfill::solve_lower(&s, t))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_waterfill);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion microbench: per-net value+gradient throughput of every
+//! wirelength model across net degrees — quantifies the paper's §III-B
+//! cost discussion (water-filling is `O(n)` after an `O(n log n)` sort;
+//! exponential models are `O(n)` but with `exp` calls).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mep_wirelength::model::{ModelKind, NetModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_models(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut group = c.benchmark_group("net_eval_grad");
+    for &degree in &[4usize, 16, 64, 256] {
+        let coords: Vec<f64> = (0..degree).map(|_| rng.gen_range(0.0..1000.0)).collect();
+        let mut grad = vec![0.0; degree];
+        for kind in ModelKind::contestants() {
+            let mut model = kind.instantiate(2.0);
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), degree),
+                &coords,
+                |b, coords| {
+                    b.iter(|| {
+                        let v = model.eval_axis(black_box(coords), &mut grad);
+                        black_box(v);
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Regenerates **Fig. 1(a)**: the non-convexity of the WA model on a
+//! 3-pin net.
+//!
+//! Sweeps the middle pin `x` of the net `(0, x, 100)` and emits the WA
+//! curve `W_WA^γ` for several γ, plus the (always convex) Moreau-envelope
+//! curve at matching smoothing for contrast.
+//!
+//! ```text
+//! cargo run -p mep-bench --release --bin fig1a_wa_nonconvexity
+//! ```
+//!
+//! Writes `results/fig1a_wa_nonconvexity.csv` (one row per sample, one
+//! column per curve) and prints a midpoint-convexity violation summary.
+
+use mep_bench::Table;
+use mep_wirelength::model::{ModelKind, NetModel};
+
+const GAMMAS: [f64; 4] = [5.0, 10.0, 20.0, 40.0];
+const SAMPLES: usize = 512;
+
+fn main() {
+    let mut header = vec!["x".to_string()];
+    for g in GAMMAS {
+        header.push(format!("WA_g{g}"));
+    }
+    for g in GAMMAS {
+        header.push(format!("Moreau_t{g}"));
+    }
+    let mut table = Table::new(header);
+
+    let mut wa: Vec<_> = GAMMAS.iter().map(|&g| ModelKind::Wa.instantiate(g)).collect();
+    let mut me: Vec<_> = GAMMAS
+        .iter()
+        .map(|&g| ModelKind::Moreau.instantiate(g))
+        .collect();
+
+    let mut curves: Vec<Vec<f64>> = vec![Vec::with_capacity(SAMPLES + 1); 2 * GAMMAS.len()];
+    for i in 0..=SAMPLES {
+        let x = i as f64 / SAMPLES as f64 * 100.0;
+        let net = [0.0, x, 100.0];
+        let mut cells = vec![format!("{x:.4}")];
+        for (k, m) in wa.iter_mut().enumerate() {
+            let v = m.value_axis(&net);
+            curves[k].push(v);
+            cells.push(format!("{v:.6}"));
+        }
+        for (k, m) in me.iter_mut().enumerate() {
+            let v = m.value_axis(&net);
+            curves[GAMMAS.len() + k].push(v);
+            cells.push(format!("{v:.6}"));
+        }
+        table.push(cells);
+    }
+
+    println!("Fig. 1(a) — WA non-convexity on the 3-pin net (0, x, 100)\n");
+    println!("midpoint-convexity violations per curve ({SAMPLES} samples):");
+    for (k, curve) in curves.iter().enumerate() {
+        let violations = curve
+            .windows(3)
+            .filter(|w| w[1] > 0.5 * (w[0] + w[2]) + 1e-9)
+            .count();
+        let label = if k < GAMMAS.len() {
+            format!("WA     γ={}", GAMMAS[k])
+        } else {
+            format!("Moreau t={}", GAMMAS[k - GAMMAS.len()])
+        };
+        println!("  {label:<14} {violations:>5} violations");
+    }
+    println!("\n(WA curves bend non-convexly; the Moreau envelope never does — §II-D.2)");
+
+    if let Err(e) = table.write_csv("results/fig1a_wa_nonconvexity.csv") {
+        eprintln!("could not write CSV: {e}");
+    } else {
+        println!("wrote results/fig1a_wa_nonconvexity.csv ({} rows)", table.len());
+    }
+
+    // the figure itself
+    let mut plot = mep_bench::svg::LinePlot::new(
+        "Fig. 1(a): WA vs Moreau on the 3-pin net (0, x, 100)",
+        "middle pin x",
+        "model value",
+    );
+    for (k, g) in GAMMAS.iter().enumerate() {
+        plot.add_series(
+            format!("WA γ={g}"),
+            (0..=SAMPLES).map(|i| (i as f64 / SAMPLES as f64 * 100.0, curves[k][i])),
+        );
+    }
+    plot.add_series(
+        format!("Moreau t={}", GAMMAS[1]),
+        (0..=SAMPLES).map(|i| (i as f64 / SAMPLES as f64 * 100.0, curves[GAMMAS.len() + 1][i])),
+    );
+    if plot.write("results/fig1a_wa_nonconvexity.svg").is_ok() {
+        println!("wrote results/fig1a_wa_nonconvexity.svg");
+    }
+}

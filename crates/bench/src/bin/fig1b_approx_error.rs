@@ -1,0 +1,88 @@
+//! Regenerates **Fig. 1(b)**: average approximation error of LSE, WA, and
+//! the Moreau envelope versus the smoothing parameter, for random 4-pin
+//! nets with fixed span Δx = 200 (3000 trials per point, as in the paper).
+//!
+//! ```text
+//! cargo run -p mep-bench --release --bin fig1b_approx_error
+//! ```
+//!
+//! Writes `results/fig1b_approx_error.csv`.
+
+use mep_bench::Table;
+use mep_wirelength::model::{ModelKind, NetModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TRIALS: usize = 3000;
+const SPAN: f64 = 200.0;
+
+fn main() {
+    let mut table = Table::new(["param", "LSE", "WA", "Moreau"]);
+    // log-spaced smoothing parameters, 0.1 … 100
+    let points = 25;
+    let mut rng = StdRng::seed_from_u64(20230712);
+    // pre-draw the random nets once so every model sees the same workload
+    let nets: Vec<[f64; 4]> = (0..TRIALS)
+        .map(|_| {
+            [
+                0.0,
+                rng.gen_range(0.0..SPAN),
+                rng.gen_range(0.0..SPAN),
+                SPAN,
+            ]
+        })
+        .collect();
+
+    println!("Fig. 1(b) — mean |error| vs smoothing parameter (Δx = {SPAN}, {TRIALS} trials)\n");
+    println!("{:>10} {:>12} {:>12} {:>12}", "param", "LSE", "WA", "Moreau");
+    for i in 0..points {
+        let p = 10f64.powf(-1.0 + 3.0 * i as f64 / (points - 1) as f64);
+        let mut lse = ModelKind::Lse.instantiate(p);
+        let mut wa = ModelKind::Wa.instantiate(p);
+        let mut me = ModelKind::Moreau.instantiate(p);
+        let (mut el, mut ew, mut em) = (0.0, 0.0, 0.0);
+        for net in &nets {
+            el += (lse.value_axis(net) - SPAN).abs();
+            ew += (wa.value_axis(net) - SPAN).abs();
+            em += (me.value_axis(net) - SPAN).abs();
+        }
+        let n = TRIALS as f64;
+        let (el, ew, em) = (el / n, ew / n, em / n);
+        println!("{p:>10.4} {el:>12.5} {ew:>12.5} {em:>12.5}");
+        table.push([
+            format!("{p:.6}"),
+            format!("{el:.6}"),
+            format!("{ew:.6}"),
+            format!("{em:.6}"),
+        ]);
+    }
+    println!("\n(the Moreau curve sits well below both exponential models, as in the paper)");
+    if let Err(e) = table.write_csv("results/fig1b_approx_error.csv") {
+        eprintln!("could not write CSV: {e}");
+    } else {
+        println!("wrote results/fig1b_approx_error.csv");
+    }
+
+    // the figure itself (log-log, as in the paper)
+    let mut plot = mep_bench::svg::LinePlot::new(
+        "Fig. 1(b): mean |error| vs smoothing parameter (4-pin nets, Δx=200)",
+        "smoothing parameter γ / t",
+        "mean |error|",
+    )
+    .with_log_x()
+    .with_log_y();
+    for (col, label) in [(1usize, "LSE"), (2, "WA"), (3, "Moreau")] {
+        plot.add_series(
+            label,
+            table.rows().iter().map(|r| {
+                (
+                    r[0].parse::<f64>().expect("param cell"),
+                    r[col].parse::<f64>().expect("error cell"),
+                )
+            }),
+        );
+    }
+    if plot.write("results/fig1b_approx_error.svg").is_ok() {
+        println!("wrote results/fig1b_approx_error.svg");
+    }
+}

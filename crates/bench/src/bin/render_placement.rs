@@ -1,0 +1,65 @@
+//! Renders before/after placement snapshots of one benchmark as SVG.
+//!
+//! ```text
+//! cargo run -p mep-bench --release --bin render_placement [benchmark]
+//! ```
+//!
+//! Writes `results/<bench>_initial.svg`, `results/<bench>_global.svg`,
+//! and `results/<bench>_final.svg`.
+
+use mep_bench::svg::placement_svg;
+use mep_netlist::synth;
+use mep_placer::pipeline::{run, PipelineConfig};
+use mep_wirelength::ModelKind;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "smoke".to_string());
+    let spec = if name == "smoke" {
+        synth::smoke_spec()
+    } else {
+        synth::spec_by_name(&name).unwrap_or_else(|| {
+            eprintln!("unknown benchmark `{name}`");
+            std::process::exit(2);
+        })
+    };
+    let circuit = synth::generate(&spec);
+    std::fs::create_dir_all("results").ok();
+
+    let write = |tag: &str, svg: String| {
+        let path = format!("results/{}_{tag}.svg", spec.name);
+        match std::fs::write(&path, svg) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    };
+    write("initial", placement_svg(&circuit.design, &circuit.placement));
+
+    let config = PipelineConfig {
+        global: mep_placer::GlobalConfig {
+            model: ModelKind::Moreau,
+            ..mep_placer::GlobalConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+    // capture the GP stage separately for the middle snapshot
+    let gp = mep_placer::global::place(&circuit, &config.global);
+    write("global", placement_svg(&circuit.design, &gp.placement));
+
+    let result = run(&circuit, &config);
+    write("final", placement_svg(&circuit.design, &result.placement));
+
+    // density heatmap of the final placement
+    let mut es = mep_density::Electrostatics::new(&circuit.design, &result.placement);
+    es.update(&circuit.design.netlist, &result.placement);
+    let grid = es.grid();
+    let (nx, ny) = (grid.nx(), grid.ny());
+    write(
+        "density",
+        mep_bench::svg::heatmap_svg(es.density(), nx, ny),
+    );
+
+    println!(
+        "{}: GPWL {:.4e} → DPWL {:.4e}, {} violations",
+        spec.name, result.gpwl, result.dpwl, result.violations
+    );
+}

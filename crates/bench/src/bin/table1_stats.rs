@@ -1,0 +1,41 @@
+//! Regenerates **Table I**: statistics of the (synthetic) ISPD2006 and
+//! ISPD2019 benchmark suites.
+//!
+//! ```text
+//! cargo run -p mep-bench --release --bin table1_stats
+//! ```
+//!
+//! Prints #Movable / #Fixed / #Nets / #Pins for every circuit, as
+//! generated (the paper's counts divided by the documented scale factors),
+//! and writes `results/table1_stats.csv`.
+
+use mep_bench::Table;
+use mep_netlist::synth;
+
+fn main() {
+    let mut table = Table::new(["Suite", "Benchmark", "#Movable", "#Fixed", "#Nets", "#Pins"]);
+    for (suite, specs) in [
+        ("ISPD2006/100", synth::ispd2006_suite()),
+        ("ISPD2019/40", synth::ispd2019_suite()),
+    ] {
+        for spec in specs {
+            let c = synth::generate(&spec);
+            let nl = &c.design.netlist;
+            table.push([
+                suite.to_string(),
+                spec.name.clone(),
+                nl.num_movable().to_string(),
+                nl.num_fixed().to_string(),
+                nl.num_nets().to_string(),
+                nl.num_pins().to_string(),
+            ]);
+        }
+    }
+    println!("Table I — benchmark statistics (scaled synthetic stand-ins)\n");
+    print!("{}", table.to_text());
+    if let Err(e) = table.write_csv("results/table1_stats.csv") {
+        eprintln!("could not write CSV: {e}");
+    } else {
+        println!("\nwrote results/table1_stats.csv");
+    }
+}

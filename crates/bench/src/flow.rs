@@ -1,0 +1,147 @@
+//! The run-one-benchmark flow shared by the Table II / Table III binaries.
+
+use mep_netlist::synth::SynthSpec;
+use mep_placer::pipeline::{run, PipelineConfig};
+use mep_placer::GlobalConfig;
+use mep_wirelength::ModelKind;
+
+/// Options controlling a table run.
+#[derive(Debug, Clone)]
+pub struct FlowOptions {
+    /// Shrink every benchmark by this factor (1 = full scale). The
+    /// `--fast` CLI flag of the table binaries sets 10 for smoke-level
+    /// turnaround.
+    pub shrink: usize,
+    /// GP iteration cap.
+    pub max_iters: usize,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        Self {
+            shrink: 1,
+            max_iters: 800,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(16),
+        }
+    }
+}
+
+impl FlowOptions {
+    /// Parses `--fast` / `--shrink N` from CLI args.
+    pub fn from_args() -> Self {
+        let mut opts = Self::default();
+        let args: Vec<String> = std::env::args().collect();
+        for (i, a) in args.iter().enumerate() {
+            match a.as_str() {
+                "--fast" => opts.shrink = 10,
+                "--shrink" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.shrink = v;
+                    }
+                }
+                _ => {}
+            }
+        }
+        opts
+    }
+
+    /// Applies the shrink factor to a spec.
+    pub fn shrink_spec(&self, spec: &SynthSpec) -> SynthSpec {
+        if self.shrink <= 1 {
+            return spec.clone();
+        }
+        let s = self.shrink;
+        SynthSpec {
+            movable: (spec.movable / s).max(64),
+            fixed: (spec.fixed / s).max(if spec.fixed == 0 { 0 } else { 2 }),
+            nets: (spec.nets / s).max(64),
+            pins: (spec.pins / s).max(256),
+            movable_macros: (spec.movable_macros / s).min(spec.movable_macros),
+            ..spec.clone()
+        }
+    }
+}
+
+/// Result of one benchmark × one model run — one table cell group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkRow {
+    /// Benchmark name.
+    pub bench: String,
+    /// Wirelength model used.
+    pub model: ModelKind,
+    /// HPWL after legalization.
+    pub lgwl: f64,
+    /// HPWL after detailed placement.
+    pub dpwl: f64,
+    /// Total runtime in seconds.
+    pub rt: f64,
+    /// GP iterations.
+    pub iterations: usize,
+    /// Final overflow.
+    pub overflow: f64,
+    /// Legality violations (must be 0).
+    pub violations: usize,
+}
+
+/// Runs the full pipeline for one spec × model.
+pub fn run_benchmark(spec: &SynthSpec, model: ModelKind, opts: &FlowOptions) -> BenchmarkRow {
+    let spec = opts.shrink_spec(spec);
+    let circuit = mep_netlist::synth::generate(&spec);
+    let config = PipelineConfig {
+        global: GlobalConfig {
+            model,
+            max_iters: opts.max_iters,
+            threads: opts.threads,
+            ..GlobalConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+    let r = run(&circuit, &config);
+    BenchmarkRow {
+        bench: spec.name.clone(),
+        model,
+        lgwl: r.lgwl,
+        dpwl: r.dpwl,
+        rt: r.rt_total(),
+        iterations: r.iterations,
+        overflow: r.overflow,
+        violations: r.violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mep_netlist::synth;
+
+    #[test]
+    fn shrink_reduces_counts() {
+        let spec = synth::spec_by_name("newblue7").unwrap();
+        let opts = FlowOptions {
+            shrink: 10,
+            ..FlowOptions::default()
+        };
+        let small = opts.shrink_spec(&spec);
+        assert_eq!(small.movable, spec.movable / 10);
+        assert_eq!(small.name, spec.name);
+    }
+
+    #[test]
+    fn run_benchmark_produces_legal_result() {
+        let spec = synth::smoke_spec();
+        let opts = FlowOptions {
+            max_iters: 300,
+            threads: 1,
+            ..FlowOptions::default()
+        };
+        let row = run_benchmark(&spec, ModelKind::Moreau, &opts);
+        assert_eq!(row.violations, 0);
+        assert!(row.dpwl <= row.lgwl + 1e-9);
+        assert!(row.rt > 0.0);
+    }
+}

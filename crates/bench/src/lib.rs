@@ -1,0 +1,11 @@
+//! Shared experiment-harness utilities: table formatting, CSV export, and
+//! the run-one-benchmark flow used by the Table II/III binaries.
+
+#![warn(missing_docs)]
+
+pub mod flow;
+pub mod svg;
+pub mod table;
+
+pub use flow::{run_benchmark, BenchmarkRow, FlowOptions};
+pub use table::Table;

@@ -1,0 +1,173 @@
+//! A self-contained iterative radix-2 complex FFT.
+//!
+//! The spectral Poisson solver only needs power-of-two sizes (the bin grid
+//! is chosen as one), so a clean radix-2 implementation suffices. Data is
+//! split-complex (`re`/`im` slices) to avoid a complex-number dependency.
+
+/// In-place FFT (`inverse = false`) or unnormalized inverse FFT
+/// (`inverse = true`) of a split-complex sequence.
+///
+/// The inverse is **unnormalized**: `ifft(fft(x)) = n · x`.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two or the slices disagree.
+pub fn fft_in_place(re: &mut [f64], im: &mut [f64], inverse: bool) {
+    let n = re.len();
+    assert_eq!(n, im.len(), "re/im length mismatch");
+    assert!(n.is_power_of_two(), "FFT length {n} is not a power of two");
+    if n <= 1 {
+        return;
+    }
+    // bit-reversal permutation
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    // butterflies
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let half = len / 2;
+        for start in (0..n).step_by(len) {
+            let (mut cr, mut ci) = (1.0_f64, 0.0_f64);
+            for k in 0..half {
+                let a = start + k;
+                let b = a + half;
+                let tr = re[b] * cr - im[b] * ci;
+                let ti = re[b] * ci + im[b] * cr;
+                re[b] = re[a] - tr;
+                im[b] = im[a] - ti;
+                re[a] += tr;
+                im[a] += ti;
+                let ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Naive `O(n²)` DFT used as the correctness reference in tests.
+pub fn dft_naive(re: &[f64], im: &[f64], inverse: bool) -> (Vec<f64>, Vec<f64>) {
+    let n = re.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut out_re = vec![0.0; n];
+    let mut out_im = vec![0.0; n];
+    for (k, (orr, oii)) in out_re.iter_mut().zip(out_im.iter_mut()).enumerate() {
+        let (mut sr, mut si) = (0.0, 0.0);
+        for i in 0..n {
+            let ang = sign * 2.0 * std::f64::consts::PI * (k * i) as f64 / n as f64;
+            let (c, s) = (ang.cos(), ang.sin());
+            sr += re[i] * c - im[i] * s;
+            si += re[i] * s + im[i] * c;
+        }
+        *orr = sr;
+        *oii = si;
+    }
+    (out_re, out_im)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_seq(n: usize, seed: u64) -> Vec<f64> {
+        // tiny deterministic LCG; avoids a test-only dependency here
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for &n in &[1usize, 2, 4, 8, 32, 128] {
+            let re0 = rand_seq(n, 7);
+            let im0 = rand_seq(n, 13);
+            let (want_re, want_im) = dft_naive(&re0, &im0, false);
+            let mut re = re0.clone();
+            let mut im = im0.clone();
+            fft_in_place(&mut re, &mut im, false);
+            for i in 0..n {
+                assert!((re[i] - want_re[i]).abs() < 1e-9, "n={n} re[{i}]");
+                assert!((im[i] - want_im[i]).abs() < 1e-9, "n={n} im[{i}]");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_matches_naive_inverse() {
+        let n = 64;
+        let re0 = rand_seq(n, 3);
+        let im0 = rand_seq(n, 5);
+        let (want_re, want_im) = dft_naive(&re0, &im0, true);
+        let mut re = re0;
+        let mut im = im0;
+        fft_in_place(&mut re, &mut im, true);
+        for i in 0..n {
+            assert!((re[i] - want_re[i]).abs() < 1e-9);
+            assert!((im[i] - want_im[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn round_trip_recovers_input_times_n() {
+        let n = 256;
+        let re0 = rand_seq(n, 11);
+        let im0 = rand_seq(n, 17);
+        let mut re = re0.clone();
+        let mut im = im0.clone();
+        fft_in_place(&mut re, &mut im, false);
+        fft_in_place(&mut re, &mut im, true);
+        for i in 0..n {
+            assert!((re[i] - n as f64 * re0[i]).abs() < 1e-9);
+            assert!((im[i] - n as f64 * im0[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let n = 128;
+        let re0 = rand_seq(n, 23);
+        let im0 = vec![0.0; n];
+        let t: f64 = re0.iter().map(|v| v * v).sum();
+        let mut re = re0;
+        let mut im = im0;
+        fft_in_place(&mut re, &mut im, false);
+        let f: f64 = re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum();
+        assert!((f - n as f64 * t).abs() < 1e-6 * f.max(1.0));
+    }
+
+    #[test]
+    fn impulse_gives_flat_spectrum() {
+        let n = 16;
+        let mut re = vec![0.0; n];
+        let mut im = vec![0.0; n];
+        re[0] = 1.0;
+        fft_in_place(&mut re, &mut im, false);
+        for i in 0..n {
+            assert!((re[i] - 1.0).abs() < 1e-12);
+            assert!(im[i].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn rejects_non_power_of_two() {
+        let mut re = vec![0.0; 12];
+        let mut im = vec![0.0; 12];
+        fft_in_place(&mut re, &mut im, false);
+    }
+}

@@ -1,0 +1,44 @@
+//! ePlace-style electrostatic density system for analytical placement.
+//!
+//! The density penalty `D(x, y)` of the global-placement objective
+//! (Eq. (1) of the paper) is modeled electrostatically, as in ePlace \[18\]
+//! and DREAMPlace \[20\]: cells are charges, density is charge density, and
+//! the penalty is the field energy obtained from a Poisson solve.
+//!
+//! Layers, bottom-up:
+//!
+//! * [`fft`] — a from-scratch iterative radix-2 complex FFT;
+//! * [`transform`] — DCT-II / DCT-III / DST-III on top of the FFT
+//!   (the DREAMPlace transform set), with naive references;
+//! * [`grid`] — bin grid, exact-overlap rasterization with ePlace local
+//!   smoothing, and the density-overflow metric;
+//! * [`poisson`] — the spectral Poisson solver (`ψ`, `E_x`, `E_y`);
+//! * [`electro`] — the user-facing [`electro::Electrostatics`] system:
+//!   energy, overflow, and per-cell density gradients.
+//!
+//! # Example
+//!
+//! ```
+//! use mep_density::electro::Electrostatics;
+//! use mep_netlist::synth;
+//!
+//! let c = synth::generate(&synth::smoke_spec());
+//! let mut es = Electrostatics::new(&c.design, &c.placement);
+//! let report = es.update(&c.design.netlist, &c.placement);
+//! assert!(report.overflow > 0.0); // cells start piled at the die center
+//! ```
+
+#![warn(missing_docs)]
+// Numeric kernels index several parallel arrays with one counter; the
+// iterator rewrites clippy suggests obscure those loops.
+#![allow(clippy::needless_range_loop)]
+
+pub mod electro;
+pub mod fft;
+pub mod grid;
+pub mod poisson;
+pub mod transform;
+
+pub use electro::{DensityReport, Electrostatics};
+pub use grid::{BinGrid, DensityMap};
+pub use poisson::PoissonSolver;

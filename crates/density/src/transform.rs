@@ -1,0 +1,323 @@
+//! Trigonometric transforms (DCT-II / DCT-III / DST-III) built on the FFT.
+//!
+//! These are the kernels of the ePlace spectral Poisson solver. With the
+//! half-sample cosine basis `cos(πu(i+½)/N)` (Neumann boundary):
+//!
+//! * [`dct2`]  — analysis:  `X_u = Σ_i x_i cos(πu(i+½)/N)`
+//! * [`dct3`]  — synthesis: `y_i = X_0/2 + Σ_{u≥1} X_u cos(πu(i+½)/N)`
+//! * [`dst3`]  — synthesis with sines: `y_i = Σ_{u≥1} X_u sin(πu(i+½)/N)`
+//!   (what DREAMPlace calls IDXST; used for the electric field)
+//!
+//! The pair satisfies `x = (2/N)·dct3(dct2(x))`. Each 1-D transform costs
+//! one complex FFT of length `2N`; the 2-D versions are separable.
+
+use crate::fft::fft_in_place;
+
+/// Scratch buffers for the FFT-based transforms (reused across calls).
+#[derive(Debug, Clone, Default)]
+pub struct TransformScratch {
+    re: Vec<f64>,
+    im: Vec<f64>,
+}
+
+impl TransformScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn prepare(&mut self, n2: usize) {
+        self.re.clear();
+        self.re.resize(n2, 0.0);
+        self.im.clear();
+        self.im.resize(n2, 0.0);
+    }
+}
+
+/// DCT-II: `out[u] = Σ_i x[i] cos(πu(i+½)/N)`.
+///
+/// Uses the even-mirror embedding into a length-`2N` FFT:
+/// `W_u = 2 e^{jπu/2N} X_u`.
+///
+/// # Panics
+///
+/// Panics if `x.len()` is not a power of two or `out.len() != x.len()`.
+pub fn dct2(x: &[f64], out: &mut [f64], scratch: &mut TransformScratch) {
+    let n = x.len();
+    assert_eq!(out.len(), n);
+    if n == 0 {
+        return;
+    }
+    scratch.prepare(2 * n);
+    scratch.re[..n].copy_from_slice(x);
+    for i in 0..n {
+        scratch.re[2 * n - 1 - i] = x[i];
+    }
+    fft_in_place(&mut scratch.re, &mut scratch.im, false);
+    for u in 0..n {
+        let ang = -std::f64::consts::PI * u as f64 / (2.0 * n as f64);
+        let (c, s) = (ang.cos(), ang.sin());
+        out[u] = 0.5 * (scratch.re[u] * c - scratch.im[u] * s);
+    }
+}
+
+/// DCT-III: `out[i] = X_0/2 + Σ_{u=1}^{N-1} X_u cos(πu(i+½)/N)`.
+///
+/// Together with [`dct2`]: `x = (2/N) · dct3(dct2(x))`.
+///
+/// # Panics
+///
+/// Panics if `x.len()` is not a power of two or `out.len() != x.len()`.
+pub fn dct3(x: &[f64], out: &mut [f64], scratch: &mut TransformScratch) {
+    synthesize(x, out, scratch, false)
+}
+
+/// DST-III-style synthesis: `out[i] = Σ_{u=1}^{N-1} X_u sin(πu(i+½)/N)`
+/// (the `u = 0` slot of `x` is ignored since `sin 0 = 0`).
+///
+/// # Panics
+///
+/// Panics if `x.len()` is not a power of two or `out.len() != x.len()`.
+pub fn dst3(x: &[f64], out: &mut [f64], scratch: &mut TransformScratch) {
+    synthesize(x, out, scratch, true)
+}
+
+/// Shared synthesis core: `y_i = Σ_u c_u X_u e^{jπu(i+½)/N}` evaluated by a
+/// zero-padded length-`2N` inverse FFT; real part → DCT-III, imaginary part
+/// → DST-III.
+fn synthesize(x: &[f64], out: &mut [f64], scratch: &mut TransformScratch, sine: bool) {
+    let n = x.len();
+    assert_eq!(out.len(), n);
+    if n == 0 {
+        return;
+    }
+    scratch.prepare(2 * n);
+    for u in 0..n {
+        let coeff = if u == 0 && !sine { 0.5 * x[0] } else { x[u] };
+        let ang = std::f64::consts::PI * u as f64 / (2.0 * n as f64);
+        scratch.re[u] = coeff * ang.cos();
+        scratch.im[u] = coeff * ang.sin();
+    }
+    fft_in_place(&mut scratch.re, &mut scratch.im, true);
+    if sine {
+        out.copy_from_slice(&scratch.im[..n]);
+    } else {
+        out.copy_from_slice(&scratch.re[..n]);
+    }
+}
+
+/// Naive references for the three transforms (tests and odd sizes).
+pub mod naive {
+    use std::f64::consts::PI;
+
+    /// `O(N²)` DCT-II.
+    pub fn dct2(x: &[f64]) -> Vec<f64> {
+        let n = x.len();
+        (0..n)
+            .map(|u| {
+                x.iter()
+                    .enumerate()
+                    .map(|(i, &xi)| xi * (PI * u as f64 * (i as f64 + 0.5) / n as f64).cos())
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// `O(N²)` DCT-III.
+    pub fn dct3(x: &[f64]) -> Vec<f64> {
+        let n = x.len();
+        (0..n)
+            .map(|i| {
+                x[0] / 2.0
+                    + (1..n)
+                        .map(|u| x[u] * (PI * u as f64 * (i as f64 + 0.5) / n as f64).cos())
+                        .sum::<f64>()
+            })
+            .collect()
+    }
+
+    /// `O(N²)` DST-III.
+    pub fn dst3(x: &[f64]) -> Vec<f64> {
+        let n = x.len();
+        (0..n)
+            .map(|i| {
+                (1..n)
+                    .map(|u| x[u] * (PI * u as f64 * (i as f64 + 0.5) / n as f64).sin())
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+/// 2-D separable transform over a row-major `rows × cols` grid.
+///
+/// `kind_rows` is applied along each row (x-direction, i.e. over columns),
+/// then `kind_cols` along each column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// DCT-II analysis.
+    Dct2,
+    /// DCT-III synthesis.
+    Dct3,
+    /// DST-III synthesis.
+    Dst3,
+}
+
+fn apply_1d(kind: Kind, x: &[f64], out: &mut [f64], scratch: &mut TransformScratch) {
+    match kind {
+        Kind::Dct2 => dct2(x, out, scratch),
+        Kind::Dct3 => dct3(x, out, scratch),
+        Kind::Dst3 => dst3(x, out, scratch),
+    }
+}
+
+/// Applies `kind_x` along rows then `kind_y` along columns of the row-major
+/// `rows × cols` grid `data`, in place.
+///
+/// # Panics
+///
+/// Panics if `data.len() != rows * cols` or a dimension is not a power of
+/// two.
+pub fn transform_2d(
+    data: &mut [f64],
+    rows: usize,
+    cols: usize,
+    kind_x: Kind,
+    kind_y: Kind,
+    scratch: &mut TransformScratch,
+) {
+    assert_eq!(data.len(), rows * cols, "grid shape mismatch");
+    let mut line = vec![0.0; cols.max(rows)];
+    let mut out = vec![0.0; cols.max(rows)];
+    // rows (contiguous)
+    for r in 0..rows {
+        let row = &mut data[r * cols..(r + 1) * cols];
+        line[..cols].copy_from_slice(row);
+        apply_1d(kind_x, &line[..cols], &mut out[..cols], scratch);
+        row.copy_from_slice(&out[..cols]);
+    }
+    // columns (strided)
+    for c in 0..cols {
+        for r in 0..rows {
+            line[r] = data[r * cols + c];
+        }
+        apply_1d(kind_y, &line[..rows], &mut out[..rows], scratch);
+        for r in 0..rows {
+            data[r * cols + c] = out[r];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_seq(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dct2_matches_naive() {
+        for &n in &[2usize, 4, 16, 64] {
+            let x = rand_seq(n, 1);
+            let want = naive::dct2(&x);
+            let mut got = vec![0.0; n];
+            dct2(&x, &mut got, &mut TransformScratch::new());
+            for i in 0..n {
+                assert!((got[i] - want[i]).abs() < 1e-9, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn dct3_matches_naive() {
+        for &n in &[2usize, 8, 32] {
+            let x = rand_seq(n, 2);
+            let want = naive::dct3(&x);
+            let mut got = vec![0.0; n];
+            dct3(&x, &mut got, &mut TransformScratch::new());
+            for i in 0..n {
+                assert!((got[i] - want[i]).abs() < 1e-9, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn dst3_matches_naive() {
+        for &n in &[2usize, 8, 32, 128] {
+            let x = rand_seq(n, 3);
+            let want = naive::dst3(&x);
+            let mut got = vec![0.0; n];
+            dst3(&x, &mut got, &mut TransformScratch::new());
+            for i in 0..n {
+                assert!((got[i] - want[i]).abs() < 1e-9, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn dct_round_trip() {
+        let n = 64;
+        let x = rand_seq(n, 4);
+        let mut freq = vec![0.0; n];
+        let mut back = vec![0.0; n];
+        let mut s = TransformScratch::new();
+        dct2(&x, &mut freq, &mut s);
+        dct3(&freq, &mut back, &mut s);
+        for i in 0..n {
+            assert!((x[i] - 2.0 / n as f64 * back[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transform_2d_round_trip() {
+        let (rows, cols) = (8, 16);
+        let x = rand_seq(rows * cols, 5);
+        let mut data = x.clone();
+        let mut s = TransformScratch::new();
+        transform_2d(&mut data, rows, cols, Kind::Dct2, Kind::Dct2, &mut s);
+        transform_2d(&mut data, rows, cols, Kind::Dct3, Kind::Dct3, &mut s);
+        let scale = 2.0 / rows as f64 * 2.0 / cols as f64;
+        for i in 0..x.len() {
+            assert!((x[i] - scale * data[i]).abs() < 1e-9, "i={i}");
+        }
+    }
+
+    #[test]
+    fn transform_2d_single_mode() {
+        // a pure cosine mode concentrates in a single coefficient
+        let (rows, cols) = (8usize, 8usize);
+        let (u, v) = (3usize, 2usize);
+        let mut data = vec![0.0; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                let cy = (std::f64::consts::PI * u as f64 * (r as f64 + 0.5) / rows as f64).cos();
+                let cx = (std::f64::consts::PI * v as f64 * (c as f64 + 0.5) / cols as f64).cos();
+                data[r * cols + c] = cy * cx;
+            }
+        }
+        let mut s = TransformScratch::new();
+        transform_2d(&mut data, rows, cols, Kind::Dct2, Kind::Dct2, &mut s);
+        // expected magnitude N·M/4 in the (u, v) slot, ~0 elsewhere
+        for r in 0..rows {
+            for c in 0..cols {
+                let want = if (r, c) == (u, v) {
+                    rows as f64 * cols as f64 / 4.0
+                } else {
+                    0.0
+                };
+                assert!(
+                    (data[r * cols + c] - want).abs() < 1e-9,
+                    "({r},{c}) = {}",
+                    data[r * cols + c]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Error types for netlist construction and IO.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while building or parsing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A pin referenced a cell name that was never declared.
+    UnknownCell(String),
+    /// The same cell name was declared twice.
+    DuplicateCell(String),
+    /// A Bookshelf file could not be parsed; carries file kind, line, and message.
+    Parse {
+        /// Which file kind failed (e.g. `"nodes"`).
+        file: &'static str,
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// An I/O error, stringified (keeps the error type `Clone + Eq`).
+    Io(String),
+    /// The design geometry is inconsistent (e.g. no rows, inverted die).
+    Geometry(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownCell(name) => write!(f, "unknown cell `{name}`"),
+            NetlistError::DuplicateCell(name) => write!(f, "duplicate cell `{name}`"),
+            NetlistError::Parse {
+                file,
+                line,
+                message,
+            } => write!(f, "parse error in {file} file, line {line}: {message}"),
+            NetlistError::Io(msg) => write!(f, "io error: {msg}"),
+            NetlistError::Geometry(msg) => write!(f, "inconsistent geometry: {msg}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+impl From<std::io::Error> for NetlistError {
+    fn from(err: std::io::Error) -> Self {
+        NetlistError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NetlistError::UnknownCell("o42".into());
+        assert_eq!(e.to_string(), "unknown cell `o42`");
+        let e = NetlistError::Parse {
+            file: "nets",
+            line: 7,
+            message: "expected NetDegree".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

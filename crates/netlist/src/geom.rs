@@ -1,0 +1,202 @@
+//! Basic planar geometry used throughout the placer.
+//!
+//! All coordinates are `f64` in abstract "site" units (the Bookshelf
+//! convention). A [`Rect`] is axis-aligned with `lo ≤ hi` on both axes.
+
+use std::fmt;
+
+/// A point in the placement plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    ///
+    /// ```
+    /// use mep_netlist::geom::Point;
+    /// let p = Point::new(3.0, 4.0);
+    /// assert_eq!(p.x, 3.0);
+    /// ```
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Self { x, y }
+    }
+}
+
+/// An axis-aligned rectangle, `[xl, xh] × [yl, yh]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rect {
+    /// Left edge.
+    pub xl: f64,
+    /// Bottom edge.
+    pub yl: f64,
+    /// Right edge.
+    pub xh: f64,
+    /// Top edge.
+    pub yh: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the rectangle is inverted.
+    pub fn new(xl: f64, yl: f64, xh: f64, yh: f64) -> Self {
+        debug_assert!(xl <= xh && yl <= yh, "inverted rect {xl} {yl} {xh} {yh}");
+        Self { xl, yl, xh, yh }
+    }
+
+    /// Rectangle from a lower-left corner and a size.
+    pub fn from_origin_size(xl: f64, yl: f64, w: f64, h: f64) -> Self {
+        Self::new(xl, yl, xl + w, yl + h)
+    }
+
+    /// Width of the rectangle.
+    pub fn width(&self) -> f64 {
+        self.xh - self.xl
+    }
+
+    /// Height of the rectangle.
+    pub fn height(&self) -> f64 {
+        self.yh - self.yl
+    }
+
+    /// Area of the rectangle.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Point {
+        Point::new(0.5 * (self.xl + self.xh), 0.5 * (self.yl + self.yh))
+    }
+
+    /// Whether `p` lies inside (inclusive of boundary).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.xl && p.x <= self.xh && p.y >= self.yl && p.y <= self.yh
+    }
+
+    /// Whether `other` lies entirely inside `self` (inclusive).
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.xl >= self.xl && other.xh <= self.xh && other.yl >= self.yl && other.yh <= self.yh
+    }
+
+    /// Area of the intersection with `other` (zero when disjoint).
+    pub fn overlap_area(&self, other: &Rect) -> f64 {
+        let w = (self.xh.min(other.xh) - self.xl.max(other.xl)).max(0.0);
+        let h = (self.yh.min(other.yh) - self.yl.max(other.yl)).max(0.0);
+        w * h
+    }
+
+    /// Whether the interiors of the two rectangles intersect.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.xl < other.xh && other.xl < self.xh && self.yl < other.yh && other.yl < self.yh
+    }
+
+    /// Smallest rectangle containing both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            xl: self.xl.min(other.xl),
+            yl: self.yl.min(other.yl),
+            xh: self.xh.max(other.xh),
+            yh: self.yh.max(other.yh),
+        }
+    }
+
+    /// Clamps a point into the rectangle.
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(p.x.clamp(self.xl, self.xh), p.y.clamp(self.yl, self.yh))
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}] x [{}, {}]", self.xl, self.xh, self.yl, self.yh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_basic_metrics() {
+        let r = Rect::new(1.0, 2.0, 4.0, 6.0);
+        assert_eq!(r.width(), 3.0);
+        assert_eq!(r.height(), 4.0);
+        assert_eq!(r.area(), 12.0);
+        assert_eq!(r.center(), Point::new(2.5, 4.0));
+    }
+
+    #[test]
+    fn rect_from_origin_size() {
+        let r = Rect::from_origin_size(1.0, 1.0, 2.0, 3.0);
+        assert_eq!(r, Rect::new(1.0, 1.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn overlap_of_disjoint_rects_is_zero() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(2.0, 2.0, 3.0, 3.0);
+        assert_eq!(a.overlap_area(&b), 0.0);
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn overlap_of_nested_rects_is_inner_area() {
+        let outer = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let inner = Rect::new(2.0, 3.0, 4.0, 5.0);
+        assert_eq!(outer.overlap_area(&inner), inner.area());
+        assert!(outer.contains_rect(&inner));
+        assert!(!inner.contains_rect(&outer));
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(1.0, 1.0, 3.0, 3.0);
+        assert_eq!(a.overlap_area(&b), 1.0);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn touching_rects_do_not_intersect_but_overlap_zero() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(1.0, 0.0, 2.0, 1.0);
+        assert!(!a.intersects(&b));
+        assert_eq!(a.overlap_area(&b), 0.0);
+    }
+
+    #[test]
+    fn union_and_contains() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(2.0, 2.0, 3.0, 3.0);
+        let u = a.union(&b);
+        assert_eq!(u, Rect::new(0.0, 0.0, 3.0, 3.0));
+        assert!(u.contains(Point::new(1.5, 1.5)));
+    }
+
+    #[test]
+    fn clamp_point() {
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(r.clamp(Point::new(-1.0, 0.5)), Point::new(0.0, 0.5));
+        assert_eq!(r.clamp(Point::new(2.0, 2.0)), Point::new(1.0, 1.0));
+    }
+}

@@ -1,0 +1,250 @@
+//! Cell positions and the exact HPWL metric.
+//!
+//! A [`Placement`] stores the **lower-left corner** of every cell (the
+//! Bookshelf `.pl` convention). Pin positions are cell center + pin offset.
+
+use crate::geom::{Point, Rect};
+use crate::ids::{CellId, NetId, PinId};
+use crate::netlist::Netlist;
+
+/// Cell positions for a netlist, indexed by [`CellId`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Placement {
+    /// Lower-left x per cell.
+    pub x: Vec<f64>,
+    /// Lower-left y per cell.
+    pub y: Vec<f64>,
+}
+
+impl Placement {
+    /// An all-zero placement for `num_cells` cells.
+    pub fn zeros(num_cells: usize) -> Self {
+        Self {
+            x: vec![0.0; num_cells],
+            y: vec![0.0; num_cells],
+        }
+    }
+
+    /// Number of cells covered.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the placement is empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Lower-left corner of a cell.
+    #[inline]
+    pub fn position(&self, cell: CellId) -> Point {
+        Point::new(self.x[cell.index()], self.y[cell.index()])
+    }
+
+    /// Sets the lower-left corner of a cell.
+    #[inline]
+    pub fn set_position(&mut self, cell: CellId, p: Point) {
+        self.x[cell.index()] = p.x;
+        self.y[cell.index()] = p.y;
+    }
+
+    /// Center of a cell under this placement.
+    #[inline]
+    pub fn center(&self, netlist: &Netlist, cell: CellId) -> Point {
+        Point::new(
+            self.x[cell.index()] + 0.5 * netlist.cell_width(cell),
+            self.y[cell.index()] + 0.5 * netlist.cell_height(cell),
+        )
+    }
+
+    /// Moves a cell so that its center lands on `c`.
+    #[inline]
+    pub fn set_center(&mut self, netlist: &Netlist, cell: CellId, c: Point) {
+        self.x[cell.index()] = c.x - 0.5 * netlist.cell_width(cell);
+        self.y[cell.index()] = c.y - 0.5 * netlist.cell_height(cell);
+    }
+
+    /// The occupied rectangle of a cell.
+    #[inline]
+    pub fn cell_rect(&self, netlist: &Netlist, cell: CellId) -> Rect {
+        Rect::from_origin_size(
+            self.x[cell.index()],
+            self.y[cell.index()],
+            netlist.cell_width(cell),
+            netlist.cell_height(cell),
+        )
+    }
+
+    /// Position of a pin (cell center + offset).
+    #[inline]
+    pub fn pin_position(&self, netlist: &Netlist, pin: PinId) -> Point {
+        let cell = netlist.pin_cell(pin);
+        let c = self.center(netlist, cell);
+        Point::new(
+            c.x + netlist.pin_offset_x(pin),
+            c.y + netlist.pin_offset_y(pin),
+        )
+    }
+}
+
+/// Exact half-perimeter wirelength of one net (Eq. (2) of the paper).
+///
+/// Returns 0 for nets with fewer than two pins.
+pub fn net_hpwl(netlist: &Netlist, placement: &Placement, net: NetId) -> f64 {
+    let mut it = netlist.net_pins(net);
+    let first = match it.next() {
+        Some(p) => p,
+        None => return 0.0,
+    };
+    let p0 = placement.pin_position(netlist, first);
+    let (mut xmin, mut xmax, mut ymin, mut ymax) = (p0.x, p0.x, p0.y, p0.y);
+    for pin in it {
+        let p = placement.pin_position(netlist, pin);
+        xmin = xmin.min(p.x);
+        xmax = xmax.max(p.x);
+        ymin = ymin.min(p.y);
+        ymax = ymax.max(p.y);
+    }
+    (xmax - xmin) + (ymax - ymin)
+}
+
+/// Total exact HPWL over all nets.
+///
+/// ```
+/// use mep_netlist::netlist::NetlistBuilder;
+/// use mep_netlist::placement::{total_hpwl, Placement};
+///
+/// # fn main() -> Result<(), mep_netlist::error::NetlistError> {
+/// let mut b = NetlistBuilder::new();
+/// let a = b.add_cell("a", 2.0, 2.0, true)?;
+/// let c = b.add_cell("b", 2.0, 2.0, true)?;
+/// b.add_net("n", vec![(a, 0.0, 0.0), (c, 0.0, 0.0)]);
+/// let nl = b.build();
+/// let mut pl = Placement::zeros(2);
+/// pl.x[1] = 3.0;
+/// pl.y[1] = 4.0;
+/// assert_eq!(total_hpwl(&nl, &pl), 7.0); // |dx| + |dy| between the centers
+/// # Ok(())
+/// # }
+/// ```
+pub fn total_hpwl(netlist: &Netlist, placement: &Placement) -> f64 {
+    netlist
+        .nets()
+        .map(|net| net_hpwl(netlist, placement, net))
+        .sum()
+}
+
+/// Net-weighted total HPWL, `Σ_e w_e · HPWL_e` (Bookshelf `.wts` weights).
+///
+/// Equals [`total_hpwl`] when every weight is 1 (the default, and the
+/// metric the ISPD contests score).
+pub fn total_weighted_hpwl(netlist: &Netlist, placement: &Placement) -> f64 {
+    netlist
+        .nets()
+        .map(|net| netlist.net_weight(net) * net_hpwl(netlist, placement, net))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistBuilder;
+
+    fn tiny() -> (Netlist, Placement) {
+        let mut b = NetlistBuilder::new();
+        let a = b.add_cell("a", 2.0, 2.0, true).unwrap();
+        let c = b.add_cell("b", 4.0, 2.0, true).unwrap();
+        let d = b.add_cell("d", 2.0, 2.0, true).unwrap();
+        b.add_net("n0", vec![(a, 0.0, 0.0), (c, 1.0, 0.5)]);
+        b.add_net("n1", vec![(a, 0.0, 0.0), (c, 0.0, 0.0), (d, 0.0, 0.0)]);
+        b.add_net("single", vec![(d, 0.0, 0.0)]);
+        let nl = b.build();
+        let mut pl = Placement::zeros(3);
+        pl.set_position(CellId(0), Point::new(0.0, 0.0)); // center (1,1)
+        pl.set_position(CellId(1), Point::new(10.0, 0.0)); // center (12,1)
+        pl.set_position(CellId(2), Point::new(4.0, 6.0)); // center (5,7)
+        (nl, pl)
+    }
+
+    #[test]
+    fn pin_positions_include_center_and_offset() {
+        let (nl, pl) = tiny();
+        // pin 1: cell b center (12,1) + offset (1.0, 0.5)
+        let p = pl.pin_position(&nl, PinId(1));
+        assert_eq!(p, Point::new(13.0, 1.5));
+    }
+
+    #[test]
+    fn two_pin_net_hpwl_is_manhattan_distance_of_pins() {
+        let (nl, pl) = tiny();
+        // pins at (1,1) and (13,1.5)
+        assert!((net_hpwl(&nl, &pl, NetId(0)) - (12.0 + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_pin_net_hpwl_is_bounding_box_half_perimeter() {
+        let (nl, pl) = tiny();
+        // centers (1,1), (12,1), (5,7): bbox 11 x 6
+        assert!((net_hpwl(&nl, &pl, NetId(1)) - 17.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_pin_net_has_zero_hpwl() {
+        let (nl, pl) = tiny();
+        assert_eq!(net_hpwl(&nl, &pl, NetId(2)), 0.0);
+    }
+
+    #[test]
+    fn total_is_sum_of_nets() {
+        let (nl, pl) = tiny();
+        let s: f64 = nl.nets().map(|n| net_hpwl(&nl, &pl, n)).sum();
+        assert_eq!(total_hpwl(&nl, &pl), s);
+    }
+
+    #[test]
+    fn set_center_round_trips() {
+        let (nl, mut pl) = tiny();
+        pl.set_center(&nl, CellId(1), Point::new(20.0, 30.0));
+        let c = pl.center(&nl, CellId(1));
+        assert_eq!(c, Point::new(20.0, 30.0));
+    }
+
+    #[test]
+    fn cell_rect_matches_size() {
+        let (nl, pl) = tiny();
+        let r = pl.cell_rect(&nl, CellId(1));
+        assert_eq!(r.width(), 4.0);
+        assert_eq!(r.height(), 2.0);
+    }
+
+    #[test]
+    fn weighted_hpwl_scales_per_net() {
+        let mut b = NetlistBuilder::new();
+        let a = b.add_cell("a", 0.0, 0.0, true).unwrap();
+        let c = b.add_cell("b", 0.0, 0.0, true).unwrap();
+        let n0 = b.add_net("n0", vec![(a, 0.0, 0.0), (c, 0.0, 0.0)]);
+        let n1 = b.add_net("n1", vec![(a, 0.0, 0.0), (c, 0.0, 0.0)]);
+        b.set_net_weight(n1, 3.0);
+        let nl = b.build();
+        let mut pl = Placement::zeros(2);
+        pl.x[1] = 2.0;
+        assert_eq!(nl.net_weight(n0), 1.0);
+        assert_eq!(nl.net_weight(n1), 3.0);
+        assert_eq!(total_hpwl(&nl, &pl), 4.0);
+        assert_eq!(total_weighted_hpwl(&nl, &pl), 2.0 + 6.0);
+    }
+
+    #[test]
+    fn hpwl_is_translation_invariant() {
+        let (nl, mut pl) = tiny();
+        let before = total_hpwl(&nl, &pl);
+        for v in pl.x.iter_mut() {
+            *v += 13.5;
+        }
+        for v in pl.y.iter_mut() {
+            *v -= 2.25;
+        }
+        let after = total_hpwl(&nl, &pl);
+        assert!((before - after).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,102 @@
+//! Robustness tests for the Bookshelf parser: whitespace, comments,
+//! unusual-but-legal formatting, and clear errors for broken files.
+
+use mep_netlist::bookshelf::read_files;
+use mep_netlist::NetlistError;
+
+const SCL: &str = "UCLA scl 1.0\nNumRows : 1\nCoreRow Horizontal\n Coordinate : 0\n Height : 1\n Sitewidth : 1 Sitespacing : 1\n SubrowOrigin : 0 NumSites : 50\nEnd\n";
+
+fn parse(nodes: &str, nets: &str, pl: &str) -> Result<(), NetlistError> {
+    read_files("t".into(), nodes, nets, pl, SCL, 0.9).map(|_| ())
+}
+
+#[test]
+fn tolerates_comments_and_blank_lines() {
+    let nodes = "UCLA nodes 1.0\n# a comment\n\nNumNodes : 1\nNumTerminals : 0\n\n  a 1 1  # trailing comment\n";
+    let nets = "# header comment\nNumNets : 1\nNumPins : 2\nNetDegree : 2 n\n a I : 0 0\n a O : 0.5 0\n";
+    let pl = "a 3 0 : N\n# done\n";
+    assert!(parse(nodes, nets, pl).is_ok());
+}
+
+#[test]
+fn tolerates_extreme_whitespace() {
+    let nodes = "NumNodes : 1\n   a\t\t2.5    1   \n";
+    let nets = "NetDegree : 1    solo\n     a   I  :   -0.25   0.125\n";
+    let pl = "   a    7.5   0  : N\n";
+    assert!(parse(nodes, nets, pl).is_ok());
+}
+
+#[test]
+fn pin_without_direction_token_is_accepted() {
+    // some generators omit the I/O token entirely
+    let nodes = "NumNodes : 2\n a 1 1\n b 1 1\n";
+    let nets = "NetDegree : 2 n\n a : 0 0\n b : 0 0\n";
+    let pl = "a 0 0 : N\nb 5 0 : N\n";
+    assert!(parse(nodes, nets, pl).is_ok());
+}
+
+#[test]
+fn missing_width_is_a_clear_error() {
+    let nodes = "NumNodes : 1\n a\n";
+    let err = parse(nodes, "", "");
+    match err {
+        Err(NetlistError::Parse { file, .. }) => assert_eq!(file, "nodes"),
+        other => panic!("expected nodes parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn bad_coordinate_in_pl_is_a_clear_error() {
+    let nodes = "NumNodes : 1\n a 1 1\n";
+    let pl = "a not-a-number 0 : N\n";
+    let err = parse(nodes, "", pl);
+    match err {
+        Err(NetlistError::Parse { file, .. }) => assert_eq!(file, "pl"),
+        other => panic!("expected pl parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn scl_without_rows_is_a_geometry_error() {
+    let nodes = "NumNodes : 1\n a 1 1\n";
+    let err = read_files(
+        "t".into(),
+        nodes,
+        "",
+        "a 0 0 : N\n",
+        "UCLA scl 1.0\nNumRows : 0\n",
+        0.9,
+    );
+    assert!(matches!(err, Err(NetlistError::Geometry(_))));
+}
+
+#[test]
+fn zero_pin_net_is_allowed_and_harmless() {
+    let nodes = "NumNodes : 1\n a 1 1\n";
+    let nets = "NetDegree : 0 empty\n";
+    let pl = "a 0 0 : N\n";
+    let c = read_files("t".into(), nodes, nets, pl, SCL, 0.9).unwrap();
+    assert_eq!(c.design.netlist.num_nets(), 1);
+    assert_eq!(c.design.netlist.num_pins(), 0);
+    // HPWL of the empty net is zero
+    assert_eq!(
+        mep_netlist::total_hpwl(&c.design.netlist, &c.placement),
+        0.0
+    );
+}
+
+#[test]
+fn duplicate_node_is_reported() {
+    let nodes = "NumNodes : 2\n a 1 1\n a 2 2\n";
+    let err = parse(nodes, "", "");
+    assert!(matches!(err, Err(NetlistError::DuplicateCell(_))));
+}
+
+#[test]
+fn fixed_flag_in_pl_is_read() {
+    // the /FIXED marker is currently informational (movability comes from
+    // the .nodes terminal flag); it must at least parse
+    let nodes = "NumNodes : 1\n a 1 1\n";
+    let pl = "a 4 0 : N /FIXED\n";
+    assert!(parse(nodes, "", pl).is_ok());
+}

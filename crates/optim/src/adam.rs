@@ -1,0 +1,124 @@
+//! Adam — an adaptive first-order baseline optimizer.
+//!
+//! Not used by the paper's flow (ePlace uses Nesterov) but provided as an
+//! optional optimizer for ablations: the paper's conclusion points at
+//! "novel optimizers" as future work.
+
+use crate::problem::{norm, Problem};
+use crate::{Optimizer, StepReport};
+
+/// Adam with the standard bias-corrected moment estimates.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Denominator fuzz.
+    pub eps: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+    g: Vec<f64>,
+}
+
+impl Adam {
+    /// Creates Adam with the given learning rate and default betas
+    /// `(0.9, 0.999)`.
+    pub fn new(lr: f64) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+            g: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn name(&self) -> &'static str {
+        "Adam"
+    }
+
+    fn reset(&mut self) {
+        self.m.clear();
+        self.v.clear();
+        self.t = 0;
+    }
+
+    fn step(&mut self, problem: &mut dyn Problem, x: &mut [f64]) -> StepReport {
+        let n = x.len();
+        if self.m.len() != n {
+            self.m = vec![0.0; n];
+            self.v = vec![0.0; n];
+            self.g = vec![0.0; n];
+            self.t = 0;
+        }
+        let value = problem.eval(x, &mut self.g);
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..n {
+            let gi = self.g[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * gi;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * gi * gi;
+            let mh = self.m[i] / bc1;
+            let vh = self.v[i] / bc2;
+            x[i] -= self.lr * mh / (vh.sqrt() + self.eps);
+        }
+        problem.project(x);
+        StepReport {
+            value,
+            grad_norm: norm(&self.g),
+            step: self.lr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::testfns::{AbsSum, Quadratic};
+
+    #[test]
+    fn minimizes_quadratic() {
+        let mut p = Quadratic {
+            diag: vec![1.0, 50.0],
+        };
+        let mut x = vec![3.0, -2.0];
+        let mut opt = Adam::new(0.1);
+        for _ in 0..1000 {
+            opt.step(&mut p, &mut x);
+        }
+        let mut g = vec![0.0; 2];
+        assert!(p.eval(&x, &mut g) < 1e-4);
+    }
+
+    #[test]
+    fn shrinks_non_smooth_abs_sum() {
+        let mut p = AbsSum { n: 5 };
+        let mut x = vec![1.0, -2.0, 0.5, 3.0, -0.1];
+        let mut opt = Adam::new(0.05);
+        for _ in 0..2000 {
+            opt.step(&mut p, &mut x);
+        }
+        let mut g = vec![0.0; 5];
+        assert!(p.eval(&x, &mut g) < 0.3);
+    }
+
+    #[test]
+    fn reset_clears_moments() {
+        let mut p = Quadratic { diag: vec![1.0] };
+        let mut x = vec![1.0];
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut p, &mut x);
+        opt.reset();
+        assert_eq!(opt.t, 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Polak–Ribière–Polyak conjugate (sub)gradient method \[23, 24\].
+//!
+//! The paper's related work (§I) discusses non-smooth optimization that
+//! drives the exact `ℓ1`/HPWL objective with subgradients and PRP conjugate
+//! directions instead of smoothing. This is that baseline: a PRP+ direction
+//! update with a diminishing, non-monotone step rule suitable for
+//! subgradients (plain line search can stall on kinks).
+
+use crate::problem::{dot, norm, Problem};
+use crate::{Optimizer, StepReport};
+
+/// PRP+ conjugate subgradient optimizer.
+#[derive(Debug, Clone)]
+pub struct ConjugateSubgradient {
+    /// Base step scale `s0`; iteration `k` uses `s0 / √(k+1)`.
+    pub step0: f64,
+    k: u64,
+    g: Vec<f64>,
+    g_prev: Vec<f64>,
+    d: Vec<f64>,
+}
+
+impl ConjugateSubgradient {
+    /// Creates the optimizer with base step `step0`.
+    pub fn new(step0: f64) -> Self {
+        Self {
+            step0,
+            k: 0,
+            g: Vec::new(),
+            g_prev: Vec::new(),
+            d: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for ConjugateSubgradient {
+    fn name(&self) -> &'static str {
+        "PRP-CG"
+    }
+
+    fn reset(&mut self) {
+        self.k = 0;
+        self.g.clear();
+        self.g_prev.clear();
+        self.d.clear();
+    }
+
+    fn step(&mut self, problem: &mut dyn Problem, x: &mut [f64]) -> StepReport {
+        let n = x.len();
+        if self.g.len() != n {
+            self.g = vec![0.0; n];
+            self.g_prev = vec![0.0; n];
+            self.d = vec![0.0; n];
+            self.k = 0;
+        }
+        let value = problem.eval(x, &mut self.g);
+        // PRP+ coefficient: β = max(0, gᵀ(g − g_prev) / ‖g_prev‖²)
+        let beta = if self.k == 0 {
+            0.0
+        } else {
+            let denom = dot(&self.g_prev, &self.g_prev);
+            if denom > 1e-30 {
+                let mut num = 0.0;
+                for i in 0..n {
+                    num += self.g[i] * (self.g[i] - self.g_prev[i]);
+                }
+                (num / denom).max(0.0)
+            } else {
+                0.0
+            }
+        };
+        for i in 0..n {
+            self.d[i] = -self.g[i] + beta * self.d[i];
+        }
+        // safeguard: fall back to steepest descent when d is not a descent
+        // direction (possible with subgradients)
+        if dot(&self.d, &self.g) > 0.0 {
+            for i in 0..n {
+                self.d[i] = -self.g[i];
+            }
+        }
+        let dn = norm(&self.d).max(1e-30);
+        let step = self.step0 / ((self.k + 1) as f64).sqrt();
+        for i in 0..n {
+            x[i] += step * self.d[i] / dn;
+        }
+        problem.project(x);
+        self.g_prev.copy_from_slice(&self.g);
+        self.k += 1;
+        StepReport {
+            value,
+            grad_norm: norm(&self.g),
+            step,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::testfns::{AbsSum, Quadratic};
+
+    #[test]
+    fn minimizes_quadratic() {
+        let mut p = Quadratic {
+            diag: vec![1.0, 5.0, 25.0],
+        };
+        let mut x = vec![2.0, 2.0, 2.0];
+        let mut opt = ConjugateSubgradient::new(1.0);
+        let mut best = f64::INFINITY;
+        for _ in 0..2000 {
+            let r = opt.step(&mut p, &mut x);
+            best = best.min(r.value);
+        }
+        assert!(best < 1e-2, "best = {best}");
+    }
+
+    #[test]
+    fn handles_non_smooth_abs_sum() {
+        let mut p = AbsSum { n: 8 };
+        let mut x: Vec<f64> = (0..8).map(|i| (i as f64 - 3.5) * 0.7).collect();
+        let mut opt = ConjugateSubgradient::new(0.5);
+        let mut best = f64::INFINITY;
+        for _ in 0..3000 {
+            let r = opt.step(&mut p, &mut x);
+            best = best.min(r.value);
+        }
+        // subgradient methods converge slowly but surely on |·|
+        assert!(best < 0.5, "best = {best}");
+    }
+
+    #[test]
+    fn diminishing_steps() {
+        let mut p = Quadratic { diag: vec![1.0] };
+        let mut x = vec![1.0];
+        let mut opt = ConjugateSubgradient::new(1.0);
+        let s1 = opt.step(&mut p, &mut x).step;
+        let s2 = opt.step(&mut p, &mut x).step;
+        assert!(s2 < s1);
+    }
+}

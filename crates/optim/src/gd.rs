@@ -1,0 +1,113 @@
+//! Gradient descent with Armijo backtracking line search — the simplest
+//! correct baseline, used in tests and ablations.
+
+use crate::problem::{dot, norm, Problem};
+use crate::{Optimizer, StepReport};
+
+/// Steepest descent with Armijo backtracking.
+#[derive(Debug, Clone)]
+pub struct GradientDescent {
+    /// Initial trial step each iteration.
+    pub step0: f64,
+    /// Armijo sufficient-decrease constant.
+    pub c1: f64,
+    /// Backtracking shrink factor.
+    pub shrink: f64,
+    /// Maximum backtracking halvings.
+    pub max_backtrack: usize,
+    g: Vec<f64>,
+    g_scratch: Vec<f64>,
+    trial: Vec<f64>,
+}
+
+impl GradientDescent {
+    /// Creates the optimizer with trial step `step0`.
+    pub fn new(step0: f64) -> Self {
+        Self {
+            step0,
+            c1: 1e-4,
+            shrink: 0.5,
+            max_backtrack: 30,
+            g: Vec::new(),
+            g_scratch: Vec::new(),
+            trial: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for GradientDescent {
+    fn name(&self) -> &'static str {
+        "GD"
+    }
+
+    fn reset(&mut self) {}
+
+    fn step(&mut self, problem: &mut dyn Problem, x: &mut [f64]) -> StepReport {
+        let n = x.len();
+        self.g.resize(n, 0.0);
+        self.g_scratch.resize(n, 0.0);
+        self.trial.resize(n, 0.0);
+        let f0 = problem.eval(x, &mut self.g);
+        let gg = dot(&self.g, &self.g);
+        let mut alpha = self.step0;
+        let mut accepted_f = f0;
+        for _ in 0..self.max_backtrack {
+            for i in 0..n {
+                self.trial[i] = x[i] - alpha * self.g[i];
+            }
+            problem.project(&mut self.trial);
+            let f_trial = problem.eval(&self.trial, &mut self.g_scratch);
+            if f_trial <= f0 - self.c1 * alpha * gg {
+                accepted_f = f_trial;
+                x.copy_from_slice(&self.trial);
+                break;
+            }
+            alpha *= self.shrink;
+        }
+        let _ = accepted_f;
+        StepReport {
+            value: f0,
+            grad_norm: gg.sqrt(),
+            step: alpha,
+        }
+    }
+}
+
+/// Wrapper making [`norm`] visible for the report (kept private otherwise).
+#[allow(dead_code)]
+fn _norm_is_used(v: &[f64]) -> f64 {
+    norm(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::testfns::{Quadratic, Rosenbrock};
+
+    #[test]
+    fn minimizes_quadratic() {
+        let mut p = Quadratic {
+            diag: vec![1.0, 10.0],
+        };
+        let mut x = vec![4.0, -3.0];
+        let mut opt = GradientDescent::new(1.0);
+        for _ in 0..300 {
+            opt.step(&mut p, &mut x);
+        }
+        let mut g = vec![0.0; 2];
+        assert!(p.eval(&x, &mut g) < 1e-8);
+    }
+
+    #[test]
+    fn line_search_never_increases_objective() {
+        let mut p = Rosenbrock;
+        let mut x = vec![-1.2, 1.0];
+        let mut opt = GradientDescent::new(1.0);
+        let mut prev = f64::INFINITY;
+        for _ in 0..100 {
+            let r = opt.step(&mut p, &mut x);
+            assert!(r.value <= prev + 1e-12);
+            prev = r.value;
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Nonlinear first-order optimizers for analytical placement.
+//!
+//! The paper's flow uses ePlace's Nesterov method with Lipschitz steplength
+//! prediction ([`nesterov::Nesterov`]); the crate also ships the baselines
+//! discussed in its related work: Adam ([`adam::Adam`]), steepest descent
+//! with Armijo line search ([`gd::GradientDescent`]), and the
+//! Polak–Ribière–Polyak conjugate subgradient method
+//! ([`cg::ConjugateSubgradient`]) used by non-smooth wirelength
+//! optimization \[23\].
+//!
+//! Everything optimizes a [`problem::Problem`]: a flat parameter vector
+//! with value + gradient, plus an optional projection (the placer clamps
+//! cells into the die there).
+//!
+//! # Example
+//!
+//! ```
+//! use mep_optim::{Optimizer, nesterov::Nesterov};
+//! use mep_optim::problem::testfns::Quadratic;
+//!
+//! let mut problem = Quadratic { diag: vec![1.0, 4.0] };
+//! let mut x = vec![1.0, 1.0];
+//! let mut opt = Nesterov::new(0.01);
+//! for _ in 0..100 {
+//!     opt.step(&mut problem, &mut x);
+//! }
+//! assert!(x.iter().all(|v| v.abs() < 1e-3));
+//! ```
+
+#![warn(missing_docs)]
+// Numeric kernels index several parallel arrays with one counter; the
+// iterator rewrites clippy suggests obscure those loops.
+#![allow(clippy::needless_range_loop)]
+
+pub mod adam;
+pub mod cg;
+pub mod gd;
+pub mod nesterov;
+pub mod problem;
+
+pub use problem::Problem;
+
+/// Per-iteration optimizer telemetry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepReport {
+    /// Objective value at the point where the step's gradient was taken.
+    pub value: f64,
+    /// Euclidean norm of that gradient.
+    pub grad_norm: f64,
+    /// Steplength actually used.
+    pub step: f64,
+}
+
+/// A stateful first-order optimizer advancing one iterate per call.
+pub trait Optimizer {
+    /// Short display name.
+    fn name(&self) -> &'static str;
+
+    /// Performs one major iteration, updating `x` in place.
+    fn step(&mut self, problem: &mut dyn Problem, x: &mut [f64]) -> StepReport;
+
+    /// Clears internal state (momenta, steplength history).
+    fn reset(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::testfns::Quadratic;
+
+    /// Acceleration matters: on an ill-conditioned quadratic, Nesterov
+    /// needs far fewer iterations than plain gradient descent to reach the
+    /// same tolerance — the reason ePlace adopted it.
+    #[test]
+    fn nesterov_converges_faster_than_gd_when_ill_conditioned() {
+        let diag = vec![1.0, 10.0, 100.0, 1000.0];
+        let tol = 1e-6;
+        let iters_to_tol = |opt: &mut dyn Optimizer| -> usize {
+            let mut p = Quadratic { diag: diag.clone() };
+            let mut x = vec![1.0; 4];
+            for k in 0..20000 {
+                let r = opt.step(&mut p, &mut x);
+                if r.value < tol {
+                    return k;
+                }
+            }
+            20000
+        };
+        let n = iters_to_tol(&mut nesterov::Nesterov::new(1e-4));
+        let g = iters_to_tol(&mut gd::GradientDescent::new(1.0 / 1000.0));
+        assert!(
+            n * 3 < g,
+            "expected ≥3× speedup: nesterov {n} vs gd {g} iterations"
+        );
+    }
+
+    #[test]
+    fn all_optimizers_descend_a_quadratic() {
+        let optimizers: Vec<Box<dyn Optimizer>> = vec![
+            Box::new(nesterov::Nesterov::new(0.01)),
+            Box::new(adam::Adam::new(0.1)),
+            Box::new(gd::GradientDescent::new(1.0)),
+            Box::new(cg::ConjugateSubgradient::new(1.0)),
+        ];
+        for mut opt in optimizers {
+            let mut p = Quadratic {
+                diag: vec![1.0, 3.0],
+            };
+            let mut x = vec![2.0, -2.0];
+            let first = opt.step(&mut p, &mut x).value;
+            let mut last = first;
+            for _ in 0..500 {
+                last = opt.step(&mut p, &mut x).value;
+            }
+            assert!(last < 0.05 * first, "{}: {first} → {last}", opt.name());
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! The optimization-problem abstraction.
+
+/// A first-order unconstrained (or box-projected) minimization problem over
+/// a flat parameter vector.
+///
+/// The placer flattens cell coordinates into one vector `[x…, y…]`; test
+/// problems are classic analytic functions.
+pub trait Problem {
+    /// Number of parameters.
+    fn dim(&self) -> usize;
+
+    /// Objective value and gradient at `x` (gradient written into `grad`).
+    fn eval(&mut self, x: &[f64], grad: &mut [f64]) -> f64;
+
+    /// Projects an iterate onto the feasible set (default: no-op). The
+    /// placer clamps cell centers into the die here.
+    fn project(&self, _x: &mut [f64]) {}
+}
+
+/// Euclidean norm of a slice.
+pub fn norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Euclidean distance between two slices.
+///
+/// # Panics
+///
+/// Panics (debug builds) if lengths differ.
+pub fn distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Dot product of two slices.
+///
+/// # Panics
+///
+/// Panics (debug builds) if lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Classic test problems used by the optimizer unit tests.
+pub mod testfns {
+    use super::Problem;
+
+    /// Convex quadratic `½ xᵀ diag(d) x`.
+    #[derive(Debug, Clone)]
+    pub struct Quadratic {
+        /// Positive diagonal.
+        pub diag: Vec<f64>,
+    }
+
+    impl Problem for Quadratic {
+        fn dim(&self) -> usize {
+            self.diag.len()
+        }
+
+        fn eval(&mut self, x: &[f64], grad: &mut [f64]) -> f64 {
+            let mut f = 0.0;
+            for i in 0..x.len() {
+                grad[i] = self.diag[i] * x[i];
+                f += 0.5 * self.diag[i] * x[i] * x[i];
+            }
+            f
+        }
+    }
+
+    /// The 2-D Rosenbrock valley (non-convex, smooth).
+    #[derive(Debug, Clone, Default)]
+    pub struct Rosenbrock;
+
+    impl Problem for Rosenbrock {
+        fn dim(&self) -> usize {
+            2
+        }
+
+        fn eval(&mut self, x: &[f64], grad: &mut [f64]) -> f64 {
+            let (a, b) = (1.0, 100.0);
+            let f = (a - x[0]).powi(2) + b * (x[1] - x[0] * x[0]).powi(2);
+            grad[0] = -2.0 * (a - x[0]) - 4.0 * b * x[0] * (x[1] - x[0] * x[0]);
+            grad[1] = 2.0 * b * (x[1] - x[0] * x[0]);
+            f
+        }
+    }
+
+    /// Non-smooth `Σ |x_i|` with the sign subgradient — exercises the
+    /// conjugate-subgradient baseline.
+    #[derive(Debug, Clone)]
+    pub struct AbsSum {
+        /// Dimension.
+        pub n: usize,
+    }
+
+    impl Problem for AbsSum {
+        fn dim(&self) -> usize {
+            self.n
+        }
+
+        fn eval(&mut self, x: &[f64], grad: &mut [f64]) -> f64 {
+            let mut f = 0.0;
+            for i in 0..x.len() {
+                f += x[i].abs();
+                grad[i] = if x[i] > 0.0 {
+                    1.0
+                } else if x[i] < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                };
+            }
+            f
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms_and_dots() {
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(distance(&[1.0, 1.0], &[4.0, 5.0]), 5.0);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn quadratic_gradient() {
+        use testfns::Quadratic;
+        let mut q = Quadratic {
+            diag: vec![2.0, 4.0],
+        };
+        let mut g = [0.0; 2];
+        let f = q.eval(&[1.0, 1.0], &mut g);
+        assert_eq!(f, 3.0);
+        assert_eq!(g, [2.0, 4.0]);
+    }
+
+    #[test]
+    fn rosenbrock_minimum_at_one_one() {
+        use testfns::Rosenbrock;
+        let mut r = Rosenbrock;
+        let mut g = [0.0; 2];
+        let f = r.eval(&[1.0, 1.0], &mut g);
+        assert_eq!(f, 0.0);
+        assert!(g[0].abs() < 1e-12 && g[1].abs() < 1e-12);
+    }
+}

@@ -1,0 +1,625 @@
+//! Legalization: snap the global placement onto rows and sites with
+//! minimal movement.
+//!
+//! Two stages, mirroring the paper's flow (Abacus \[37\] via DREAMPlace):
+//!
+//! 1. **Macro legalization** — movable macros (taller than one row) are
+//!    placed greedily by descending area onto row-aligned, collision-free
+//!    positions nearest their global-placement location, then become
+//!    obstacles.
+//! 2. **Abacus** — standard cells are legalized row by row: each row
+//!    segment (row minus obstacles) keeps a list of *clusters* whose
+//!    optimal positions minimize total quadratic displacement; inserting a
+//!    cell merges clusters until no overlap remains (the classic dynamic
+//!    clustering recurrence).
+
+use mep_netlist::{CellId, Design, Placement, Rect};
+
+/// Report of one legalization run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LegalizeReport {
+    /// Average displacement of movable cells (Manhattan).
+    pub avg_displacement: f64,
+    /// Maximum displacement.
+    pub max_displacement: f64,
+    /// Number of movable macros legalized in stage 1.
+    pub macros: usize,
+    /// Cells that could not be placed in their best rows and were spilled
+    /// to any free segment (0 on healthy runs).
+    pub spills: usize,
+}
+
+/// A free interval of one row. Segments inside a fence region are tagged
+/// with the region index and accept only that region's cells (DEF FENCE
+/// semantics: fences are exclusive).
+#[derive(Debug, Clone)]
+struct Segment {
+    xl: f64,
+    xh: f64,
+    used: f64,
+    region: Option<u16>,
+    clusters: Vec<Cluster>,
+}
+
+/// Abacus cluster: cells packed shoulder to shoulder at optimal position
+/// `x = q / e`.
+#[derive(Debug, Clone)]
+struct Cluster {
+    e: f64,
+    q: f64,
+    w: f64,
+    x: f64,
+    cells: Vec<CellId>,
+}
+
+impl Cluster {
+    fn new(cell: CellId, weight: f64, target: f64, width: f64) -> Self {
+        Self {
+            e: weight,
+            q: weight * target,
+            w: width,
+            x: target,
+            cells: vec![cell],
+        }
+    }
+
+    fn add_cluster(&mut self, other: &Cluster) {
+        self.e += other.e;
+        self.q += other.q - other.e * self.w;
+        self.w += other.w;
+        self.cells.extend_from_slice(&other.cells);
+    }
+
+    fn place(&mut self, seg_xl: f64, seg_xh: f64) {
+        self.x = (self.q / self.e).clamp(seg_xl, (seg_xh - self.w).max(seg_xl));
+    }
+}
+
+/// Inserts a cell into the segment's cluster list, collapsing overlaps.
+/// Returns the cell's final x.
+fn segment_insert(seg: &mut Segment, cell: CellId, weight: f64, target: f64, width: f64) -> f64 {
+    let target = target.clamp(seg.xl, (seg.xh - width).max(seg.xl));
+    let mut c = Cluster::new(cell, weight, target, width);
+    c.place(seg.xl, seg.xh);
+    // merge with predecessor while overlapping
+    while let Some(last) = seg.clusters.last() {
+        if last.x + last.w > c.x {
+            let mut merged = seg.clusters.pop().expect("checked non-empty");
+            merged.add_cluster(&c);
+            merged.place(seg.xl, seg.xh);
+            c = merged;
+        } else {
+            break;
+        }
+    }
+    seg.used += width;
+    // the inserted cell sits at the tail of the (possibly merged) cluster
+    let x = c.x + c.w - width;
+    seg.clusters.push(c);
+    x
+}
+
+/// Simulates [`segment_insert`] without mutating the segment; returns the
+/// cell's would-be x.
+fn segment_trial(seg: &Segment, weight: f64, target: f64, width: f64) -> f64 {
+    let target = target.clamp(seg.xl, (seg.xh - width).max(seg.xl));
+    let mut e = weight;
+    let mut q = weight * target;
+    let mut w = width;
+    let mut x = (q / e).clamp(seg.xl, (seg.xh - w).max(seg.xl));
+    for last in seg.clusters.iter().rev() {
+        if last.x + last.w > x {
+            // merge `last` in front of the trial cluster
+            let mut me = last.e;
+            let mut mq = last.q;
+            let mw = last.w;
+            mq += q - e * mw;
+            me += e;
+            e = me;
+            q = mq;
+            w += mw;
+            x = (q / e).clamp(seg.xl, (seg.xh - w).max(seg.xl));
+        } else {
+            break;
+        }
+    }
+    x + w - width
+}
+
+/// Legalizes `gp` for `design`. Returns the legal placement and a report.
+///
+/// # Panics
+///
+/// Panics if the design has no rows (checked at [`Design`] construction) or
+/// if total movable area exceeds total free row area.
+pub fn legalize(design: &Design, gp: &Placement) -> (Placement, LegalizeReport) {
+    let netlist = &design.netlist;
+    let mut legal = gp.clone();
+    let row_h = design.rows.first().expect("design has rows").height;
+    let die = design.die;
+
+    // --- obstacles: fixed cells with area -----------------------------------
+    let mut obstacles: Vec<Rect> = netlist
+        .fixed_cells()
+        .map(|c| gp.cell_rect(netlist, c))
+        .filter(|r| r.area() > 0.0)
+        .collect();
+
+    // --- stage 1: movable macros ---------------------------------------------
+    let mut macros: Vec<CellId> = netlist
+        .movable_cells()
+        .filter(|&c| netlist.cell_height(c) > row_h + 1e-9)
+        .collect();
+    macros.sort_by(|&a, &b| {
+        netlist
+            .cell_area(b)
+            .partial_cmp(&netlist.cell_area(a))
+            .expect("areas are finite")
+    });
+    let n_macros = macros.len();
+    for &m in &macros {
+        let w = netlist.cell_width(m);
+        let h = netlist.cell_height(m);
+        let tx = gp.x[m.index()];
+        let ty = gp.y[m.index()];
+        // region-constrained macros are boxed into their fence;
+        // unconstrained macros must avoid every fence (fences are exclusive)
+        let region = design.region_of(m);
+        let bound = region.map(|r| r.rect).unwrap_or(die);
+        let forbidden: Vec<Rect> = if region.is_none() {
+            design.regions.iter().map(|r| r.rect).collect()
+        } else {
+            Vec::new()
+        };
+        let mut best: Option<(f64, f64, f64)> = None; // (cost, x, y)
+        for row in &design.rows {
+            let y = row.y;
+            if y + h > bound.yh + 1e-9 || y < bound.yl - 1e-9 {
+                continue;
+            }
+            let dy = (y - ty).abs();
+            if let Some((bc, _, _)) = best {
+                if dy >= bc {
+                    continue; // rows are scanned fully; dy alone already worse
+                }
+            }
+            // candidate x positions: the target, plus obstacle edges
+            let mut candidates = vec![tx.clamp(bound.xl, bound.xh - w)];
+            let span = Rect::new(bound.xl, y, bound.xh, y + h);
+            for o in &obstacles {
+                if o.intersects(&span) {
+                    candidates.push((o.xh).clamp(bound.xl, bound.xh - w));
+                    candidates.push((o.xl - w).clamp(bound.xl, bound.xh - w));
+                }
+            }
+            for &cx in &candidates {
+                let cx = cx.round(); // site-align (site width 1)
+                if cx < bound.xl - 1e-9 || cx + w > bound.xh + 1e-9 {
+                    continue;
+                }
+                let rect = Rect::from_origin_size(cx, y, w, h);
+                if obstacles.iter().any(|o| o.intersects(&rect))
+                    || forbidden.iter().any(|f| f.intersects(&rect))
+                {
+                    continue;
+                }
+                let cost = (cx - tx).abs() + dy;
+                if best.is_none_or(|(bc, _, _)| cost < bc) {
+                    best = Some((cost, cx, y));
+                }
+            }
+        }
+        let (_, bx, by) = best.unwrap_or((
+            0.0,
+            die.xl,
+            design.rows.last().expect("design has rows").y,
+        ));
+        legal.x[m.index()] = bx;
+        legal.y[m.index()] = by;
+        obstacles.push(Rect::from_origin_size(bx, by, w, h));
+    }
+
+    // --- stage 2: Abacus for standard cells ----------------------------------
+    // build per-row segments
+    let mut rows: Vec<(f64, Vec<Segment>)> = Vec::with_capacity(design.rows.len());
+    for row in &design.rows {
+        let band = Rect::new(row.xl, row.y, row.xh, row.y + row.height);
+        // gather obstacle x-intervals overlapping this row
+        let mut cuts: Vec<(f64, f64)> = obstacles
+            .iter()
+            .filter(|o| o.intersects(&band))
+            .map(|o| (o.xl.max(row.xl), o.xh.min(row.xh)))
+            .collect();
+        cuts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        let mut segments = Vec::new();
+        let mut cursor = row.xl;
+        for (cl, ch) in cuts {
+            if cl > cursor + 1e-9 {
+                segments.push(Segment {
+                    xl: cursor,
+                    xh: cl,
+                    used: 0.0,
+                    region: None,
+                    clusters: Vec::new(),
+                });
+            }
+            cursor = cursor.max(ch);
+        }
+        if row.xh > cursor + 1e-9 {
+            segments.push(Segment {
+                xl: cursor,
+                xh: row.xh,
+                used: 0.0,
+                region: None,
+                clusters: Vec::new(),
+            });
+        }
+        // split segments at fence boundaries; tag the fence interior
+        for (r_idx, region) in design.regions.iter().enumerate() {
+            let fence = region.rect;
+            if row.y < fence.yl - 1e-9 || row.y + row.height > fence.yh + 1e-9 {
+                continue; // row not (fully) inside the fence's vertical span
+            }
+            let mut split: Vec<Segment> = Vec::with_capacity(segments.len() + 2);
+            for seg in segments.drain(..) {
+                let il = seg.xl.max(fence.xl);
+                let ih = seg.xh.min(fence.xh);
+                if ih <= il + 1e-9 {
+                    split.push(seg); // no overlap with this fence
+                    continue;
+                }
+                if il > seg.xl + 1e-9 {
+                    split.push(Segment {
+                        xl: seg.xl,
+                        xh: il,
+                        used: 0.0,
+                        region: seg.region,
+                        clusters: Vec::new(),
+                    });
+                }
+                split.push(Segment {
+                    xl: il,
+                    xh: ih,
+                    used: 0.0,
+                    region: Some(r_idx as u16),
+                    clusters: Vec::new(),
+                });
+                if seg.xh > ih + 1e-9 {
+                    split.push(Segment {
+                        xl: ih,
+                        xh: seg.xh,
+                        used: 0.0,
+                        region: seg.region,
+                        clusters: Vec::new(),
+                    });
+                }
+            }
+            segments = split;
+        }
+        rows.push((row.y, segments));
+    }
+
+    // standard cells sorted by x (Abacus processing order)
+    let mut std_cells: Vec<CellId> = netlist
+        .movable_cells()
+        .filter(|&c| netlist.cell_height(c) <= row_h + 1e-9)
+        .collect();
+    std_cells.sort_by(|&a, &b| gp.x[a.index()].partial_cmp(&gp.x[b.index()]).expect("finite"));
+
+    let mut spills = 0usize;
+    for &cell in &std_cells {
+        let w = netlist.cell_width(cell).max(1e-9);
+        let tx = gp.x[cell.index()];
+        let ty = gp.y[cell.index()];
+        let cell_region = design
+            .cell_region
+            .get(cell.index())
+            .copied()
+            .flatten();
+        // candidate rows ordered by |dy|
+        let mut order: Vec<usize> = (0..rows.len()).collect();
+        order.sort_by(|&a, &b| {
+            (rows[a].0 - ty)
+                .abs()
+                .partial_cmp(&(rows[b].0 - ty).abs())
+                .expect("finite")
+        });
+        let mut best: Option<(f64, usize, usize)> = None; // cost, row, segment
+        for &ri in &order {
+            let dy = (rows[ri].0 - ty).abs();
+            if let Some((bc, _, _)) = best {
+                if dy * dy >= bc {
+                    break; // rows are sorted by |dy|; no later row can win
+                }
+            }
+            for (si, seg) in rows[ri].1.iter().enumerate() {
+                if seg.region != cell_region {
+                    continue;
+                }
+                if seg.used + w > seg.xh - seg.xl + 1e-9 {
+                    continue;
+                }
+                let x = segment_trial(seg, w, tx, w);
+                let cost = (x - tx) * (x - tx) + dy * dy;
+                if best.is_none_or(|(bc, _, _)| cost < bc) {
+                    best = Some((cost, ri, si));
+                }
+            }
+        }
+        let (ri, si) = match best {
+            Some((_, ri, si)) => (ri, si),
+            None => {
+                // spill: first segment anywhere with room
+                spills += 1;
+                let mut found = None;
+                'outer: for (ri, (_, segs)) in rows.iter().enumerate() {
+                    for (si, seg) in segs.iter().enumerate() {
+                        if seg.region == cell_region
+                            && seg.used + w <= seg.xh - seg.xl + 1e-9
+                        {
+                            found = Some((ri, si));
+                            break 'outer;
+                        }
+                    }
+                }
+                found.expect("design has insufficient free row area for the cell's region")
+            }
+        };
+        let y = rows[ri].0;
+        let x = segment_insert(&mut rows[ri].1[si], cell, w, tx, w);
+        legal.x[cell.index()] = x;
+        legal.y[cell.index()] = y;
+    }
+
+    // --- emit final cluster positions with site snapping ---------------------
+    for (y, segs) in &rows {
+        for seg in segs {
+            // walk clusters left to right, snapping to integer sites while
+            // keeping order and non-overlap
+            let mut cursor = seg.xl.ceil();
+            let total: f64 = seg.clusters.iter().map(|c| c.w).sum();
+            let mut remaining = total;
+            for c in &seg.clusters {
+                let snapped = c.x.round().max(cursor);
+                let latest = (seg.xh - remaining).floor();
+                let start = snapped.min(latest).max(cursor);
+                let mut x = start;
+                for &cell in &c.cells {
+                    legal.x[cell.index()] = x;
+                    legal.y[cell.index()] = *y;
+                    x += netlist.cell_width(cell);
+                }
+                cursor = x;
+                remaining -= c.w;
+            }
+        }
+    }
+
+    // --- report ---------------------------------------------------------------
+    let mut total_disp = 0.0;
+    let mut max_disp = 0.0_f64;
+    let mut count = 0usize;
+    for cell in netlist.movable_cells() {
+        let d = (legal.x[cell.index()] - gp.x[cell.index()]).abs()
+            + (legal.y[cell.index()] - gp.y[cell.index()]).abs();
+        total_disp += d;
+        max_disp = max_disp.max(d);
+        count += 1;
+    }
+    (
+        legal,
+        LegalizeReport {
+            avg_displacement: if count > 0 { total_disp / count as f64 } else { 0.0 },
+            max_displacement: max_disp,
+            macros: n_macros,
+            spills,
+        },
+    )
+}
+
+/// A legality violation found by [`check_legal`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// Cell pokes outside the die.
+    OutsideDie(CellId),
+    /// Two placed rectangles overlap.
+    Overlap(CellId, CellId),
+    /// Standard cell not aligned to a row bottom.
+    OffRow(CellId),
+    /// Region-constrained cell placed outside its fence.
+    OutsideRegion(CellId),
+}
+
+/// Checks a placement for legality (movable cells only; fixed cells are
+/// treated as obstacles). Returns all violations found.
+pub fn check_legal(design: &Design, placement: &Placement) -> Vec<Violation> {
+    let netlist = &design.netlist;
+    let die = design.die;
+    let row_h = design.rows.first().map(|r| r.height).unwrap_or(1.0);
+    let mut violations = Vec::new();
+
+    // die containment + row alignment + fence containment
+    for cell in netlist.movable_cells() {
+        let r = placement.cell_rect(netlist, cell);
+        if !die.contains_rect(&r) {
+            violations.push(Violation::OutsideDie(cell));
+        }
+        let dy = (r.yl - die.yl) / row_h;
+        if (dy - dy.round()).abs() > 1e-6 {
+            violations.push(Violation::OffRow(cell));
+        }
+        if let Some(region) = design.region_of(cell) {
+            if !region.rect.contains_rect(&r) {
+                violations.push(Violation::OutsideRegion(cell));
+            }
+        }
+    }
+
+    // overlaps via per-row sweep (macros appear in every row they span)
+    let nrows = design.rows.len().max(1);
+    let mut by_row: Vec<Vec<CellId>> = vec![Vec::new(); nrows];
+    let occupied = |c: CellId| -> Rect { placement.cell_rect(netlist, c) };
+    for cell in netlist.cells() {
+        if !netlist.is_movable(cell) && netlist.cell_area(cell) == 0.0 {
+            continue;
+        }
+        let r = occupied(cell);
+        if r.area() == 0.0 {
+            continue;
+        }
+        let lo = (((r.yl - die.yl) / row_h).floor().max(0.0)) as usize;
+        let hi = ((((r.yh - die.yl) / row_h).ceil()) as usize).min(nrows);
+        for row in lo..hi.max(lo + 1).min(nrows) {
+            by_row[row].push(cell);
+        }
+    }
+    let mut seen = std::collections::HashSet::new();
+    for row in &mut by_row {
+        row.sort_by(|&a, &b| {
+            placement.x[a.index()]
+                .partial_cmp(&placement.x[b.index()])
+                .expect("finite")
+        });
+        for pair in row.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let (ra, rb) = (occupied(a), occupied(b));
+            if ra.intersects(&rb) && seen.insert((a.min(b), a.max(b))) {
+                // only movable-involved overlaps are violations
+                if netlist.is_movable(a) || netlist.is_movable(b) {
+                    violations.push(Violation::Overlap(a.min(b), a.max(b)));
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::{place, GlobalConfig};
+    use mep_netlist::synth;
+    use mep_wirelength::ModelKind;
+
+    fn legalized_smoke() -> (mep_netlist::bookshelf::BookshelfCircuit, Placement, LegalizeReport)
+    {
+        let c = synth::generate(&synth::smoke_spec());
+        let cfg = GlobalConfig {
+            model: ModelKind::Moreau,
+            max_iters: 150,
+            threads: 1,
+            ..GlobalConfig::default()
+        };
+        let gp = place(&c, &cfg);
+        let (legal, report) = legalize(&c.design, &gp.placement);
+        (c, legal, report)
+    }
+
+    #[test]
+    fn result_is_legal() {
+        let (c, legal, report) = legalized_smoke();
+        let violations = check_legal(&c.design, &legal);
+        assert!(
+            violations.is_empty(),
+            "{} violations, e.g. {:?} (report {report:?})",
+            violations.len(),
+            &violations[..violations.len().min(5)]
+        );
+    }
+
+    #[test]
+    fn displacement_is_moderate() {
+        let (c, _legal, report) = legalized_smoke();
+        // moving cells by more than a few rows on average means the GP
+        // density was not respected
+        let die_span = c.design.die.width() + c.design.die.height();
+        assert!(
+            report.avg_displacement < 0.1 * die_span,
+            "avg displacement {} vs die span {die_span}",
+            report.avg_displacement
+        );
+        assert_eq!(report.spills, 0);
+    }
+
+    #[test]
+    fn hpwl_change_is_bounded() {
+        let c = synth::generate(&synth::smoke_spec());
+        // run GP to its overflow target; only then is legalization cheap
+        let cfg = GlobalConfig {
+            model: ModelKind::Wa,
+            max_iters: 500,
+            threads: 1,
+            ..GlobalConfig::default()
+        };
+        let gp = place(&c, &cfg);
+        let (legal, _) = legalize(&c.design, &gp.placement);
+        let before = mep_netlist::total_hpwl(&c.design.netlist, &gp.placement);
+        let after = mep_netlist::total_hpwl(&c.design.netlist, &legal);
+        assert!(
+            after < 1.3 * before,
+            "legalization blew HPWL up: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn macros_are_placed_without_overlap() {
+        let spec = synth::spec_by_name("newblue1").unwrap();
+        // shrink for test speed
+        let small = synth::SynthSpec {
+            movable: 800,
+            fixed: 12,
+            nets: 900,
+            pins: 3200,
+            movable_macros: 10,
+            name: "nb1_small".into(),
+            ..spec
+        };
+        let c = synth::generate(&small);
+        let cfg = GlobalConfig {
+            model: ModelKind::Moreau,
+            max_iters: 120,
+            threads: 1,
+            ..GlobalConfig::default()
+        };
+        let gp = place(&c, &cfg);
+        let (legal, report) = legalize(&c.design, &gp.placement);
+        assert_eq!(report.macros, 10);
+        let violations = check_legal(&c.design, &legal);
+        assert!(
+            violations.is_empty(),
+            "{} violations: {:?}",
+            violations.len(),
+            &violations[..violations.len().min(5)]
+        );
+    }
+
+    #[test]
+    fn abacus_on_trivial_row_matches_expectation() {
+        // three unit cells targeting the same spot spread shoulder to
+        // shoulder around it
+        let mut b = mep_netlist::NetlistBuilder::new();
+        for i in 0..3 {
+            b.add_cell(format!("c{i}"), 1.0, 1.0, true).unwrap();
+        }
+        let nl = b.build();
+        let design = mep_netlist::Design::with_uniform_rows(
+            "t",
+            nl,
+            Rect::new(0.0, 0.0, 10.0, 1.0),
+            1.0,
+            1.0,
+            1.0,
+        )
+        .unwrap();
+        let mut gp = Placement::zeros(3);
+        for i in 0..3 {
+            gp.x[i] = 5.0;
+            gp.y[i] = 0.0;
+        }
+        let (legal, _) = legalize(&design, &gp);
+        let mut xs: Vec<f64> = legal.x.clone();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(xs, vec![4.0, 5.0, 6.0]);
+        assert!(check_legal(&design, &legal).is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! The placement engine: electrostatic global placement, Abacus
+//! legalization, and ABCDPlace-style detailed placement.
+//!
+//! This crate assembles the substrates (`mep-netlist`, `mep-wirelength`,
+//! `mep-density`, `mep-optim`) into the paper's evaluation flow:
+//!
+//! * [`objective`] — the Eq. (1) objective `Σ W_e + λ D` as an
+//!   optimizable problem over movable-cell centers;
+//! * [`global`] — the ePlace loop with the Eq. (15) density-weight
+//!   schedule and the Eq. (14) / decade smoothing schedules;
+//! * [`legalize`](mod@legalize) — macro legalization + Abacus row legalization;
+//! * [`detail`] — local reordering, global swap, independent-set matching;
+//! * [`pipeline`] — GP → LG → DP with the LGWL / DPWL / RT metrics of
+//!   Tables II and III.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use mep_netlist::synth;
+//! use mep_placer::pipeline::{run, PipelineConfig};
+//!
+//! let circuit = synth::generate(&synth::smoke_spec());
+//! let result = run(&circuit, &PipelineConfig::default());
+//! println!("DPWL = {:.3e}, RT = {:.1}s", result.dpwl, result.rt_total());
+//! ```
+
+#![warn(missing_docs)]
+// Numeric kernels index several parallel arrays with one counter; the
+// iterator rewrites clippy suggests obscure those loops.
+#![allow(clippy::needless_range_loop)]
+
+pub mod assignment;
+pub mod detail;
+pub mod global;
+pub mod legalize;
+pub mod objective;
+pub mod pipeline;
+pub mod quadratic;
+
+pub use detail::{DetailConfig, DetailReport};
+pub use global::{GlobalConfig, GlobalResult, MoreauSchedule, OptimizerKind, TrajectoryPoint};
+pub use legalize::{check_legal, legalize, LegalizeReport, Violation};
+pub use pipeline::{run, PipelineConfig, PipelineResult};

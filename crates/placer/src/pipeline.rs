@@ -1,0 +1,148 @@
+//! The full placement pipeline: global placement → legalization →
+//! detailed placement, with the timing and quality metrics the paper's
+//! Tables II/III report (LGWL, DPWL, RT).
+
+use crate::detail::{refine, DetailConfig, DetailReport};
+use crate::global::{place, GlobalConfig, GlobalResult, TrajectoryPoint};
+use crate::legalize::{check_legal, legalize, LegalizeReport};
+use mep_netlist::bookshelf::BookshelfCircuit;
+use mep_netlist::{total_hpwl, Placement};
+use std::time::Instant;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineConfig {
+    /// Global placement settings (model, iterations, schedules).
+    pub global: GlobalConfig,
+    /// Detailed placement settings.
+    pub detail: DetailConfig,
+}
+
+/// Everything the paper's tables need from one run.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// HPWL after global placement (unlegalized).
+    pub gpwl: f64,
+    /// HPWL after legalization (the LGWL column).
+    pub lgwl: f64,
+    /// HPWL after detailed placement (the DPWL column).
+    pub dpwl: f64,
+    /// Global placement wall time, seconds.
+    pub rt_gp: f64,
+    /// Legalization wall time, seconds.
+    pub rt_lg: f64,
+    /// Detailed placement wall time, seconds.
+    pub rt_dp: f64,
+    /// GP iterations executed.
+    pub iterations: usize,
+    /// Final density overflow after GP.
+    pub overflow: f64,
+    /// Legalization report.
+    pub legalize: LegalizeReport,
+    /// Detailed-placement report.
+    pub detail: DetailReport,
+    /// The `(HPWL, φ)` trajectory when recording was enabled (Fig. 3).
+    pub trajectory: Vec<TrajectoryPoint>,
+    /// Final legal placement.
+    pub placement: Placement,
+    /// Legality violations in the final placement (must be empty).
+    pub violations: usize,
+}
+
+impl PipelineResult {
+    /// Total runtime (the RT column), seconds.
+    pub fn rt_total(&self) -> f64 {
+        self.rt_gp + self.rt_lg + self.rt_dp
+    }
+}
+
+/// Runs the full GP → LG → DP flow on a circuit.
+pub fn run(circuit: &BookshelfCircuit, config: &PipelineConfig) -> PipelineResult {
+    let design = &circuit.design;
+
+    let t0 = Instant::now();
+    let gp: GlobalResult = place(circuit, &config.global);
+    let rt_gp = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let (legal, lg_report) = legalize(design, &gp.placement);
+    let rt_lg = t1.elapsed().as_secs_f64();
+    let lgwl = total_hpwl(&design.netlist, &legal);
+
+    let t2 = Instant::now();
+    let mut refined = legal;
+    let dp_report = refine(design, &mut refined, &config.detail);
+    let rt_dp = t2.elapsed().as_secs_f64();
+    let dpwl = total_hpwl(&design.netlist, &refined);
+
+    let violations = check_legal(design, &refined).len();
+
+    PipelineResult {
+        gpwl: gp.hpwl,
+        lgwl,
+        dpwl,
+        rt_gp,
+        rt_lg,
+        rt_dp,
+        iterations: gp.iterations,
+        overflow: gp.overflow,
+        legalize: lg_report,
+        detail: dp_report,
+        trajectory: gp.trajectory,
+        placement: refined,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mep_netlist::synth;
+    use mep_wirelength::ModelKind;
+
+    #[test]
+    fn full_flow_produces_legal_improving_result() {
+        let c = synth::generate(&synth::smoke_spec());
+        let config = PipelineConfig {
+            global: GlobalConfig {
+                model: ModelKind::Moreau,
+                max_iters: 400,
+                threads: 1,
+                ..GlobalConfig::default()
+            },
+            ..PipelineConfig::default()
+        };
+        let r = run(&c, &config);
+        assert_eq!(r.violations, 0);
+        // DP never worsens the legal placement
+        assert!(r.dpwl <= r.lgwl + 1e-9, "dpwl {} vs lgwl {}", r.dpwl, r.lgwl);
+        // legalization stays close to GP quality once converged
+        assert!(r.lgwl < 1.3 * r.gpwl, "lgwl {} vs gpwl {}", r.lgwl, r.gpwl);
+        assert!(r.rt_total() > 0.0);
+        assert!(r.overflow < 0.15);
+    }
+
+    #[test]
+    fn moreau_beats_wa_on_smoke_design() {
+        // the paper's headline claim, on our smoke circuit
+        let c = synth::generate(&synth::smoke_spec());
+        let mut results = Vec::new();
+        for model in [ModelKind::Wa, ModelKind::Moreau] {
+            let config = PipelineConfig {
+                global: GlobalConfig {
+                    model,
+                    max_iters: 500,
+                    threads: 1,
+                    ..GlobalConfig::default()
+                },
+                ..PipelineConfig::default()
+            };
+            results.push(run(&c, &config).dpwl);
+        }
+        let (wa, ours) = (results[0], results[1]);
+        assert!(
+            ours < wa,
+            "expected Moreau ({ours}) to beat WA ({wa}) on the smoke design"
+        );
+    }
+}

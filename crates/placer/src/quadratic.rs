@@ -1,0 +1,482 @@
+//! Quadratic (Bound2Bound) wirelength-driven placement — the *other*
+//! category of analytical placers the paper's introduction surveys
+//! (Kraftwerk2 \[7\], SimPL-style flows \[3\]).
+//!
+//! The B2B net model \[7, 14\] replaces each net, per axis, with two-pin
+//! connections between the boundary pins `b` (max) and `b'` (min) and
+//! every other pin, weighted `w = 1/((p−1)·|Δ|)` at the linearization
+//! point, so the quadratic form equals exact HPWL there. Minimizing the
+//! resulting strictly convex quadratic (fixed pins anchor the system)
+//! and re-linearizing a few times is the classic quadratic placement
+//! iteration.
+//!
+//! Used here as (a) the paper-adjacent baseline, (b) an optional
+//! wirelength-aware *initializer* for the nonlinear global placer, and
+//! (c) the home of a small matrix-free Jacobi-preconditioned conjugate
+//!-gradient solver for the SPD Laplacian systems.
+
+use mep_netlist::bookshelf::BookshelfCircuit;
+use mep_netlist::{Netlist, Placement};
+
+/// Sparse SPD system `A x = b` in CSR-ish adjacency form:
+/// `A = diag + Σ_edges w (e_i − e_j)(e_i − e_j)ᵀ` over movable indices.
+#[derive(Debug, Clone, Default)]
+struct LaplacianSystem {
+    /// Diagonal (degree + anchor weights).
+    diag: Vec<f64>,
+    /// Off-diagonal entries per row: `(col, −w)` pairs, built as triplets.
+    offdiag: Vec<Vec<(u32, f64)>>,
+    /// Right-hand side.
+    rhs: Vec<f64>,
+}
+
+impl LaplacianSystem {
+    fn new(n: usize) -> Self {
+        Self {
+            diag: vec![0.0; n],
+            offdiag: vec![Vec::new(); n],
+            rhs: vec![0.0; n],
+        }
+    }
+
+    /// Adds `w(x_i − x_j + d)²` between two movable rows.
+    fn add_edge(&mut self, i: usize, j: usize, w: f64, d: f64) {
+        self.diag[i] += w;
+        self.diag[j] += w;
+        self.offdiag[i].push((j as u32, w));
+        self.offdiag[j].push((i as u32, w));
+        self.rhs[i] -= w * d;
+        self.rhs[j] += w * d;
+    }
+
+    /// Adds `w(x_i − c)²` anchoring a movable row to a constant.
+    fn add_anchor(&mut self, i: usize, w: f64, c: f64) {
+        self.diag[i] += w;
+        self.rhs[i] += w * c;
+    }
+
+    /// `y = A x`.
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        for i in 0..x.len() {
+            let mut acc = self.diag[i] * x[i];
+            for &(j, w) in &self.offdiag[i] {
+                acc -= w * x[j as usize];
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// Solves `A x = rhs` by Jacobi-preconditioned CG from `x0`.
+    fn solve_cg(&self, x: &mut [f64], max_iters: usize, tol: f64) -> usize {
+        let n = x.len();
+        if n == 0 {
+            return 0;
+        }
+        let mut r = vec![0.0; n];
+        let mut z = vec![0.0; n];
+        let mut p = vec![0.0; n];
+        let mut ap = vec![0.0; n];
+        self.apply(x, &mut r);
+        for i in 0..n {
+            r[i] = self.rhs[i] - r[i];
+        }
+        let precond = |r: &[f64], z: &mut [f64], diag: &[f64]| {
+            for i in 0..r.len() {
+                z[i] = r[i] / diag[i].max(1e-30);
+            }
+        };
+        precond(&r, &mut z, &self.diag);
+        p.copy_from_slice(&z);
+        let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+        let rhs_norm: f64 = self.rhs.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-30);
+        for it in 0..max_iters {
+            let rn: f64 = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if rn <= tol * rhs_norm {
+                return it;
+            }
+            self.apply(&p, &mut ap);
+            let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+            if pap <= 0.0 {
+                return it; // numerically singular; bail with best iterate
+            }
+            let alpha = rz / pap;
+            for i in 0..n {
+                x[i] += alpha * p[i];
+                r[i] -= alpha * ap[i];
+            }
+            precond(&r, &mut z, &self.diag);
+            let rz_new: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+            let beta = rz_new / rz.max(1e-300);
+            rz = rz_new;
+            for i in 0..n {
+                p[i] = z[i] + beta * p[i];
+            }
+        }
+        max_iters
+    }
+}
+
+/// Configuration for the B2B quadratic placer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct B2bConfig {
+    /// Re-linearization (reweighting) rounds.
+    pub rounds: usize,
+    /// CG iteration cap per solve.
+    pub cg_iters: usize,
+    /// CG relative-residual tolerance.
+    pub cg_tol: f64,
+    /// Minimum |Δ| used in B2B weights (avoids 1/0 on coincident pins).
+    pub min_gap: f64,
+    /// Weight of the weak center anchor applied to every movable cell
+    /// when a design has no fixed pins at all (keeps the system SPD).
+    pub center_anchor: f64,
+}
+
+impl Default for B2bConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 8,
+            cg_iters: 300,
+            cg_tol: 1e-8,
+            min_gap: 1e-3,
+            center_anchor: 1e-6,
+        }
+    }
+}
+
+/// Exact B2B net-model value of one axis at the linearization point —
+/// equals the net span (used by tests and as a sanity invariant).
+pub fn b2b_axis_value(coords: &[f64], min_gap: f64) -> f64 {
+    let p = coords.len();
+    if p < 2 {
+        return 0.0;
+    }
+    let (bi, lo) = coords
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .expect("non-empty");
+    let (ti, hi) = coords
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .expect("non-empty");
+    let w = |a: f64, b: f64| {
+        let gap = (a - b).abs().max(min_gap);
+        1.0 / ((p - 1) as f64 * gap)
+    };
+    let mut total = w(*hi, *lo) * (hi - lo) * (hi - lo);
+    for (i, &x) in coords.iter().enumerate() {
+        if i == bi || i == ti {
+            continue;
+        }
+        total += w(*hi, x) * (hi - x) * (hi - x);
+        total += w(x, *lo) * (x - lo) * (x - lo);
+    }
+    total
+}
+
+/// One axis of the B2B system build: adds every net's bound-to-bound
+/// connections to the Laplacian. `coord_of(cell)` reads the *pin-relevant*
+/// coordinate (center + offset handled by the caller through offsets).
+fn build_axis(
+    netlist: &Netlist,
+    positions: &[f64], // pin coordinate per pin
+    movable_index: &[Option<u32>],
+    pin_offset: impl Fn(mep_netlist::PinId) -> f64,
+    system: &mut LaplacianSystem,
+    min_gap: f64,
+) {
+    for net in netlist.nets() {
+        let range = netlist.net_pin_range(net);
+        let p = range.len();
+        if p < 2 {
+            continue;
+        }
+        let weight_scale = netlist.net_weight(net);
+        // boundary pins at the current linearization point
+        let (mut bi, mut ti) = (range.start, range.start);
+        for k in range.clone() {
+            if positions[k] < positions[bi] {
+                bi = k;
+            }
+            if positions[k] > positions[ti] {
+                ti = k;
+            }
+        }
+        let connect = |a: usize, b: usize, system: &mut LaplacianSystem| {
+            if a == b {
+                return;
+            }
+            let gap = (positions[a] - positions[b]).abs().max(min_gap);
+            let w = weight_scale / ((p - 1) as f64 * gap);
+            let pa = mep_netlist::PinId::from_usize(a);
+            let pb = mep_netlist::PinId::from_usize(b);
+            let ca = netlist.pin_cell(pa);
+            let cb = netlist.pin_cell(pb);
+            let (oa, ob) = (pin_offset(pa), pin_offset(pb));
+            match (movable_index[ca.index()], movable_index[cb.index()]) {
+                (Some(i), Some(j)) => {
+                    if i != j {
+                        system.add_edge(i as usize, j as usize, w, oa - ob);
+                    }
+                }
+                (Some(i), None) => {
+                    // x_i + oa ≈ positions[b] ⇒ anchor at positions[b] − oa
+                    system.add_anchor(i as usize, w, positions[b] - oa);
+                }
+                (None, Some(j)) => {
+                    system.add_anchor(j as usize, w, positions[a] - ob);
+                }
+                (None, None) => {}
+            }
+        };
+        connect(ti, bi, system);
+        for k in range {
+            if k != bi && k != ti {
+                connect(ti, k, system);
+                connect(k, bi, system);
+            }
+        }
+    }
+}
+
+/// Report of a quadratic placement run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct B2bReport {
+    /// HPWL after the final round.
+    pub hpwl: f64,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Total CG iterations spent (both axes).
+    pub cg_iterations: usize,
+}
+
+/// Runs iterative B2B quadratic placement (wirelength only, no density —
+/// the classic lower-bound placement that overlaps freely). Returns the
+/// placement and a report.
+pub fn place_b2b(circuit: &BookshelfCircuit, config: &B2bConfig) -> (Placement, B2bReport) {
+    let netlist = &circuit.design.netlist;
+    let mut placement = circuit.placement.clone();
+    let movable: Vec<mep_netlist::CellId> = netlist.movable_cells().collect();
+    let mut movable_index = vec![None; netlist.num_cells()];
+    for (i, &c) in movable.iter().enumerate() {
+        movable_index[c.index()] = Some(i as u32);
+    }
+    let m = movable.len();
+    let die = circuit.design.die;
+    let has_fixed_pins = netlist
+        .fixed_cells()
+        .any(|c| !netlist.cell_pins(c).is_empty());
+
+    let mut cg_total = 0;
+    let mut rounds = 0;
+    for _round in 0..config.rounds {
+        rounds += 1;
+        for axis in 0..2 {
+            // pin coordinates at the current placement
+            let positions: Vec<f64> = netlist
+                .pins()
+                .map(|p| {
+                    let pos = placement.pin_position(netlist, p);
+                    if axis == 0 {
+                        pos.x
+                    } else {
+                        pos.y
+                    }
+                })
+                .collect();
+            let mut system = LaplacianSystem::new(m);
+            {
+                let offset = |p: mep_netlist::PinId| {
+                    let cell = netlist.pin_cell(p);
+                    if axis == 0 {
+                        0.5 * netlist.cell_width(cell) + netlist.pin_offset_x(p)
+                    } else {
+                        0.5 * netlist.cell_height(cell) + netlist.pin_offset_y(p)
+                    }
+                };
+                build_axis(netlist, &positions, &movable_index, offset, &mut system, config.min_gap);
+            }
+            if !has_fixed_pins {
+                // degenerate free-floating system: weak anchor to the die
+                // center keeps it SPD (ispd19_test1 has zero fixed cells)
+                let center = if axis == 0 {
+                    die.center().x
+                } else {
+                    die.center().y
+                };
+                for i in 0..m {
+                    system.add_anchor(i, config.center_anchor, center);
+                }
+            }
+            // unknowns are lower-left coordinates of movable cells
+            let mut x: Vec<f64> = movable
+                .iter()
+                .map(|&c| {
+                    if axis == 0 {
+                        placement.x[c.index()]
+                    } else {
+                        placement.y[c.index()]
+                    }
+                })
+                .collect();
+            cg_total += system.solve_cg(&mut x, config.cg_iters, config.cg_tol);
+            for (i, &c) in movable.iter().enumerate() {
+                if axis == 0 {
+                    placement.x[c.index()] = x[i].clamp(die.xl, die.xh - netlist.cell_width(c));
+                } else {
+                    placement.y[c.index()] = x[i].clamp(die.yl, die.yh - netlist.cell_height(c));
+                }
+            }
+        }
+    }
+    let hpwl = mep_netlist::total_hpwl(netlist, &placement);
+    (
+        placement,
+        B2bReport {
+            hpwl,
+            rounds,
+            cg_iterations: cg_total,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mep_netlist::{synth, NetlistBuilder, Rect};
+
+    #[test]
+    fn b2b_value_equals_hpwl_at_linearization_point() {
+        // the defining property of the B2B model (Kraftwerk2)
+        for coords in [
+            vec![0.0, 10.0],
+            vec![0.0, 3.0, 10.0],
+            vec![1.0, 2.0, 5.0, 9.0, 9.5],
+            vec![-4.0, 0.0, 4.0, 8.0, 12.0, 16.0],
+        ] {
+            let span = coords.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - coords.iter().cloned().fold(f64::INFINITY, f64::min);
+            let v = b2b_axis_value(&coords, 1e-9);
+            assert!((v - span).abs() < 1e-9, "{coords:?}: {v} vs {span}");
+        }
+    }
+
+    #[test]
+    fn cg_solves_small_spd_system() {
+        // 3 unknowns in a chain anchored at both ends:
+        // minimize (x0-0)² + (x0-x1)² + (x1-x2)² + (x2-4)²
+        let mut sys = LaplacianSystem::new(3);
+        sys.add_anchor(0, 1.0, 0.0);
+        sys.add_edge(0, 1, 1.0, 0.0);
+        sys.add_edge(1, 2, 1.0, 0.0);
+        sys.add_anchor(2, 1.0, 4.0);
+        let mut x = vec![0.0; 3];
+        let iters = sys.solve_cg(&mut x, 100, 1e-12);
+        assert!(iters <= 10);
+        assert!((x[0] - 1.0).abs() < 1e-8, "{x:?}");
+        assert!((x[1] - 2.0).abs() < 1e-8);
+        assert!((x[2] - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn edge_offsets_shift_solution() {
+        // single movable connected to an anchor with constant offset d:
+        // minimize (x - 5)² with pin offset folded into rhs
+        let mut sys = LaplacianSystem::new(2);
+        sys.add_anchor(0, 1.0, 5.0);
+        sys.add_edge(0, 1, 2.0, 1.5); // (x0 - x1 + 1.5)²
+        let mut x = vec![0.0; 2];
+        sys.solve_cg(&mut x, 200, 1e-12);
+        // optimality: x0 = 5 - ... solve analytically: d/dx0: (x0-5) + 2(x0-x1+1.5)=0;
+        // d/dx1: -2(x0-x1+1.5)=0 ⇒ x1 = x0+1.5, then x0 = 5
+        assert!((x[0] - 5.0).abs() < 1e-8, "{x:?}");
+        assert!((x[1] - 6.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn chain_between_fixed_anchors_spreads_monotonically() {
+        let mut b = NetlistBuilder::new();
+        let left = b.add_cell("l", 0.0, 0.0, false).unwrap();
+        let right = b.add_cell("r", 0.0, 0.0, false).unwrap();
+        let mids: Vec<_> = (0..5)
+            .map(|i| b.add_cell(format!("m{i}"), 0.0, 1.0, true).unwrap())
+            .collect();
+        let mut chain = vec![left];
+        chain.extend(&mids);
+        chain.push(right);
+        for w in chain.windows(2) {
+            b.add_net(
+                format!("e{}", w[0].index()),
+                vec![(w[0], 0.0, 0.0), (w[1], 0.0, 0.0)],
+            );
+        }
+        let nl = b.build();
+        let design = mep_netlist::Design::with_uniform_rows(
+            "chain",
+            nl,
+            Rect::new(0.0, 0.0, 24.0, 4.0),
+            1.0,
+            1.0,
+            1.0,
+        )
+        .unwrap();
+        let mut pl = Placement::zeros(design.netlist.num_cells());
+        pl.x[left.index()] = 0.0;
+        pl.x[right.index()] = 24.0;
+        for &mcell in &mids {
+            pl.x[mcell.index()] = 12.0; // all piled mid-die
+            pl.y[mcell.index()] = 1.0;
+        }
+        let circuit = BookshelfCircuit {
+            design,
+            placement: pl,
+        };
+        let (solved, report) = place_b2b(&circuit, &B2bConfig::default());
+        // monotone spread between anchors
+        let xs: Vec<f64> = mids.iter().map(|&c| solved.x[c.index()]).collect();
+        for w in xs.windows(2) {
+            assert!(w[1] > w[0], "not monotone: {xs:?}");
+        }
+        assert!(xs[0] > 0.0 && *xs.last().unwrap() < 24.0);
+        assert!(report.hpwl <= 25.0, "chain HPWL {}", report.hpwl);
+    }
+
+    #[test]
+    fn b2b_reduces_hpwl_on_synthetic_circuit() {
+        let c = synth::generate(&synth::smoke_spec());
+        // scatter cells randomly (deterministically) so there is slack
+        let mut scattered = c.clone();
+        for (i, v) in scattered.placement.x.iter_mut().enumerate() {
+            if c.design.netlist.is_movable(mep_netlist::CellId::from_usize(i)) {
+                *v = (i as f64 * 0.61).fract() * c.design.die.width();
+            }
+        }
+        let before = mep_netlist::total_hpwl(&c.design.netlist, &scattered.placement);
+        let (solved, report) = place_b2b(&scattered, &B2bConfig::default());
+        let after = mep_netlist::total_hpwl(&c.design.netlist, &solved);
+        assert!(after < 0.7 * before, "B2B barely helped: {before} → {after}");
+        assert!(report.cg_iterations > 0);
+    }
+
+    #[test]
+    fn quadratic_init_is_a_usable_gp_start() {
+        // run GP from the B2B solution and confirm the flow still works
+        use crate::global::{place, GlobalConfig};
+        let c = synth::generate(&synth::smoke_spec());
+        let (qp, _) = place_b2b(&c, &B2bConfig::default());
+        let warm = BookshelfCircuit {
+            design: c.design.clone(),
+            placement: qp,
+        };
+        let cfg = GlobalConfig {
+            max_iters: 200,
+            threads: 1,
+            ..GlobalConfig::default()
+        };
+        let r = place(&warm, &cfg);
+        assert!(r.overflow < 0.6);
+        assert!(r.hpwl.is_finite());
+    }
+}

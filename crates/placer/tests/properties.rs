@@ -1,0 +1,113 @@
+//! Property-based tests for legalization and detailed placement on
+//! randomized small designs: the output is always legal, and refinement
+//! never increases HPWL.
+
+use mep_netlist::{Design, NetlistBuilder, Placement, Rect};
+use mep_placer::detail::{refine, DetailConfig};
+use mep_placer::legalize::{check_legal, legalize};
+use proptest::prelude::*;
+
+/// A random placement problem: cells with random widths scattered over a
+/// die (possibly overlapping — exactly what GP hands the legalizer), with
+/// some simple nets for the detailed placer to chew on.
+#[derive(Debug, Clone)]
+struct Scenario {
+    widths: Vec<u8>,
+    positions: Vec<(f64, f64)>,
+    nets: Vec<Vec<usize>>,
+}
+
+fn scenarios() -> impl Strategy<Value = Scenario> {
+    (4usize..40).prop_flat_map(|n| {
+        let widths = prop::collection::vec(1u8..4, n);
+        let positions = prop::collection::vec((0.0f64..28.0, 0.0f64..14.0), n);
+        let nets = prop::collection::vec(
+            prop::collection::btree_set(0..n, 2..n.min(5)),
+            1..10,
+        );
+        (widths, positions, nets).prop_map(|(widths, positions, nets)| Scenario {
+            widths,
+            positions,
+            nets: nets.into_iter().map(|s| s.into_iter().collect()).collect(),
+        })
+    })
+}
+
+fn build(s: &Scenario) -> (Design, Placement) {
+    let mut b = NetlistBuilder::new();
+    for (i, &w) in s.widths.iter().enumerate() {
+        b.add_cell(format!("c{i}"), w as f64, 1.0, true).expect("unique");
+    }
+    for (k, net) in s.nets.iter().enumerate() {
+        b.add_net(
+            format!("n{k}"),
+            net.iter()
+                .map(|&i| (mep_netlist::CellId::from_usize(i), 0.0, 0.0)),
+        );
+    }
+    let nl = b.build();
+    // die with generous slack so legalization always succeeds
+    let design = Design::with_uniform_rows(
+        "prop",
+        nl,
+        Rect::new(0.0, 0.0, 32.0, 16.0),
+        1.0,
+        1.0,
+        1.0,
+    )
+    .expect("valid design");
+    let mut pl = Placement::zeros(design.netlist.num_cells());
+    for (i, &(x, y)) in s.positions.iter().enumerate() {
+        pl.x[i] = x;
+        pl.y[i] = y;
+    }
+    (design, pl)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Legalization always produces a legal placement from arbitrary
+    /// (overlapping) input.
+    #[test]
+    fn legalize_always_legal(s in scenarios()) {
+        let (design, gp) = build(&s);
+        let (legal, report) = legalize(&design, &gp);
+        let violations = check_legal(&design, &legal);
+        prop_assert!(
+            violations.is_empty(),
+            "violations: {:?} (report {report:?})",
+            &violations[..violations.len().min(4)]
+        );
+    }
+
+    /// Legalization is idempotent in quality: legalizing a legal placement
+    /// moves nothing (every cell already sits on a feasible spot).
+    #[test]
+    fn legalize_is_idempotent(s in scenarios()) {
+        let (design, gp) = build(&s);
+        let (legal, _) = legalize(&design, &gp);
+        let (again, report) = legalize(&design, &legal);
+        prop_assert!(check_legal(&design, &again).is_empty());
+        // the second pass must not move cells materially
+        prop_assert!(
+            report.avg_displacement < 1e-6,
+            "re-legalization moved cells by {}",
+            report.avg_displacement
+        );
+        let _ = again;
+    }
+
+    /// Detailed placement never increases HPWL and preserves legality.
+    #[test]
+    fn refine_monotone_and_legal(s in scenarios()) {
+        let (design, gp) = build(&s);
+        let (legal, _) = legalize(&design, &gp);
+        let before = mep_netlist::total_hpwl(&design.netlist, &legal);
+        let mut refined = legal;
+        let report = refine(&design, &mut refined, &DetailConfig::default());
+        let after = mep_netlist::total_hpwl(&design.netlist, &refined);
+        prop_assert!(after <= before + 1e-9, "{before} → {after} ({report:?})");
+        prop_assert!(check_legal(&design, &refined).is_empty());
+    }
+}

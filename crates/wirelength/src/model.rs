@@ -1,0 +1,214 @@
+//! The wirelength-model abstraction shared by all approximations.
+//!
+//! Placement works one axis at a time (the paper's Section III treats the
+//! horizontal part; the vertical is symmetric), so a model only ever sees
+//! the coordinates of one net along one axis.
+
+use crate::big::{BigChks, BigWa};
+use crate::hpwl::Hpwl;
+use crate::lse::Lse;
+use crate::moreau::Moreau;
+use crate::wa::Wa;
+
+/// A differentiable (or subdifferentiable) one-axis net wirelength model.
+///
+/// Implementations may keep internal scratch buffers, hence `&mut self`;
+/// clone one instance per thread for parallel evaluation.
+pub trait NetModel {
+    /// Short stable name, e.g. `"WA"` (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Current smoothing parameter (`γ` for exponential models, `t` for the
+    /// Moreau envelope). Smaller means closer to exact HPWL.
+    fn smoothing(&self) -> f64;
+
+    /// Updates the smoothing parameter (called every placement iteration by
+    /// the schedules in [`crate::schedule`]).
+    fn set_smoothing(&mut self, s: f64);
+
+    /// Computes the smoothed net span of `x` and writes `∂/∂x_i` into
+    /// `grad`. Returns the model value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad.len() != x.len()` or `x` is empty.
+    fn eval_axis(&mut self, x: &[f64], grad: &mut [f64]) -> f64;
+
+    /// Model value only (may skip gradient work).
+    fn value_axis(&mut self, x: &[f64]) -> f64;
+}
+
+/// Which wirelength model to use — the four contestants of Tables II/III
+/// plus exact HPWL (for reporting and subgradient baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Exact HPWL with a WA-limit subgradient (non-smooth).
+    Hpwl,
+    /// Log-sum-exp model \[15\].
+    Lse,
+    /// Weighted-average model \[16, 17\].
+    Wa,
+    /// Bivariate-gradient model with the CHKS smoothing function \[21, 36\].
+    BigChks,
+    /// Bivariate-gradient model with the WA bivariate function (the
+    /// BiG_WA variant of \[21\]; not a Table II/III contestant).
+    BigWa,
+    /// The paper's Moreau-envelope model.
+    Moreau,
+}
+
+impl ModelKind {
+    /// Table name used in the paper's result tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelKind::Hpwl => "HPWL",
+            ModelKind::Lse => "LSE",
+            ModelKind::Wa => "WA",
+            ModelKind::BigChks => "BiG_CHKS",
+            ModelKind::BigWa => "BiG_WA",
+            ModelKind::Moreau => "Ours",
+        }
+    }
+
+    /// Instantiates the model with an initial smoothing parameter.
+    pub fn instantiate(self, smoothing: f64) -> AnyModel {
+        match self {
+            ModelKind::Hpwl => AnyModel::Hpwl(Hpwl::new()),
+            ModelKind::Lse => AnyModel::Lse(Lse::new(smoothing)),
+            ModelKind::Wa => AnyModel::Wa(Wa::new(smoothing)),
+            ModelKind::BigChks => AnyModel::BigChks(BigChks::new(smoothing)),
+            ModelKind::BigWa => AnyModel::BigWa(BigWa::new(smoothing)),
+            ModelKind::Moreau => AnyModel::Moreau(Moreau::new(smoothing)),
+        }
+    }
+
+    /// All four differentiable contestants compared in the paper's tables.
+    pub fn contestants() -> [ModelKind; 4] {
+        [
+            ModelKind::BigChks,
+            ModelKind::Lse,
+            ModelKind::Wa,
+            ModelKind::Moreau,
+        ]
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Enum dispatch over the concrete models (object-safe, `Clone`, `Send`),
+/// so evaluation loops monomorphize nothing and threads can clone freely.
+#[derive(Debug, Clone)]
+pub enum AnyModel {
+    /// Exact HPWL (subgradient).
+    Hpwl(Hpwl),
+    /// Log-sum-exp.
+    Lse(Lse),
+    /// Weighted-average.
+    Wa(Wa),
+    /// CHKS bivariate fold.
+    BigChks(BigChks),
+    /// WA bivariate fold.
+    BigWa(BigWa),
+    /// Moreau envelope.
+    Moreau(Moreau),
+}
+
+impl AnyModel {
+    /// The corresponding [`ModelKind`].
+    pub fn kind(&self) -> ModelKind {
+        match self {
+            AnyModel::Hpwl(_) => ModelKind::Hpwl,
+            AnyModel::Lse(_) => ModelKind::Lse,
+            AnyModel::Wa(_) => ModelKind::Wa,
+            AnyModel::BigChks(_) => ModelKind::BigChks,
+            AnyModel::BigWa(_) => ModelKind::BigWa,
+            AnyModel::Moreau(_) => ModelKind::Moreau,
+        }
+    }
+}
+
+macro_rules! dispatch {
+    ($self:ident, $m:ident => $body:expr) => {
+        match $self {
+            AnyModel::Hpwl($m) => $body,
+            AnyModel::Lse($m) => $body,
+            AnyModel::Wa($m) => $body,
+            AnyModel::BigChks($m) => $body,
+            AnyModel::BigWa($m) => $body,
+            AnyModel::Moreau($m) => $body,
+        }
+    };
+}
+
+impl NetModel for AnyModel {
+    fn name(&self) -> &'static str {
+        dispatch!(self, m => m.name())
+    }
+
+    fn smoothing(&self) -> f64 {
+        dispatch!(self, m => m.smoothing())
+    }
+
+    fn set_smoothing(&mut self, s: f64) {
+        dispatch!(self, m => m.set_smoothing(s))
+    }
+
+    fn eval_axis(&mut self, x: &[f64], grad: &mut [f64]) -> f64 {
+        dispatch!(self, m => m.eval_axis(x, grad))
+    }
+
+    fn value_axis(&mut self, x: &[f64]) -> f64 {
+        dispatch!(self, m => m.value_axis(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instantiate_all_kinds() {
+        for kind in [
+            ModelKind::Hpwl,
+            ModelKind::Lse,
+            ModelKind::Wa,
+            ModelKind::BigChks,
+            ModelKind::BigWa,
+            ModelKind::Moreau,
+        ] {
+            let mut m = kind.instantiate(1.0);
+            assert_eq!(m.kind(), kind);
+            let x = [0.0, 3.0, 10.0];
+            let mut g = [0.0; 3];
+            let v = m.eval_axis(&x, &mut g);
+            assert!(v.is_finite());
+            // every model approximates the span 10
+            assert!((v - 10.0).abs() < 3.0, "{kind}: {v}");
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_tables() {
+        assert_eq!(ModelKind::Moreau.label(), "Ours");
+        assert_eq!(ModelKind::BigChks.label(), "BiG_CHKS");
+        assert_eq!(ModelKind::Moreau.to_string(), "Ours");
+    }
+
+    #[test]
+    fn set_smoothing_round_trips() {
+        let mut m = ModelKind::Wa.instantiate(4.0);
+        assert_eq!(m.smoothing(), 4.0);
+        m.set_smoothing(0.5);
+        assert_eq!(m.smoothing(), 0.5);
+    }
+
+    #[test]
+    fn any_model_is_send_and_clone() {
+        fn assert_send<T: Send + Clone>() {}
+        assert_send::<AnyModel>();
+    }
+}

@@ -1,0 +1,343 @@
+//! Whole-netlist wirelength evaluation: sums a [`NetModel`] over every net
+//! (both axes) and accumulates pin gradients onto cells.
+//!
+//! This is the `Σ_e W_e(x, y)` term of the global placement objective
+//! (Eq. (1)). Evaluation is embarrassingly parallel over nets; with more
+//! than a few thousand nets the work is split across threads, each with its
+//! own cloned model (models carry scratch buffers) and gradient
+//! accumulator.
+
+use crate::model::{AnyModel, NetModel};
+use mep_netlist::{Netlist, Placement};
+
+/// Result of one whole-netlist wirelength evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct WirelengthGrad {
+    /// Model wirelength summed over nets and both axes.
+    pub value: f64,
+    /// `∂/∂x_c` per cell (lower-left = center derivative; offsets are constant).
+    pub grad_x: Vec<f64>,
+    /// `∂/∂y_c` per cell.
+    pub grad_y: Vec<f64>,
+}
+
+impl WirelengthGrad {
+    /// Zero-initialized buffers for `num_cells`.
+    pub fn zeros(num_cells: usize) -> Self {
+        Self {
+            value: 0.0,
+            grad_x: vec![0.0; num_cells],
+            grad_y: vec![0.0; num_cells],
+        }
+    }
+
+    fn reset(&mut self, num_cells: usize) {
+        self.value = 0.0;
+        self.grad_x.clear();
+        self.grad_x.resize(num_cells, 0.0);
+        self.grad_y.clear();
+        self.grad_y.resize(num_cells, 0.0);
+    }
+}
+
+/// Reusable whole-netlist evaluator for one wirelength model.
+#[derive(Debug, Clone)]
+pub struct NetlistEvaluator {
+    model: AnyModel,
+    threads: usize,
+}
+
+/// Below this net count the parallel path is not worth the thread spawns.
+const PARALLEL_THRESHOLD: usize = 4096;
+
+impl NetlistEvaluator {
+    /// Creates an evaluator using up to `threads` worker threads
+    /// (`threads = 1` forces the serial path).
+    pub fn new(model: AnyModel, threads: usize) -> Self {
+        Self {
+            model,
+            threads: threads.max(1),
+        }
+    }
+
+    /// Evaluator with threads picked from available parallelism.
+    pub fn with_default_threads(model: AnyModel) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(16);
+        Self::new(model, threads)
+    }
+
+    /// The wrapped model (e.g. to change its smoothing parameter).
+    pub fn model_mut(&mut self) -> &mut AnyModel {
+        &mut self.model
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &AnyModel {
+        &self.model
+    }
+
+    /// Evaluates value + cell gradients into `out` (buffers are reused).
+    pub fn evaluate(&self, netlist: &Netlist, placement: &Placement, out: &mut WirelengthGrad) {
+        out.reset(netlist.num_cells());
+        let nets = netlist.num_nets();
+        if nets == 0 {
+            return;
+        }
+        if self.threads > 1 && nets >= PARALLEL_THRESHOLD {
+            self.evaluate_parallel(netlist, placement, out);
+        } else {
+            let mut model = self.model.clone();
+            out.value = eval_net_range(
+                &mut model,
+                netlist,
+                placement,
+                0..nets,
+                &mut out.grad_x,
+                &mut out.grad_y,
+            );
+        }
+    }
+
+    /// Value only (no gradient buffers touched).
+    pub fn value(&self, netlist: &Netlist, placement: &Placement) -> f64 {
+        let mut model = self.model.clone();
+        let mut coords_x = Vec::new();
+        let mut coords_y = Vec::new();
+        let mut total = 0.0;
+        for net in netlist.nets() {
+            gather(netlist, placement, net, &mut coords_x, &mut coords_y);
+            if coords_x.len() < 2 {
+                continue;
+            }
+            let w = netlist.net_weight(net);
+            total += w * (model.value_axis(&coords_x) + model.value_axis(&coords_y));
+        }
+        total
+    }
+
+    fn evaluate_parallel(
+        &self,
+        netlist: &Netlist,
+        placement: &Placement,
+        out: &mut WirelengthGrad,
+    ) {
+        let nets = netlist.num_nets();
+        let threads = self.threads.min(nets);
+        let chunk = nets.div_ceil(threads);
+        let num_cells = netlist.num_cells();
+        let mut partials: Vec<(f64, Vec<f64>, Vec<f64>)> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for tid in 0..threads {
+                let lo = tid * chunk;
+                let hi = ((tid + 1) * chunk).min(nets);
+                let mut model = self.model.clone();
+                handles.push(scope.spawn(move || {
+                    let mut gx = vec![0.0; num_cells];
+                    let mut gy = vec![0.0; num_cells];
+                    let v = eval_net_range(&mut model, netlist, placement, lo..hi, &mut gx, &mut gy);
+                    (v, gx, gy)
+                }));
+            }
+            for h in handles {
+                partials.push(h.join().expect("wirelength worker panicked"));
+            }
+        });
+        for (v, gx, gy) in partials {
+            out.value += v;
+            for (o, p) in out.grad_x.iter_mut().zip(&gx) {
+                *o += p;
+            }
+            for (o, p) in out.grad_y.iter_mut().zip(&gy) {
+                *o += p;
+            }
+        }
+    }
+}
+
+/// Gathers the pin coordinates of one net into the scratch vectors.
+fn gather(
+    netlist: &Netlist,
+    placement: &Placement,
+    net: mep_netlist::NetId,
+    xs: &mut Vec<f64>,
+    ys: &mut Vec<f64>,
+) {
+    xs.clear();
+    ys.clear();
+    for pin in netlist.net_pins(net) {
+        let p = placement.pin_position(netlist, pin);
+        xs.push(p.x);
+        ys.push(p.y);
+    }
+}
+
+fn eval_net_range(
+    model: &mut AnyModel,
+    netlist: &Netlist,
+    placement: &Placement,
+    range: std::ops::Range<usize>,
+    grad_x: &mut [f64],
+    grad_y: &mut [f64],
+) -> f64 {
+    let mut coords_x = Vec::new();
+    let mut coords_y = Vec::new();
+    let mut gx = Vec::new();
+    let mut gy = Vec::new();
+    let mut total = 0.0;
+    for net_idx in range {
+        let net = mep_netlist::NetId::from_usize(net_idx);
+        gather(netlist, placement, net, &mut coords_x, &mut coords_y);
+        let deg = coords_x.len();
+        if deg < 2 {
+            continue;
+        }
+        gx.resize(deg, 0.0);
+        gy.resize(deg, 0.0);
+        let w = netlist.net_weight(net);
+        total += w * model.eval_axis(&coords_x, &mut gx[..deg]);
+        total += w * model.eval_axis(&coords_y, &mut gy[..deg]);
+        for (slot, pin) in netlist.net_pins(net).enumerate() {
+            let cell = netlist.pin_cell(pin).index();
+            grad_x[cell] += w * gx[slot];
+            grad_y[cell] += w * gy[slot];
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelKind;
+    use mep_netlist::synth;
+    use mep_netlist::total_hpwl;
+
+    #[test]
+    fn matches_exact_hpwl_with_hpwl_model() {
+        let c = synth::generate(&synth::smoke_spec());
+        let nl = &c.design.netlist;
+        let eval = NetlistEvaluator::new(ModelKind::Hpwl.instantiate(0.0), 1);
+        let mut out = WirelengthGrad::zeros(nl.num_cells());
+        eval.evaluate(nl, &c.placement, &mut out);
+        let exact = total_hpwl(nl, &c.placement);
+        assert!((out.value - exact).abs() < 1e-6 * exact.max(1.0));
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let c = synth::generate(&synth::smoke_spec());
+        let nl = &c.design.netlist;
+        for kind in ModelKind::contestants() {
+            let model = kind.instantiate(2.0);
+            let serial = NetlistEvaluator::new(model.clone(), 1);
+            let mut a = WirelengthGrad::zeros(nl.num_cells());
+            serial.evaluate(nl, &c.placement, &mut a);
+            // force the parallel path by lowering the threshold via many threads
+            let par = NetlistEvaluator::new(model, 4);
+            let mut b = WirelengthGrad::zeros(nl.num_cells());
+            par.evaluate_parallel(nl, &c.placement, &mut b);
+            assert!(
+                (a.value - b.value).abs() < 1e-9 * a.value.abs().max(1.0),
+                "{kind}: {} vs {}",
+                a.value,
+                b.value
+            );
+            for i in 0..nl.num_cells() {
+                assert!((a.grad_x[i] - b.grad_x[i]).abs() < 1e-9, "{kind} gx[{i}]");
+                assert!((a.grad_y[i] - b.grad_y[i]).abs() < 1e-9, "{kind} gy[{i}]");
+            }
+        }
+    }
+
+    #[test]
+    fn whole_netlist_gradient_finite_difference() {
+        // spot-check dO/dx of a few cells through the full accumulation
+        let c = synth::generate(&synth::smoke_spec());
+        let nl = &c.design.netlist;
+        let eval = NetlistEvaluator::new(ModelKind::Moreau.instantiate(1.5), 1);
+        let mut out = WirelengthGrad::zeros(nl.num_cells());
+        eval.evaluate(nl, &c.placement, &mut out);
+        let h = 1e-5;
+        for cell in [0usize, 7, 42, 137] {
+            let mut plus = c.placement.clone();
+            plus.x[cell] += h;
+            let mut minus = c.placement.clone();
+            minus.x[cell] -= h;
+            let fd = (eval.value(nl, &plus) - eval.value(nl, &minus)) / (2.0 * h);
+            assert!(
+                (fd - out.grad_x[cell]).abs() < 1e-4 * fd.abs().max(1.0),
+                "cell {cell}: fd {fd} vs {}",
+                out.grad_x[cell]
+            );
+        }
+    }
+
+    #[test]
+    fn gradients_sum_to_zero_over_cells() {
+        // Corollaries 2–3 aggregate: total gradient over all pins is zero
+        let c = synth::generate(&synth::smoke_spec());
+        let nl = &c.design.netlist;
+        for kind in ModelKind::contestants() {
+            let eval = NetlistEvaluator::new(kind.instantiate(1.0), 1);
+            let mut out = WirelengthGrad::zeros(nl.num_cells());
+            eval.evaluate(nl, &c.placement, &mut out);
+            let sx: f64 = out.grad_x.iter().sum();
+            let sy: f64 = out.grad_y.iter().sum();
+            assert!(sx.abs() < 1e-6, "{kind}: Σgx = {sx}");
+            assert!(sy.abs() < 1e-6, "{kind}: Σgy = {sy}");
+        }
+    }
+
+    #[test]
+    fn value_matches_evaluate() {
+        let c = synth::generate(&synth::smoke_spec());
+        let nl = &c.design.netlist;
+        let eval = NetlistEvaluator::new(ModelKind::Wa.instantiate(3.0), 1);
+        let mut out = WirelengthGrad::zeros(nl.num_cells());
+        eval.evaluate(nl, &c.placement, &mut out);
+        let v = eval.value(nl, &c.placement);
+        assert!((out.value - v).abs() < 1e-9 * v.abs().max(1.0));
+    }
+
+    #[test]
+    fn net_weights_scale_value_and_gradient() {
+        let mut b = mep_netlist::NetlistBuilder::new();
+        let a = b.add_cell("a", 0.0, 0.0, true).unwrap();
+        let c = b.add_cell("b", 0.0, 0.0, true).unwrap();
+        let net = b.add_net("n", vec![(a, 0.0, 0.0), (c, 0.0, 0.0)]);
+        b.set_net_weight(net, 4.0);
+        let nl = b.build();
+        let mut pl = Placement::zeros(2);
+        pl.x[1] = 10.0;
+        let eval = NetlistEvaluator::new(ModelKind::Moreau.instantiate(0.5), 1);
+        let mut out = WirelengthGrad::zeros(2);
+        eval.evaluate(&nl, &pl, &mut out);
+        // unweighted value would be (envelope + t) ≈ 10 for x plus ~t for y
+        let unweighted = {
+            let mut b = mep_netlist::NetlistBuilder::new();
+            let a = b.add_cell("a", 0.0, 0.0, true).unwrap();
+            let c = b.add_cell("b", 0.0, 0.0, true).unwrap();
+            b.add_net("n", vec![(a, 0.0, 0.0), (c, 0.0, 0.0)]);
+            let nl1 = b.build();
+            let mut o = WirelengthGrad::zeros(2);
+            eval.evaluate(&nl1, &pl, &mut o);
+            (o.value, o.grad_x[0])
+        };
+        assert!((out.value - 4.0 * unweighted.0).abs() < 1e-9);
+        assert!((out.grad_x[0] - 4.0 * unweighted.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_netlist() {
+        let nl = mep_netlist::NetlistBuilder::new().build();
+        let pl = Placement::zeros(0);
+        let eval = NetlistEvaluator::new(ModelKind::Moreau.instantiate(1.0), 2);
+        let mut out = WirelengthGrad::zeros(0);
+        eval.evaluate(&nl, &pl, &mut out);
+        assert_eq!(out.value, 0.0);
+    }
+}

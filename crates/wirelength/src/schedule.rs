@@ -1,0 +1,161 @@
+//! Smoothing-parameter schedules (paper §III-C).
+//!
+//! During global placement the smoothing parameter is driven by the density
+//! overflow `φ`: high overflow (early iterations) wants a very smooth
+//! objective, low overflow (late) wants near-exact HPWL.
+//!
+//! * [`EplaceGammaSchedule`] — ePlace's `γ(φ) = γ0 (w_x + w_y) 10^{kφ+b}`
+//!   for the exponential models (LSE/WA) and for BiG.
+//! * [`TangentTSchedule`] — the paper's Eq. (14) for the Moreau parameter:
+//!   `t(φ) = t0/2 (w_x + w_y) tan(π/2 φ − δ)`.
+
+/// Maps density overflow `φ ∈ \[0, 1\]` to a smoothing parameter.
+pub trait SmoothingSchedule {
+    /// The smoothing value to use at overflow `phi`.
+    fn value(&self, phi: f64) -> f64;
+}
+
+/// ePlace's decade schedule: `γ(φ) = γ0 (w_x + w_y) 10^{kφ+b}` with the
+/// standard `k = 20/9`, `b = −11/9` mapping (`φ=1 → 10¹`, `φ=0.1 → 10⁻¹`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EplaceGammaSchedule {
+    /// Base coefficient `γ0`.
+    pub gamma0: f64,
+    /// Sum of horizontal and vertical bin sizes, `w_bin^x + w_bin^y`.
+    pub bin_size_sum: f64,
+    /// Exponent slope `k`.
+    pub k: f64,
+    /// Exponent intercept `b`.
+    pub b: f64,
+}
+
+impl EplaceGammaSchedule {
+    /// Standard ePlace constants with `γ0 = 0.5` (DREAMPlace default
+    /// `gamma` coefficient).
+    pub fn new(gamma0: f64, bin_w: f64, bin_h: f64) -> Self {
+        Self {
+            gamma0,
+            bin_size_sum: bin_w + bin_h,
+            k: 20.0 / 9.0,
+            b: -11.0 / 9.0,
+        }
+    }
+}
+
+impl SmoothingSchedule for EplaceGammaSchedule {
+    fn value(&self, phi: f64) -> f64 {
+        let phi = phi.clamp(0.0, 1.0);
+        self.gamma0 * self.bin_size_sum * 10f64.powf(self.k * phi + self.b)
+    }
+}
+
+/// The paper's tangent schedule, Eq. (14):
+/// `t(φ) = t0/2 (w_x + w_y) tan(π/2 φ − δ)`.
+///
+/// As `φ → 1` the tangent blows up (maximal smoothing), and as `φ → 0` it
+/// goes through zero at `φ = 2δ/π`; the raw formula then turns *negative*,
+/// so the schedule clamps below at `floor` (a tiny positive value) — the
+/// `δ` term exists precisely "to avoid numerical overflow" per the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TangentTSchedule {
+    /// Initial coefficient `t0` (paper default 4).
+    pub t0: f64,
+    /// Sum of horizontal and vertical bin sizes.
+    pub bin_size_sum: f64,
+    /// Offset `δ` (paper default `1e−4`).
+    pub delta: f64,
+    /// Smallest `t` ever returned.
+    pub floor: f64,
+    /// Largest `t` ever returned (tan(π/2·φ−δ) diverges at φ=1).
+    pub ceil: f64,
+}
+
+impl TangentTSchedule {
+    /// Paper defaults: `t0 = 4`, `δ = 1e−4`.
+    pub fn new(bin_w: f64, bin_h: f64) -> Self {
+        Self {
+            t0: 4.0,
+            bin_size_sum: bin_w + bin_h,
+            delta: 1e-4,
+            floor: 1e-6,
+            ceil: 1e6,
+        }
+    }
+
+    /// Overrides `t0` (the paper notes `t0 = 4, δ = 1e−4` "will normally
+    /// give a good result for most cases").
+    pub fn with_t0(mut self, t0: f64) -> Self {
+        self.t0 = t0;
+        self
+    }
+}
+
+impl SmoothingSchedule for TangentTSchedule {
+    fn value(&self, phi: f64) -> f64 {
+        let phi = phi.clamp(0.0, 1.0);
+        let raw = 0.5
+            * self.t0
+            * self.bin_size_sum
+            * (std::f64::consts::FRAC_PI_2 * phi - self.delta).tan();
+        raw.clamp(self.floor, self.ceil)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_schedule_decade_mapping() {
+        let s = EplaceGammaSchedule::new(1.0, 0.5, 0.5);
+        // φ=1 → 10^1, φ=0.1 → 10^(20/90 − 110/90) = 10^(-1)
+        assert!((s.value(1.0) - 10.0).abs() < 1e-9);
+        assert!((s.value(0.1) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_schedule_monotone_in_overflow() {
+        let s = EplaceGammaSchedule::new(0.5, 1.0, 1.0);
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let v = s.value(i as f64 / 10.0);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn tangent_schedule_monotone_and_positive() {
+        let s = TangentTSchedule::new(1.0, 1.0);
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let v = s.value(i as f64 / 20.0);
+            assert!(v > 0.0, "t must stay positive at φ={}", i as f64 / 20.0);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn tangent_schedule_clamps_tiny_overflow() {
+        let s = TangentTSchedule::new(1.0, 1.0);
+        // below φ = 2δ/π the raw tangent is negative; schedule must clamp
+        assert_eq!(s.value(0.0), s.floor);
+    }
+
+    #[test]
+    fn tangent_schedule_blows_up_at_high_overflow() {
+        let s = TangentTSchedule::new(1.0, 1.0);
+        assert!(s.value(1.0) > 1e3);
+        assert!(s.value(1.0) <= s.ceil);
+    }
+
+    #[test]
+    fn overflow_outside_unit_interval_is_clamped() {
+        let s = TangentTSchedule::new(1.0, 1.0);
+        assert_eq!(s.value(-0.5), s.value(0.0));
+        assert_eq!(s.value(1.5), s.value(1.0));
+        let g = EplaceGammaSchedule::new(0.5, 1.0, 1.0);
+        assert_eq!(g.value(2.0), g.value(1.0));
+    }
+}

@@ -1,0 +1,258 @@
+//! The weighted-average (WA) wirelength model \[16, 17\] (Eq. (3), right).
+//!
+//! `W_WA^γ(x) = Σ x_i e^{x_i/γ} / Σ e^{x_i/γ} − Σ x_i e^{−x_i/γ} / Σ e^{−x_i/γ}`.
+//!
+//! The exponentials are shifted by the max/min before evaluation (the shift
+//! cancels in the ratios), so the model is numerically stable at placement
+//! scale — unlike the textbook formula, see [`wa_naive`] and the paper's
+//! §II-D.1. WA has a tighter error bound than LSE but is **not convex**
+//! (Fig. 1(a)), which the tests below demonstrate.
+
+use crate::model::NetModel;
+
+/// Naive WA evaluation without exponent shifting — **overflows** for
+/// `x_i/γ ≳ 710`. Public only to demonstrate §II-D.1; never used by the
+/// placer.
+pub fn wa_naive(x: &[f64], gamma: f64) -> f64 {
+    let (mut sw, mut tw, mut sv, mut tv) = (0.0, 0.0, 0.0, 0.0);
+    for &xi in x {
+        let w = (xi / gamma).exp();
+        let v = (-xi / gamma).exp();
+        sw += w;
+        tw += xi * w;
+        sv += v;
+        tv += xi * v;
+    }
+    tw / sw - tv / sv
+}
+
+/// The WA net model.
+#[derive(Debug, Clone)]
+pub struct Wa {
+    gamma: f64,
+    w_hi: Vec<f64>,
+    w_lo: Vec<f64>,
+}
+
+impl Wa {
+    /// Creates the model with smoothing parameter `γ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `γ ≤ 0`.
+    pub fn new(gamma: f64) -> Self {
+        assert!(gamma > 0.0, "smoothing parameter must be positive, got {gamma}");
+        Self {
+            gamma,
+            w_hi: Vec::new(),
+            w_lo: Vec::new(),
+        }
+    }
+
+    /// Smooth max `f`, smooth min `g`, with normalized weights cached.
+    fn forward(&mut self, x: &[f64]) -> (f64, f64) {
+        let g = self.gamma;
+        let m = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let n = x.iter().cloned().fold(f64::INFINITY, f64::min);
+        self.w_hi.resize(x.len(), 0.0);
+        self.w_lo.resize(x.len(), 0.0);
+        let (mut s_hi, mut t_hi, mut s_lo, mut t_lo) = (0.0, 0.0, 0.0, 0.0);
+        for (i, &xi) in x.iter().enumerate() {
+            let wh = ((xi - m) / g).exp();
+            let wl = ((n - xi) / g).exp();
+            self.w_hi[i] = wh;
+            self.w_lo[i] = wl;
+            s_hi += wh;
+            t_hi += xi * wh;
+            s_lo += wl;
+            t_lo += xi * wl;
+        }
+        for i in 0..x.len() {
+            self.w_hi[i] /= s_hi;
+            self.w_lo[i] /= s_lo;
+        }
+        (t_hi / s_hi, t_lo / s_lo)
+    }
+}
+
+impl NetModel for Wa {
+    fn name(&self) -> &'static str {
+        "WA"
+    }
+
+    fn smoothing(&self) -> f64 {
+        self.gamma
+    }
+
+    fn set_smoothing(&mut self, s: f64) {
+        assert!(s > 0.0, "smoothing parameter must be positive, got {s}");
+        self.gamma = s;
+    }
+
+    fn eval_axis(&mut self, x: &[f64], grad: &mut [f64]) -> f64 {
+        assert!(!x.is_empty(), "net must have at least one pin");
+        assert_eq!(x.len(), grad.len());
+        let (f, gmin) = self.forward(x);
+        let gamma = self.gamma;
+        // ∂f/∂x_k = w_k (1 + (x_k − f)/γ); ∂g/∂x_k = v_k (1 − (x_k − g)/γ)
+        for (k, gk) in grad.iter_mut().enumerate() {
+            let xk = x[k];
+            *gk = self.w_hi[k] * (1.0 + (xk - f) / gamma)
+                - self.w_lo[k] * (1.0 - (xk - gmin) / gamma);
+        }
+        f - gmin
+    }
+
+    fn value_axis(&mut self, x: &[f64]) -> f64 {
+        assert!(!x.is_empty(), "net must have at least one pin");
+        let (f, g) = self.forward(x);
+        f - g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(x: &[f64]) -> f64 {
+        x.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - x.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn wa_underestimates_span() {
+        // smooth max ≤ max and smooth min ≥ min, so WA ≤ HPWL
+        let x = [0.0, 40.0, 100.0];
+        for &g in &[1.0, 10.0, 50.0] {
+            let mut m = Wa::new(g);
+            assert!(m.value_axis(&x) <= span(&x) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn converges_to_hpwl() {
+        let x = [0.0, 50.0, 200.0];
+        let mut m = Wa::new(0.5);
+        assert!((m.value_axis(&x) - 200.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn mean_error_tighter_than_lse_at_same_gamma() {
+        // the paper (§I, Fig. 1(b)) claims WA's error is lower than LSE's;
+        // per-instance this is not universal, but it holds on average over
+        // the Fig. 1(b) workload (random 4-pin nets, Δx = 200) at medium γ
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let g = 20.0;
+        let mut wa = Wa::new(g);
+        let mut lse = crate::lse::Lse::new(g);
+        let (mut wa_err, mut lse_err) = (0.0, 0.0);
+        for _ in 0..500 {
+            let x = [
+                0.0,
+                rng.gen_range(0.0..200.0),
+                rng.gen_range(0.0..200.0),
+                200.0,
+            ];
+            wa_err += (wa.value_axis(&x) - 200.0).abs();
+            lse_err += (lse.value_axis(&x) - 200.0).abs();
+        }
+        assert!(wa_err < lse_err, "wa {wa_err} vs lse {lse_err}");
+    }
+
+    #[test]
+    fn gradient_finite_difference() {
+        let x = [0.0, 2.5, 5.0, 4.9, -1.0];
+        let g = 1.7;
+        let mut m = Wa::new(g);
+        let mut grad = vec![0.0; x.len()];
+        let v0 = m.eval_axis(&x, &mut grad);
+        assert!((v0 - m.value_axis(&x)).abs() < 1e-12);
+        let h = 1e-6;
+        for i in 0..x.len() {
+            let mut xp = x.to_vec();
+            let mut xm = x.to_vec();
+            xp[i] += h;
+            xm[i] -= h;
+            let fd = (m.value_axis(&xp) - m.value_axis(&xm)) / (2.0 * h);
+            assert!((fd - grad[i]).abs() < 1e-6, "i={i}: {fd} vs {}", grad[i]);
+        }
+    }
+
+    #[test]
+    fn gradient_components_sum_to_zero() {
+        // Corollary 2 of the paper
+        let x = [3.0, -1.0, 12.0, 0.5];
+        let mut m = Wa::new(2.0);
+        let mut grad = vec![0.0; x.len()];
+        m.eval_axis(&x, &mut grad);
+        assert!(grad.iter().sum::<f64>().abs() < 1e-12);
+    }
+
+    #[test]
+    fn smooth_max_weights_sum_to_one() {
+        // Theorem 5: the smooth-max part alone has gradient summing to 1
+        let x = [0.0, 1.0, 5.0];
+        let gamma = 1.1;
+        let mut m = Wa::new(gamma);
+        let (f, _) = m.forward(&x);
+        let sum: f64 = (0..x.len())
+            .map(|k| m.w_hi[k] * (1.0 + (x[k] - f) / gamma))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_limit_is_eq_17_subgradient() {
+        // Theorem 3: γ → 0⁺ limit distributes over tied extremes
+        let x = [0.0, 0.0, 3.0, 7.0, 7.0];
+        let mut m = Wa::new(1e-3);
+        let mut grad = vec![0.0; x.len()];
+        m.eval_axis(&x, &mut grad);
+        let expect = [-0.5, -0.5, 0.0, 0.5, 0.5];
+        for (g, e) in grad.iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-6, "{grad:?}");
+        }
+    }
+
+    #[test]
+    fn non_convexity_on_three_pin_net() {
+        // Fig. 1(a): fix endpoints 0 and 100, sweep the middle pin; the WA
+        // curve must violate midpoint convexity somewhere
+        let gamma = 10.0;
+        let mut m = Wa::new(gamma);
+        let f = |x: f64, m: &mut Wa| m.value_axis(&[0.0, x, 100.0]);
+        let mut violated = false;
+        let steps = 200;
+        for i in 1..steps {
+            let a = (i - 1) as f64 / steps as f64 * 100.0;
+            let b = (i + 1) as f64 / steps as f64 * 100.0;
+            let mid = 0.5 * (a + b);
+            if f(mid, &mut m) > 0.5 * (f(a, &mut m) + f(b, &mut m)) + 1e-9 {
+                violated = true;
+                break;
+            }
+        }
+        assert!(violated, "expected WA to be non-convex on a 3-pin net");
+    }
+
+    #[test]
+    fn stable_at_placement_scale_coordinates() {
+        let x = [0.0, 5000.0];
+        let gamma = 1.0;
+        assert!(wa_naive(&x, gamma).is_nan() || wa_naive(&x, gamma).is_infinite());
+        let mut m = Wa::new(gamma);
+        let v = m.value_axis(&x);
+        assert!(v.is_finite());
+        assert!((v - 5000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn single_pin_net() {
+        let mut m = Wa::new(1.0);
+        let mut g = [0.0];
+        let v = m.eval_axis(&[3.0], &mut g);
+        assert!(v.abs() < 1e-12);
+        assert!(g[0].abs() < 1e-12);
+    }
+}

@@ -1,0 +1,214 @@
+//! The water-filling solver (Algorithm 2 of the paper).
+//!
+//! Given sorted pin coordinates `x_1 ≤ … ≤ x_n` and a water amount `t > 0`,
+//! [`solve_lower`] finds the level `τ1` with
+//! `Σ_i (τ1 − x_i)^+ = t`, and [`solve_upper`] finds `τ2` with
+//! `Σ_i (x_i − τ2)^+ = t`. Both run in `O(n)` using the Abel-summation
+//! telescoping of the sorted gaps (Eq. (11)–(13) of the paper).
+//!
+//! Intuition: pour `t` units of water into a reservoir whose uneven bottom
+//! is the bar graph of the coordinates; `τ1` is the final water level
+//! (Fig. 2 of the paper). `τ2` is the mirrored problem from above.
+
+/// Solves `Σ_i (τ1 − x_i)^+ = t` for `τ1` on ascending-sorted coordinates.
+///
+/// Runs in `O(n)`. If `t` exceeds the water needed to level the whole
+/// reservoir at `x_n`, the level rises above `x_n` by `(t − q)/n`.
+///
+/// # Panics
+///
+/// Panics (debug builds) if `sorted` is empty, unsorted, or `t` is not
+/// positive.
+pub fn solve_lower(sorted: &[f64], t: f64) -> f64 {
+    debug_assert!(!sorted.is_empty(), "water-filling needs at least one pin");
+    debug_assert!(t > 0.0, "water amount must be positive, got {t}");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "coordinates must be ascending"
+    );
+    let n = sorted.len();
+    let mut filled = 0.0_f64;
+    for k in 1..n {
+        // filling the k lowest bottoms up from sorted[k-1] to sorted[k]
+        let trial = filled + k as f64 * (sorted[k] - sorted[k - 1]);
+        if trial > t {
+            return sorted[k] - (trial - t) / k as f64;
+        }
+        filled = trial;
+    }
+    sorted[n - 1] + (t - filled) / n as f64
+}
+
+/// Solves `Σ_i (x_i − τ2)^+ = t` for `τ2` on ascending-sorted coordinates.
+///
+/// Mirror image of [`solve_lower`]: water is poured from above.
+///
+/// # Panics
+///
+/// Same contract as [`solve_lower`].
+pub fn solve_upper(sorted: &[f64], t: f64) -> f64 {
+    debug_assert!(!sorted.is_empty(), "water-filling needs at least one pin");
+    debug_assert!(t > 0.0, "water amount must be positive, got {t}");
+    let n = sorted.len();
+    let mut filled = 0.0_f64;
+    for k in 1..n {
+        let trial = filled + k as f64 * (sorted[n - k] - sorted[n - k - 1]);
+        if trial > t {
+            return sorted[n - k - 1] + (trial - t) / k as f64;
+        }
+        filled = trial;
+    }
+    sorted[0] - (t - filled) / n as f64
+}
+
+/// Both water levels `(τ1, τ2)` for one net in a single call.
+///
+/// When `τ1 > τ2` the proximal mapping of Theorem 1 collapses to the mean;
+/// callers should check [`TauPair::is_collapsed`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TauPair {
+    /// Lower water level.
+    pub tau1: f64,
+    /// Upper water level.
+    pub tau2: f64,
+}
+
+impl TauPair {
+    /// Solves both levels on ascending-sorted coordinates.
+    pub fn solve(sorted: &[f64], t: f64) -> Self {
+        Self {
+            tau1: solve_lower(sorted, t),
+            tau2: solve_upper(sorted, t),
+        }
+    }
+
+    /// Whether the levels crossed (`τ1 > τ2`), i.e. `t` is so large that the
+    /// prox collapses every coordinate to the mean.
+    pub fn is_collapsed(&self) -> bool {
+        self.tau1 > self.tau2
+    }
+}
+
+/// Residual of the lower water-filling equation, `Σ (τ1 − x_i)^+ − t`.
+/// Exposed for tests and verification harnesses.
+pub fn lower_residual(x: &[f64], tau1: f64, t: f64) -> f64 {
+    x.iter().map(|&xi| (tau1 - xi).max(0.0)).sum::<f64>() - t
+}
+
+/// Residual of the upper water-filling equation, `Σ (x_i − τ2)^+ − t`.
+pub fn upper_residual(x: &[f64], tau2: f64, t: f64) -> f64 {
+    x.iter().map(|&xi| (xi - tau2).max(0.0)).sum::<f64>() - t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_near(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn paper_four_pin_example() {
+        // 4 bars; small t keeps the level within the first gap
+        let x = [1.0, 2.0, 4.0, 7.0];
+        let tau1 = solve_lower(&x, 0.5);
+        assert_near(tau1, 1.5); // only the lowest bottom holds water
+        assert_near(lower_residual(&x, tau1, 0.5), 0.0);
+    }
+
+    #[test]
+    fn level_crosses_multiple_bottoms() {
+        let x = [1.0, 2.0, 4.0, 7.0];
+        // filling to level 2 costs 1; to level 4 costs 1 + 2*2 = 5
+        let tau1 = solve_lower(&x, 3.0);
+        // between x2=2 and x3=4: 3 = 1 + 2*(tau-2) => tau = 3
+        assert_near(tau1, 3.0);
+        assert_near(lower_residual(&x, tau1, 3.0), 0.0);
+    }
+
+    #[test]
+    fn level_exceeds_top_coordinate() {
+        let x = [1.0, 2.0, 4.0, 7.0];
+        // leveling everything at 7 costs 6+5+3+0 = 14; extra spreads over 4
+        let tau1 = solve_lower(&x, 18.0);
+        assert_near(tau1, 8.0);
+        assert_near(lower_residual(&x, tau1, 18.0), 0.0);
+    }
+
+    #[test]
+    fn exact_breakpoint_water_amount() {
+        let x = [0.0, 1.0, 2.0];
+        // q after first gap = 1 exactly
+        let tau1 = solve_lower(&x, 1.0);
+        assert_near(tau1, 1.0);
+        assert_near(lower_residual(&x, tau1, 1.0), 0.0);
+    }
+
+    #[test]
+    fn upper_mirrors_lower() {
+        let x = [1.0, 2.0, 4.0, 7.0];
+        for &t in &[0.3, 1.0, 2.5, 9.0, 30.0] {
+            let tau2 = solve_upper(&x, t);
+            let neg: Vec<f64> = x.iter().rev().map(|&v| -v).collect();
+            let mirrored = -solve_lower(&neg, t);
+            assert_near(tau2, mirrored);
+            assert_near(upper_residual(&x, tau2, t), 0.0);
+        }
+    }
+
+    #[test]
+    fn single_pin_net() {
+        let x = [5.0];
+        assert_near(solve_lower(&x, 2.0), 7.0);
+        assert_near(solve_upper(&x, 2.0), 3.0);
+        let pair = TauPair::solve(&x, 2.0);
+        assert!(pair.is_collapsed());
+    }
+
+    #[test]
+    fn duplicate_coordinates() {
+        let x = [1.0, 1.0, 1.0, 5.0];
+        let tau1 = solve_lower(&x, 1.5);
+        assert_near(tau1, 1.5);
+        assert_near(lower_residual(&x, tau1, 1.5), 0.0);
+        let tau2 = solve_upper(&x, 1.5);
+        // from above: gap 4 over 1 bar costs 4 > 1.5 → tau2 = 5 - 1.5
+        assert_near(tau2, 3.5);
+    }
+
+    #[test]
+    fn all_equal_coordinates_collapse() {
+        let x = [2.0, 2.0, 2.0];
+        let pair = TauPair::solve(&x, 0.3);
+        assert_near(pair.tau1, 2.1);
+        assert_near(pair.tau2, 1.9);
+        assert!(pair.is_collapsed());
+    }
+
+    #[test]
+    fn small_t_keeps_levels_separated() {
+        let x = [0.0, 10.0, 20.0, 100.0];
+        let pair = TauPair::solve(&x, 0.5);
+        assert!(!pair.is_collapsed());
+        assert_near(pair.tau1, 0.5);
+        assert_near(pair.tau2, 99.5);
+    }
+
+    #[test]
+    fn negative_coordinates() {
+        let x = [-10.0, -5.0, 0.0];
+        let tau1 = solve_lower(&x, 2.0);
+        assert_near(lower_residual(&x, tau1, 2.0), 0.0);
+        assert!(tau1 > -10.0 && tau1 < 0.0);
+    }
+
+    #[test]
+    fn residual_is_monotone_in_level() {
+        let x = [0.0, 3.0, 9.0];
+        let t = 2.0;
+        let tau = solve_lower(&x, t);
+        assert!(lower_residual(&x, tau - 0.1, t) < 0.0);
+        assert!(lower_residual(&x, tau + 0.1, t) > 0.0);
+    }
+}

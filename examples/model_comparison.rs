@@ -1,0 +1,63 @@
+//! Compare all four wirelength models (the contestants of Tables II/III)
+//! through the full placement pipeline on one synthetic circuit.
+//!
+//! ```text
+//! cargo run --release --example model_comparison [benchmark]
+//! ```
+//!
+//! `benchmark` is a Table I name (`newblue1`, `ispd19_test5`, …) or is
+//! omitted for the fast smoke circuit.
+
+use moreau_placer::netlist::synth;
+use moreau_placer::placer::pipeline::{run, PipelineConfig};
+use moreau_placer::placer::GlobalConfig;
+use moreau_placer::wirelength::ModelKind;
+
+fn main() {
+    let name = std::env::args().nth(1);
+    let spec = match name.as_deref() {
+        Some(n) => synth::spec_by_name(n).unwrap_or_else(|| {
+            eprintln!("unknown benchmark `{n}`; see Table I names in DESIGN.md");
+            std::process::exit(2);
+        }),
+        None => synth::smoke_spec(),
+    };
+    println!("generating `{}` …", spec.name);
+    let circuit = synth::generate(&spec);
+
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>8} {:>7}",
+        "model", "GPWL", "LGWL", "DPWL", "RT(s)", "iters"
+    );
+    let mut ours_dpwl = None;
+    let mut rows = Vec::new();
+    for model in ModelKind::contestants() {
+        let config = PipelineConfig {
+            global: GlobalConfig {
+                model,
+                ..GlobalConfig::default()
+            },
+            ..PipelineConfig::default()
+        };
+        let r = run(&circuit, &config);
+        println!(
+            "{:<10} {:>12.4e} {:>12.4e} {:>12.4e} {:>8.2} {:>7}",
+            model.label(),
+            r.gpwl,
+            r.lgwl,
+            r.dpwl,
+            r.rt_total(),
+            r.iterations
+        );
+        if model == ModelKind::Moreau {
+            ours_dpwl = Some(r.dpwl);
+        }
+        rows.push((model, r.dpwl));
+    }
+    if let Some(ours) = ours_dpwl {
+        println!("\nDPWL ratios vs Ours (paper's Avg. Ratio convention):");
+        for (model, dpwl) in rows {
+            println!("  {:<10} {:.4}", model.label(), dpwl / ours);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! `mep` — the command-line front end of the Moreau-envelope placer.
+//!
+//! ```text
+//! mep place  <circuit> [--model ours|wa|lse|big|hpwl] [--out DIR]
+//!            [--iters N] [--threads N] [--lef FILE] [--quadratic-init]
+//! mep stats  <circuit> [--lef FILE]
+//! mep gen    <benchmark> <out-dir>
+//! mep bench-list
+//! ```
+//!
+//! `<circuit>` is a Bookshelf `.aux` path, a DEF path (pass the library
+//! with `--lef`), or the name of a built-in synthetic benchmark
+//! (`newblue1`, `ispd19_test5`, `smoke`, …).
+
+use moreau_placer::netlist::bookshelf::{self, BookshelfCircuit};
+use moreau_placer::netlist::synth;
+use moreau_placer::placer::pipeline::{run, PipelineConfig};
+use moreau_placer::placer::quadratic::{place_b2b, B2bConfig};
+use moreau_placer::placer::GlobalConfig;
+use moreau_placer::wirelength::ModelKind;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  mep place <circuit> [--model ours|wa|lse|big|hpwl] [--out DIR]\n            \
+         [--iters N] [--threads N] [--density F] [--lef FILE] [--quadratic-init]\n  \
+         mep stats <circuit> [--lef FILE]\n  mep gen <benchmark> <out-dir>\n  mep bench-list\n\n\
+         <circuit> = a Bookshelf .aux path, a DEF path (with --lef), or a\n\
+         built-in synthetic benchmark name (see `mep bench-list`)."
+    );
+    ExitCode::from(2)
+}
+
+fn parse_model(s: &str) -> Option<ModelKind> {
+    match s.to_ascii_lowercase().as_str() {
+        "ours" | "moreau" | "me" => Some(ModelKind::Moreau),
+        "wa" => Some(ModelKind::Wa),
+        "lse" => Some(ModelKind::Lse),
+        "big" | "big_chks" | "chks" => Some(ModelKind::BigChks),
+        "hpwl" => Some(ModelKind::Hpwl),
+        _ => None,
+    }
+}
+
+fn load_circuit(spec: &str, lef: Option<&str>, density: f64) -> Result<BookshelfCircuit, String> {
+    if spec.ends_with(".aux") {
+        return bookshelf::read_aux(spec, density).map_err(|e| e.to_string());
+    }
+    if spec.ends_with(".def") {
+        let lef_path = lef.ok_or("DEF input needs --lef <library.lef>")?;
+        let lef_text = std::fs::read_to_string(lef_path).map_err(|e| e.to_string())?;
+        let def_text = std::fs::read_to_string(spec).map_err(|e| e.to_string())?;
+        let lib = moreau_placer::netlist::lefdef::parse_lef(&lef_text)
+            .map_err(|e| e.to_string())?;
+        return moreau_placer::netlist::lefdef::parse_def(&def_text, &lib, density)
+            .map_err(|e| e.to_string());
+    }
+    if spec == "smoke" {
+        return Ok(synth::generate(&synth::smoke_spec()));
+    }
+    if spec == "smoke_regions" {
+        return Ok(synth::generate(&synth::smoke_regions_spec()));
+    }
+    synth::spec_by_name(spec)
+        .map(|s| synth::generate(&s))
+        .ok_or_else(|| format!("unknown circuit `{spec}` (try `mep bench-list`)"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "bench-list" => {
+            println!("built-in synthetic benchmarks (Table I stand-ins):");
+            for s in synth::ispd2006_suite() {
+                println!("  {:<16} ISPD2006  {:>7} movable cells", s.name, s.movable);
+            }
+            for s in synth::ispd2019_suite() {
+                println!("  {:<16} ISPD2019  {:>7} movable cells", s.name, s.movable);
+            }
+            println!("  {:<16} demo      {:>7} movable cells", "smoke", 400);
+            ExitCode::SUCCESS
+        }
+        "stats" => {
+            let Some(circuit) = args.get(1) else { return usage() };
+            let lef = args
+                .iter()
+                .position(|a| a == "--lef")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str);
+            match load_circuit(circuit, lef, 1.0) {
+                Ok(c) => {
+                    let nl = &c.design.netlist;
+                    println!("circuit     : {}", c.design.name);
+                    println!("die         : {}", c.design.die);
+                    println!("rows        : {}", c.design.rows.len());
+                    println!("movable     : {}", nl.num_movable());
+                    println!("fixed       : {}", nl.num_fixed());
+                    println!("nets        : {}", nl.num_nets());
+                    println!("pins        : {}", nl.num_pins());
+                    println!("utilization : {:.3}", c.design.utilization());
+                    println!(
+                        "initial HPWL: {:.6e}",
+                        moreau_placer::netlist::total_hpwl(nl, &c.placement)
+                    );
+                    let hist = nl.degree_histogram(10);
+                    println!("net degrees : {:?} (last bucket = ≥10)", &hist[2..]);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "gen" => {
+            let (Some(bench), Some(dir)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            let Some(spec) = synth::spec_by_name(bench) else {
+                eprintln!("unknown benchmark `{bench}`");
+                return ExitCode::FAILURE;
+            };
+            let c = synth::generate(&spec);
+            match bookshelf::write_dir(dir, &c) {
+                Ok(()) => {
+                    println!("wrote {dir}/{}.{{aux,nodes,nets,pl,scl,wts}}", spec.name);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "place" => {
+            let Some(circuit_arg) = args.get(1) else { return usage() };
+            let mut model = ModelKind::Moreau;
+            let mut out: Option<String> = None;
+            let mut iters = 800usize;
+            let mut threads = 0usize;
+            let mut density = 1.0f64;
+            let mut quad_init = false;
+            let mut lef: Option<String> = None;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--model" => {
+                        i += 1;
+                        match args.get(i).map(String::as_str).and_then(parse_model) {
+                            Some(m) => model = m,
+                            None => return usage(),
+                        }
+                    }
+                    "--out" => {
+                        i += 1;
+                        out = args.get(i).cloned();
+                    }
+                    "--iters" => {
+                        i += 1;
+                        iters = match args.get(i).and_then(|s| s.parse().ok()) {
+                            Some(v) => v,
+                            None => return usage(),
+                        };
+                    }
+                    "--threads" => {
+                        i += 1;
+                        threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(0);
+                    }
+                    "--density" => {
+                        i += 1;
+                        density = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+                    }
+                    "--quadratic-init" => quad_init = true,
+                    "--lef" => {
+                        i += 1;
+                        lef = args.get(i).cloned();
+                    }
+                    _ => return usage(),
+                }
+                i += 1;
+            }
+            let mut circuit = match load_circuit(circuit_arg, lef.as_deref(), density) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if quad_init {
+                eprintln!("[mep] B2B quadratic initialization …");
+                let (qp, report) = place_b2b(&circuit, &B2bConfig::default());
+                eprintln!(
+                    "[mep] quadratic HPWL {:.4e} after {} rounds",
+                    report.hpwl, report.rounds
+                );
+                circuit.placement = qp;
+            }
+            let mut global = GlobalConfig {
+                model,
+                max_iters: iters,
+                ..GlobalConfig::default()
+            };
+            if threads > 0 {
+                global.threads = threads;
+            }
+            eprintln!(
+                "[mep] placing `{}` with model {} ({} movable cells) …",
+                circuit.design.name,
+                model.label(),
+                circuit.design.netlist.num_movable()
+            );
+            let result = run(&circuit, &PipelineConfig { global, ..PipelineConfig::default() });
+            println!("GPWL  {:.6e}", result.gpwl);
+            println!("LGWL  {:.6e}", result.lgwl);
+            println!("DPWL  {:.6e}", result.dpwl);
+            println!("RT    {:.2}s (gp {:.2} + lg {:.2} + dp {:.2})",
+                result.rt_total(), result.rt_gp, result.rt_lg, result.rt_dp);
+            println!("iters {}  overflow {:.4}  violations {}",
+                result.iterations, result.overflow, result.violations);
+            if let Some(dir) = out {
+                let placed = BookshelfCircuit {
+                    design: circuit.design.clone(),
+                    placement: result.placement.clone(),
+                };
+                match bookshelf::write_dir(&dir, &placed) {
+                    Ok(()) => println!("wrote Bookshelf files to {dir}/"),
+                    Err(e) => {
+                        eprintln!("error writing output: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if result.violations > 0 {
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

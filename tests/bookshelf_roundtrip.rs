@@ -1,0 +1,84 @@
+//! Cross-crate integration test: Bookshelf export/import composes with
+//! the placer — a placed circuit survives a round trip through the five
+//! Bookshelf files with identical HPWL and legality.
+
+use moreau_placer::netlist::bookshelf::{self, BookshelfCircuit};
+use moreau_placer::netlist::{synth, total_hpwl};
+use moreau_placer::placer::pipeline::{run, PipelineConfig};
+use moreau_placer::placer::{check_legal, GlobalConfig};
+use moreau_placer::wirelength::ModelKind;
+
+#[test]
+fn placed_circuit_round_trips_through_bookshelf_files() {
+    let circuit = synth::generate(&synth::smoke_spec());
+    let config = PipelineConfig {
+        global: GlobalConfig {
+            model: ModelKind::Moreau,
+            max_iters: 300,
+            threads: 1,
+            ..GlobalConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+    let result = run(&circuit, &config);
+
+    let placed = BookshelfCircuit {
+        design: circuit.design.clone(),
+        placement: result.placement.clone(),
+    };
+    let files = bookshelf::to_strings(&placed);
+    let back = bookshelf::read_files(
+        circuit.design.name.clone(),
+        &files.nodes,
+        &files.nets,
+        &files.pl,
+        &files.scl,
+        circuit.design.target_density,
+    )
+    .expect("round trip parses");
+
+    // identical structure
+    assert_eq!(
+        back.design.netlist.num_cells(),
+        circuit.design.netlist.num_cells()
+    );
+    assert_eq!(
+        back.design.netlist.num_pins(),
+        circuit.design.netlist.num_pins()
+    );
+    // identical wirelength
+    let h1 = total_hpwl(&circuit.design.netlist, &result.placement);
+    let h2 = total_hpwl(&back.design.netlist, &back.placement);
+    assert!((h1 - h2).abs() < 1e-6 * h1.max(1.0));
+    // still legal after the round trip
+    assert!(check_legal(&back.design, &back.placement).is_empty());
+}
+
+#[test]
+fn imported_circuit_can_be_placed() {
+    // export the *unplaced* circuit, re-import, then run the flow on the
+    // imported copy — exercises parser → placer composition
+    let circuit = synth::generate(&synth::smoke_spec());
+    let files = bookshelf::to_strings(&circuit);
+    let imported = bookshelf::read_files(
+        "reimport".to_string(),
+        &files.nodes,
+        &files.nets,
+        &files.pl,
+        &files.scl,
+        circuit.design.target_density,
+    )
+    .expect("parses");
+    let config = PipelineConfig {
+        global: GlobalConfig {
+            model: ModelKind::Wa,
+            max_iters: 250,
+            threads: 1,
+            ..GlobalConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+    let r = run(&imported, &config);
+    assert_eq!(r.violations, 0);
+    assert!(r.dpwl.is_finite() && r.dpwl > 0.0);
+}

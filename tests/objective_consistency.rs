@@ -1,0 +1,102 @@
+//! Cross-crate integration test: consistency of the assembled objective —
+//! the theorems of §IV hold through the whole stack (pin offsets, CSR
+//! accumulation, both axes), not just on isolated nets.
+
+use moreau_placer::netlist::synth;
+use moreau_placer::optim::Problem;
+use moreau_placer::placer::objective::PlacementProblem;
+use moreau_placer::wirelength::{ModelKind, NetlistEvaluator, WirelengthGrad};
+
+#[test]
+fn total_wirelength_gradient_sums_to_zero_for_all_models() {
+    // Corollaries 2–3 aggregated over a full netlist with pin offsets
+    let circuit = synth::generate(&synth::smoke_spec());
+    let nl = &circuit.design.netlist;
+    for model in ModelKind::contestants() {
+        let eval = NetlistEvaluator::new(model.instantiate(1.7), 2);
+        let mut out = WirelengthGrad::zeros(nl.num_cells());
+        eval.evaluate(nl, &circuit.placement, &mut out);
+        let sx: f64 = out.grad_x.iter().sum();
+        let sy: f64 = out.grad_y.iter().sum();
+        assert!(sx.abs() < 1e-6 && sy.abs() < 1e-6, "{model}: ({sx}, {sy})");
+    }
+}
+
+#[test]
+fn moreau_model_upper_bounds_exact_hpwl_by_envelope_gap() {
+    // Theorem 2 through the netlist evaluator: for every net,
+    // W ≥ W^t ≥ W − t, so totals satisfy
+    // total_W ≥ total_envelope ≥ total_W − #active_nets·t.
+    // (The evaluator reports envelope + t per net, so subtract.)
+    let circuit = synth::generate(&synth::smoke_spec());
+    let nl = &circuit.design.netlist;
+    let t = 0.8;
+    let eval = NetlistEvaluator::new(ModelKind::Moreau.instantiate(t), 1);
+    let model_total = eval.value(nl, &circuit.placement);
+    let exact = moreau_placer::netlist::total_hpwl(nl, &circuit.placement);
+    // every multi-pin net contributes two axes, each offset by +t
+    let active: usize = nl
+        .nets()
+        .filter(|&n| nl.net_degree(n) >= 2)
+        .count();
+    let offset = 2.0 * t * active as f64;
+    let envelope_total = model_total - offset;
+    assert!(envelope_total <= exact + 1e-6, "{envelope_total} vs {exact}");
+    assert!(
+        envelope_total >= exact - offset - 1e-6,
+        "{envelope_total} vs lower bound {}",
+        exact - offset
+    );
+}
+
+#[test]
+fn smoothing_updates_propagate_through_problem() {
+    let circuit = synth::generate(&synth::smoke_spec());
+    let mut p = PlacementProblem::new(
+        &circuit.design,
+        &circuit.placement,
+        ModelKind::Moreau.instantiate(5.0),
+        1,
+    );
+    let params = p.pack_params(&circuit.placement);
+    let mut g = vec![0.0; p.dim()];
+    let f_smooth = p.eval(&params, &mut g);
+    p.set_smoothing(0.01);
+    assert_eq!(p.smoothing(), 0.01);
+    let f_sharp = p.eval(&params, &mut g);
+    // at tiny t the model is ~exact HPWL; at t=5 it carries the +t offset
+    // per net-axis, so the smooth value is larger
+    assert!(f_smooth > f_sharp, "{f_smooth} vs {f_sharp}");
+}
+
+#[test]
+fn objective_decreases_under_any_optimizer() {
+    use moreau_placer::optim::{adam::Adam, cg::ConjugateSubgradient, gd::GradientDescent, Optimizer};
+    let circuit = synth::generate(&synth::smoke_spec());
+    let optimizers: Vec<Box<dyn Optimizer>> = vec![
+        Box::new(Adam::new(0.05)),
+        Box::new(GradientDescent::new(1.0)),
+        Box::new(ConjugateSubgradient::new(0.5)),
+    ];
+    for mut opt in optimizers {
+        let mut p = PlacementProblem::new(
+            &circuit.design,
+            &circuit.placement,
+            ModelKind::Moreau.instantiate(1.0),
+            1,
+        );
+        p.lambda = 0.1;
+        let mut x = p.pack_params(&circuit.placement);
+        p.project(&mut x);
+        let first = opt.step(&mut p, &mut x).value;
+        let mut last = first;
+        for _ in 0..30 {
+            last = opt.step(&mut p, &mut x).value;
+        }
+        assert!(
+            last < first,
+            "{} failed to descend: {first} → {last}",
+            opt.name()
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Cross-crate integration test: the §III-C schedules behave as designed
+//! inside the real placement loop (not just as isolated formulas).
+
+use moreau_placer::netlist::synth;
+use moreau_placer::placer::global::{place, GlobalConfig};
+use moreau_placer::wirelength::ModelKind;
+
+fn trajectory(model: ModelKind) -> Vec<moreau_placer::placer::TrajectoryPoint> {
+    let c = synth::generate(&synth::smoke_spec());
+    let cfg = GlobalConfig {
+        model,
+        max_iters: 400,
+        threads: 1,
+        record_trajectory: true,
+        ..GlobalConfig::default()
+    };
+    place(&c, &cfg).trajectory
+}
+
+#[test]
+fn smoothing_tightens_as_overflow_drops_moreau() {
+    let traj = trajectory(ModelKind::Moreau);
+    let first = traj.first().expect("non-empty trajectory");
+    let last = traj.last().expect("non-empty trajectory");
+    assert!(last.overflow < first.overflow);
+    // the tangent schedule maps lower overflow to (much) smaller t
+    assert!(
+        last.smoothing < 0.2 * first.smoothing,
+        "t did not tighten: {} → {}",
+        first.smoothing,
+        last.smoothing
+    );
+    assert!(last.smoothing > 0.0);
+}
+
+#[test]
+fn smoothing_tightens_as_overflow_drops_wa() {
+    let traj = trajectory(ModelKind::Wa);
+    let first = traj.first().expect("non-empty trajectory");
+    let last = traj.last().expect("non-empty trajectory");
+    assert!(
+        last.smoothing < first.smoothing,
+        "γ did not tighten: {} → {}",
+        first.smoothing,
+        last.smoothing
+    );
+}
+
+#[test]
+fn lambda_grows_monotonically_per_eq_15() {
+    for model in [ModelKind::Moreau, ModelKind::Wa] {
+        let traj = trajectory(model);
+        for w in traj.windows(2) {
+            assert!(
+                w[1].lambda >= w[0].lambda,
+                "{model}: λ decreased at iter {}",
+                w[1].iter
+            );
+        }
+        // and it grows substantially over the run (density pressure ramps)
+        let first = traj.first().expect("non-empty");
+        let last = traj.last().expect("non-empty");
+        assert!(last.lambda > 2.0 * first.lambda, "{model}");
+    }
+}
+
+#[test]
+fn overflow_trends_down_after_burn_in() {
+    let traj = trajectory(ModelKind::Moreau);
+    // compare mean overflow of the second quarter vs the last quarter
+    let q = traj.len() / 4;
+    let mean = |s: &[moreau_placer::placer::TrajectoryPoint]| {
+        s.iter().map(|p| p.overflow).sum::<f64>() / s.len() as f64
+    };
+    let early = mean(&traj[q..2 * q]);
+    let late = mean(&traj[3 * q..]);
+    assert!(late < early, "overflow did not trend down: {early} → {late}");
+}
+
+#[test]
+fn hpwl_grows_as_cells_spread_then_is_traded_against_overflow() {
+    // the Fig. 3 shape: HPWL rises from the collapsed start while overflow
+    // falls; at the end HPWL is far above the (degenerate) initial value
+    let traj = trajectory(ModelKind::Moreau);
+    let first = traj.first().expect("non-empty");
+    let last = traj.last().expect("non-empty");
+    assert!(last.hpwl > first.hpwl);
+    assert!(last.overflow < 0.25 * first.overflow.max(0.4));
+}
