@@ -13,7 +13,7 @@ fn bench_iteration(c: &mut Criterion) {
     let circuit = synth::generate(&synth::smoke_spec());
     let mut group = c.benchmark_group("objective_eval");
     for kind in ModelKind::contestants() {
-        let mut problem = PlacementProblem::new(
+        let mut problem = PlacementProblem::with_threads(
             &circuit.design,
             &circuit.placement,
             kind.instantiate(1.0),

@@ -19,17 +19,13 @@ fn bench_waterfill(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("solve_only", n), &sorted, |b, s| {
             b.iter(|| black_box(waterfill::solve_lower(black_box(s), t)))
         });
-        group.bench_with_input(
-            BenchmarkId::new("sort_plus_solve", n),
-            &unsorted,
-            |b, u| {
-                b.iter(|| {
-                    let mut s = u.clone();
-                    s.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
-                    black_box(waterfill::solve_lower(&s, t))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("sort_plus_solve", n), &unsorted, |b, u| {
+            b.iter(|| {
+                let mut s = u.clone();
+                s.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+                black_box(waterfill::solve_lower(&s, t))
+            })
+        });
     }
     group.finish();
 }

@@ -22,10 +22,22 @@ fn main() {
     let opts = FlowOptions::from_args();
     let benches = ["newblue1", "ispd19_test5"];
     let variants: [(&str, ModelKind, OptimizerKind); 4] = [
-        ("Moreau+Nesterov (paper)", ModelKind::Moreau, OptimizerKind::Nesterov),
+        (
+            "Moreau+Nesterov (paper)",
+            ModelKind::Moreau,
+            OptimizerKind::Nesterov,
+        ),
         ("Moreau+Adam", ModelKind::Moreau, OptimizerKind::Adam),
-        ("Moreau+PRP-CG", ModelKind::Moreau, OptimizerKind::ConjugateSubgradient),
-        ("HPWL+PRP-CG (non-smooth)", ModelKind::Hpwl, OptimizerKind::ConjugateSubgradient),
+        (
+            "Moreau+PRP-CG",
+            ModelKind::Moreau,
+            OptimizerKind::ConjugateSubgradient,
+        ),
+        (
+            "HPWL+PRP-CG (non-smooth)",
+            ModelKind::Hpwl,
+            OptimizerKind::ConjugateSubgradient,
+        ),
     ];
     let mut table = Table::new(["bench", "variant", "DPWL", "overflow", "iters", "RT(s)"]);
     for bench in benches {

@@ -37,18 +37,24 @@ fn main() {
         let x = [0.0, span];
         let naive_l = {
             let v = lse_max_naive(&x, gamma) + lse_max_naive(&[-x[0], -x[1]], gamma);
-            if v.is_finite() { format!("{v:.3e}") } else { "overflow".into() }
+            if v.is_finite() {
+                format!("{v:.3e}")
+            } else {
+                "overflow".into()
+            }
         };
         let naive_w = {
             let v = wa_naive(&x, gamma);
-            if v.is_finite() { format!("{v:.3e}") } else { "overflow".into() }
+            if v.is_finite() {
+                format!("{v:.3e}")
+            } else {
+                "overflow".into()
+            }
         };
         let sl = lse.value_axis(&x);
         let sw = wa.value_axis(&x);
         let sm = me.value_axis(&x);
-        println!(
-            "{span:>12.0e} {naive_l:>14} {naive_w:>14} {sl:>14.4e} {sw:>14.4e} {sm:>14.4e}"
-        );
+        println!("{span:>12.0e} {naive_l:>14} {naive_w:>14} {sl:>14.4e} {sw:>14.4e} {sm:>14.4e}");
         table.push([
             format!("{span:e}"),
             naive_l,

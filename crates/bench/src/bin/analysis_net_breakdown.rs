@@ -46,8 +46,7 @@ fn main() {
         let mut class_wl = vec![0.0; CLASSES.len()];
         for net in nl.nets() {
             let d = nl.net_degree(net);
-            let Some(k) = CLASSES.iter().position(|&(lo, hi, _)| d >= lo && d <= hi)
-            else {
+            let Some(k) = CLASSES.iter().position(|&(lo, hi, _)| d >= lo && d <= hi) else {
                 continue; // 0/1-pin nets
             };
             class_wl[k] += net_hpwl(nl, &r.placement, net);
@@ -56,9 +55,7 @@ fn main() {
     }
 
     let mut table = Table::new(["class", "#nets", "WA HPWL", "Ours HPWL", "Ours/WA"]);
-    println!(
-        "\nnewblue1 — final DPWL by net-degree class (WA vs Ours):\n"
-    );
+    println!("\nnewblue1 — final DPWL by net-degree class (WA vs Ours):\n");
     println!(
         "{:<10} {:>7} {:>12} {:>12} {:>9}",
         "class", "#nets", "WA", "Ours", "Ours/WA"

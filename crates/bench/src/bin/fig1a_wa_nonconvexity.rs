@@ -28,7 +28,10 @@ fn main() {
     }
     let mut table = Table::new(header);
 
-    let mut wa: Vec<_> = GAMMAS.iter().map(|&g| ModelKind::Wa.instantiate(g)).collect();
+    let mut wa: Vec<_> = GAMMAS
+        .iter()
+        .map(|&g| ModelKind::Wa.instantiate(g))
+        .collect();
     let mut me: Vec<_> = GAMMAS
         .iter()
         .map(|&g| ModelKind::Moreau.instantiate(g))
@@ -71,7 +74,10 @@ fn main() {
     if let Err(e) = table.write_csv("results/fig1a_wa_nonconvexity.csv") {
         eprintln!("could not write CSV: {e}");
     } else {
-        println!("wrote results/fig1a_wa_nonconvexity.csv ({} rows)", table.len());
+        println!(
+            "wrote results/fig1a_wa_nonconvexity.csv ({} rows)",
+            table.len()
+        );
     }
 
     // the figure itself
@@ -88,7 +94,12 @@ fn main() {
     }
     plot.add_series(
         format!("Moreau t={}", GAMMAS[1]),
-        (0..=SAMPLES).map(|i| (i as f64 / SAMPLES as f64 * 100.0, curves[GAMMAS.len() + 1][i])),
+        (0..=SAMPLES).map(|i| {
+            (
+                i as f64 / SAMPLES as f64 * 100.0,
+                curves[GAMMAS.len() + 1][i],
+            )
+        }),
     );
     if plot.write("results/fig1a_wa_nonconvexity.svg").is_ok() {
         println!("wrote results/fig1a_wa_nonconvexity.svg");

@@ -34,7 +34,10 @@ fn main() {
         .collect();
 
     println!("Fig. 1(b) — mean |error| vs smoothing parameter (Δx = {SPAN}, {TRIALS} trials)\n");
-    println!("{:>10} {:>12} {:>12} {:>12}", "param", "LSE", "WA", "Moreau");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "param", "LSE", "WA", "Moreau"
+    );
     for i in 0..points {
         let p = 10f64.powf(-1.0 + 3.0 * i as f64 / (points - 1) as f64);
         let mut lse = ModelKind::Lse.instantiate(p);

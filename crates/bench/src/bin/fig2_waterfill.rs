@@ -27,7 +27,15 @@ fn main() {
     }
     println!("breakpoints Σ k·gap (Eq. 13): {breakpoints:?}\n");
 
-    let mut table = Table::new(["t", "tau1", "k", "residual1", "tau2", "residual2", "collapsed"]);
+    let mut table = Table::new([
+        "t",
+        "tau1",
+        "k",
+        "residual1",
+        "tau2",
+        "residual2",
+        "collapsed",
+    ]);
     println!(
         "{:>8} {:>9} {:>3} {:>11} {:>9} {:>11} {:>9}",
         "t", "tau1", "k", "residual1", "tau2", "residual2", "collapsed"
@@ -40,9 +48,7 @@ fn main() {
         let r1 = waterfill::lower_residual(&x, tau1, t);
         let r2 = waterfill::upper_residual(&x, tau2, t);
         let collapsed = tau1 > tau2;
-        println!(
-            "{t:>8.2} {tau1:>9.4} {k:>3} {r1:>11.2e} {tau2:>9.4} {r2:>11.2e} {collapsed:>9}"
-        );
+        println!("{t:>8.2} {tau1:>9.4} {k:>3} {r1:>11.2e} {tau2:>9.4} {r2:>11.2e} {collapsed:>9}");
         table.push([
             format!("{t}"),
             format!("{tau1:.6}"),

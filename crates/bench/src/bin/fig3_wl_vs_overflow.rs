@@ -45,7 +45,10 @@ fn main() {
         }
         println!("\nFig. 3 — {bench}: final GP HPWL at matched overflow");
         for (model, hpwl, phi) in &finals {
-            println!("  {:<8} HPWL {hpwl:.4e} at overflow {phi:.3}", model.label());
+            println!(
+                "  {:<8} HPWL {hpwl:.4e} at overflow {phi:.3}",
+                model.label()
+            );
         }
         if let [(_, wa, _), (_, ours, _)] = finals[..] {
             println!("  Ours/WA at GP end: {:.4}", ours / wa);
@@ -56,7 +59,8 @@ fn main() {
             let pick = |model: &str| -> Option<f64> {
                 // last trajectory point with overflow >= target (overflow decreases)
                 table_rows_for(&table, bench, model)
-                    .into_iter().rfind(|(phi, _)| *phi >= target)
+                    .into_iter()
+                    .rfind(|(phi, _)| *phi >= target)
                     .map(|(_, h)| h)
             };
             if let (Some(wa), Some(ours)) = (pick("WA"), pick("Ours")) {
@@ -70,7 +74,10 @@ fn main() {
     if let Err(e) = table.write_csv("results/fig3_trajectories.csv") {
         eprintln!("could not write CSV: {e}");
     } else {
-        println!("\nwrote results/fig3_trajectories.csv ({} points)", table.len());
+        println!(
+            "\nwrote results/fig3_trajectories.csv ({} points)",
+            table.len()
+        );
     }
 
     // the figures themselves: HPWL against overflow, x reversed by

@@ -13,7 +13,9 @@ use mep_placer::pipeline::{run, PipelineConfig};
 use mep_wirelength::ModelKind;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "smoke".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "smoke".to_string());
     let spec = if name == "smoke" {
         synth::smoke_spec()
     } else {
@@ -32,7 +34,10 @@ fn main() {
             Err(e) => eprintln!("could not write {path}: {e}"),
         }
     };
-    write("initial", placement_svg(&circuit.design, &circuit.placement));
+    write(
+        "initial",
+        placement_svg(&circuit.design, &circuit.placement),
+    );
 
     let config = PipelineConfig {
         global: mep_placer::GlobalConfig {
@@ -53,10 +58,7 @@ fn main() {
     es.update(&circuit.design.netlist, &result.placement);
     let grid = es.grid();
     let (nx, ny) = (grid.nx(), grid.ny());
-    write(
-        "density",
-        mep_bench::svg::heatmap_svg(es.density(), nx, ny),
-    );
+    write("density", mep_bench::svg::heatmap_svg(es.density(), nx, ny));
 
     println!(
         "{}: GPWL {:.4e} → DPWL {:.4e}, {} violations",

@@ -29,7 +29,8 @@ fn main() {
             eprintln!("[table2] {} × {} …", spec.name, model.label());
             let row = run_benchmark(spec, model, &opts);
             assert_eq!(
-                row.violations, 0,
+                row.violations,
+                0,
                 "{} × {} produced an illegal placement",
                 spec.name,
                 model.label()

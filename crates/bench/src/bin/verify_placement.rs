@@ -20,10 +20,7 @@ fn main() -> ExitCode {
         eprintln!("usage: verify_placement <circuit.aux> [target_density]");
         return ExitCode::from(2);
     };
-    let density: f64 = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0);
+    let density: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1.0);
     let circuit = match bookshelf::read_aux(&aux, density) {
         Ok(c) => c,
         Err(e) => {
@@ -33,7 +30,11 @@ fn main() -> ExitCode {
     };
     let nl = &circuit.design.netlist;
     println!("circuit  : {}", circuit.design.name);
-    println!("cells    : {} movable + {} fixed", nl.num_movable(), nl.num_fixed());
+    println!(
+        "cells    : {} movable + {} fixed",
+        nl.num_movable(),
+        nl.num_fixed()
+    );
     println!("nets/pins: {} / {}", nl.num_nets(), nl.num_pins());
     let hpwl = total_hpwl(nl, &circuit.placement);
     let whpwl = total_weighted_hpwl(nl, &circuit.placement);

@@ -23,10 +23,7 @@ impl Default for FlowOptions {
         Self {
             shrink: 1,
             max_iters: 800,
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-                .min(16),
+            threads: mep_wirelength::engine::default_threads(),
         }
     }
 }

@@ -23,7 +23,11 @@ const COLORS: [&str; 6] = [
 
 impl LinePlot {
     /// Creates an empty plot.
-    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
         Self {
             title: title.into(),
             x_label: x_label.into(),
@@ -47,8 +51,13 @@ impl LinePlot {
     }
 
     /// Adds a named series.
-    pub fn add_series(&mut self, label: impl Into<String>, points: impl IntoIterator<Item = (f64, f64)>) {
-        self.series.push((label.into(), points.into_iter().collect()));
+    pub fn add_series(
+        &mut self,
+        label: impl Into<String>,
+        points: impl IntoIterator<Item = (f64, f64)>,
+    ) {
+        self.series
+            .push((label.into(), points.into_iter().collect()));
     }
 
     /// Renders the SVG document.
@@ -69,9 +78,7 @@ impl LinePlot {
                 (
                     k,
                     pts.iter()
-                        .filter(|(x, y)| {
-                            (!self.log_x || *x > 0.0) && (!self.log_y || *y > 0.0)
-                        })
+                        .filter(|(x, y)| (!self.log_x || *x > 0.0) && (!self.log_y || *y > 0.0))
                         .map(|&(x, y)| (tx(x), ty(y)))
                         .collect(),
                 )
@@ -176,7 +183,13 @@ impl LinePlot {
             let color = COLORS[k % COLORS.len()];
             let mut d = String::new();
             for (i, &(x, y)) in series_pts.iter().enumerate() {
-                let _ = write!(d, "{}{:.2},{:.2} ", if i == 0 { "M" } else { "L" }, sx(x), sy(y));
+                let _ = write!(
+                    d,
+                    "{}{:.2},{:.2} ",
+                    if i == 0 { "M" } else { "L" },
+                    sx(x),
+                    sy(y)
+                );
             }
             let _ = writeln!(
                 out,
@@ -218,7 +231,9 @@ impl LinePlot {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// ~3-significant-digit tick label (Rust has no `%g` formatter).
@@ -232,7 +247,11 @@ fn fmt_sig(v: f64) -> String {
         let s = format!("{v:.decimals$}");
         // trim trailing zeros and a dangling dot
         let s = s.trim_end_matches('0').trim_end_matches('.').to_string();
-        if s.is_empty() { "0".to_string() } else { s }
+        if s.is_empty() {
+            "0".to_string()
+        } else {
+            s
+        }
     } else {
         format!("{v:.2e}")
     }
@@ -338,7 +357,10 @@ mod tests {
     #[test]
     fn log_axes_drop_nonpositive_points() {
         let mut p = LinePlot::new("log", "x", "y").with_log_x().with_log_y();
-        p.add_series("s", vec![(0.0, 1.0), (1.0, 0.0), (10.0, 100.0), (100.0, 1.0)]);
+        p.add_series(
+            "s",
+            vec![(0.0, 1.0), (1.0, 0.0), (10.0, 100.0), (100.0, 1.0)],
+        );
         let svg = p.to_svg();
         // only two valid points survive → one path with one M and one L
         let path_line = svg.lines().find(|l| l.contains("<path")).unwrap();

@@ -1,0 +1,43 @@
+//! Pluggable parallel execution for density accumulation.
+//!
+//! The density crate must not depend on the wirelength crate (where the
+//! persistent evaluation engine lives), so parallelism is injected through
+//! the [`ParallelExec`] trait: the placer wraps its engine in an adapter
+//! and installs it with [`crate::Electrostatics::set_executor`]. Without
+//! an executor (or with [`SerialExec`]) everything runs serially on the
+//! calling thread.
+
+/// A deterministic part-dispatch primitive.
+///
+/// Implementations must execute `f(part)` exactly once for every part in
+/// `0..parts` and return only after all parts completed. Thread and order
+/// are unspecified; callers keep outputs per part and combine them in a
+/// fixed order, which makes results independent of the implementation.
+pub trait ParallelExec: Send + Sync + std::fmt::Debug {
+    /// Executes `f` over `0..parts`.
+    fn run(&self, parts: usize, f: &(dyn Fn(usize) + Sync));
+}
+
+/// The trivial executor: ascending part order on the calling thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialExec;
+
+impl ParallelExec for SerialExec {
+    fn run(&self, parts: usize, f: &(dyn Fn(usize) + Sync)) {
+        for i in 0..parts {
+            f(i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_exec_covers_all_parts_in_order() {
+        let order = std::sync::Mutex::new(Vec::new());
+        SerialExec.run(5, &|i| order.lock().unwrap().push(i));
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -159,7 +159,12 @@ impl BinGrid {
     /// The (possibly inflated) density footprint of a movable cell under
     /// ePlace local smoothing, with the density scale that preserves area.
     /// Returns `(rect, scale)`.
-    pub fn smoothed_footprint(&self, netlist: &Netlist, placement: &Placement, cell: CellId) -> (Rect, f64) {
+    pub fn smoothed_footprint(
+        &self,
+        netlist: &Netlist,
+        placement: &Placement,
+        cell: CellId,
+    ) -> (Rect, f64) {
         let w = netlist.cell_width(cell);
         let h = netlist.cell_height(cell);
         let min_w = std::f64::consts::SQRT_2 * self.bin_w;
@@ -173,7 +178,12 @@ impl BinGrid {
         };
         let c = placement.center(netlist, cell);
         (
-            Rect::new(c.x - 0.5 * ew, c.y - 0.5 * eh, c.x + 0.5 * ew, c.y + 0.5 * eh),
+            Rect::new(
+                c.x - 0.5 * ew,
+                c.y - 0.5 * eh,
+                c.x + 0.5 * ew,
+                c.y + 0.5 * eh,
+            ),
             scale,
         )
     }

@@ -34,11 +34,13 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod electro;
+pub mod exec;
 pub mod fft;
 pub mod grid;
 pub mod poisson;
 pub mod transform;
 
 pub use electro::{DensityReport, Electrostatics};
+pub use exec::{ParallelExec, SerialExec};
 pub use grid::{BinGrid, DensityMap};
 pub use poisson::PoissonSolver;

@@ -47,7 +47,10 @@ impl PoissonSolver {
     /// Panics if a grid dimension is not a power of two or the die size is
     /// not positive.
     pub fn new(nx: usize, ny: usize, width: f64, height: f64) -> Self {
-        assert!(nx.is_power_of_two() && ny.is_power_of_two(), "grid must be power of two");
+        assert!(
+            nx.is_power_of_two() && ny.is_power_of_two(),
+            "grid must be power of two"
+        );
         assert!(width > 0.0 && height > 0.0, "die must have positive size");
         let wu = (0..nx)
             .map(|u| std::f64::consts::PI * u as f64 / width)
@@ -75,7 +78,13 @@ impl PoissonSolver {
     /// # Panics
     ///
     /// Panics if any slice length differs from `nx · ny`.
-    pub fn solve(&mut self, rho: &[f64], psi: &mut [f64], ex: &mut [f64], ey: &mut [f64]) -> SolveStats {
+    pub fn solve(
+        &mut self,
+        rho: &[f64],
+        psi: &mut [f64],
+        ex: &mut [f64],
+        ey: &mut [f64],
+    ) -> SolveStats {
         let n = self.nx * self.ny;
         assert_eq!(rho.len(), n);
         assert_eq!(psi.len(), n);
@@ -85,7 +94,14 @@ impl PoissonSolver {
         // forward analysis
         self.coeff.clear();
         self.coeff.extend_from_slice(rho);
-        transform_2d(&mut self.coeff, self.ny, self.nx, Kind::Dct2, Kind::Dct2, &mut self.scratch);
+        transform_2d(
+            &mut self.coeff,
+            self.ny,
+            self.nx,
+            Kind::Dct2,
+            Kind::Dct2,
+            &mut self.scratch,
+        );
 
         // normalization for the synthesis pair: x = (2/N)(2/M) dct3(dct2 x)
         let norm = (2.0 / self.nx as f64) * (2.0 / self.ny as f64);
@@ -103,7 +119,14 @@ impl PoissonSolver {
             }
         }
         psi.copy_from_slice(&self.work);
-        transform_2d(psi, self.ny, self.nx, Kind::Dct3, Kind::Dct3, &mut self.scratch);
+        transform_2d(
+            psi,
+            self.ny,
+            self.nx,
+            Kind::Dct3,
+            Kind::Dct3,
+            &mut self.scratch,
+        );
 
         // E_x = Σ ψ_uv w_u sin(w_u x) cos(w_v y)
         for v in 0..self.ny {
@@ -111,7 +134,14 @@ impl PoissonSolver {
                 ex[v * self.nx + u] = self.work[v * self.nx + u] * self.wu[u];
             }
         }
-        transform_2d(ex, self.ny, self.nx, Kind::Dst3, Kind::Dct3, &mut self.scratch);
+        transform_2d(
+            ex,
+            self.ny,
+            self.nx,
+            Kind::Dst3,
+            Kind::Dct3,
+            &mut self.scratch,
+        );
 
         // E_y = Σ ψ_uv w_v cos(w_u x) sin(w_v y)
         for v in 0..self.ny {
@@ -119,7 +149,14 @@ impl PoissonSolver {
                 ey[v * self.nx + u] = self.work[v * self.nx + u] * self.wv[v];
             }
         }
-        transform_2d(ey, self.ny, self.nx, Kind::Dct3, Kind::Dst3, &mut self.scratch);
+        transform_2d(
+            ey,
+            self.ny,
+            self.nx,
+            Kind::Dct3,
+            Kind::Dst3,
+            &mut self.scratch,
+        );
 
         SolveStats { modes: n - 1 }
     }

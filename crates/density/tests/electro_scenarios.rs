@@ -10,8 +10,7 @@ fn design_with(cells: &[(&str, f64, f64, bool)], die: f64) -> Design {
     for &(name, w, h, movable) in cells {
         b.add_cell(name, w, h, movable).unwrap();
     }
-    Design::with_uniform_rows("t", b.build(), Rect::new(0.0, 0.0, die, die), 1.0, 1.0, 1.0)
-        .unwrap()
+    Design::with_uniform_rows("t", b.build(), Rect::new(0.0, 0.0, die, die), 1.0, 1.0, 1.0).unwrap()
 }
 
 #[test]
@@ -29,7 +28,10 @@ fn mirror_symmetric_layout_gives_mirror_symmetric_forces() {
     let mut gy = vec![0.0; 2];
     es.accumulate_gradient(&design.netlist, &pl, &mut gx, &mut gy);
     // mirror symmetry: gx antisymmetric, gy equal
-    assert!((gx[0] + gx[1]).abs() < 1e-9 * gx[0].abs().max(1e-9), "{gx:?}");
+    assert!(
+        (gx[0] + gx[1]).abs() < 1e-9 * gx[0].abs().max(1e-9),
+        "{gx:?}"
+    );
     assert!((gy[0] - gy[1]).abs() < 1e-9 + 1e-9 * gy[0].abs(), "{gy:?}");
 }
 

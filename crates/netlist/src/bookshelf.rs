@@ -65,7 +65,10 @@ fn key_value(line: &str) -> Option<(&str, &str)> {
 ///
 /// Returns [`NetlistError::Io`] if any referenced file is missing and
 /// [`NetlistError::Parse`] on malformed content.
-pub fn read_aux(aux_path: impl AsRef<Path>, target_density: f64) -> Result<BookshelfCircuit, NetlistError> {
+pub fn read_aux(
+    aux_path: impl AsRef<Path>,
+    target_density: f64,
+) -> Result<BookshelfCircuit, NetlistError> {
     let aux_path = aux_path.as_ref();
     let text = fs::read_to_string(aux_path)?;
     let dir = aux_path.parent().unwrap_or(Path::new("."));
@@ -130,7 +133,15 @@ pub fn read_files(
     scl_text: &str,
     target_density: f64,
 ) -> Result<BookshelfCircuit, NetlistError> {
-    read_files_with_weights(name, nodes_text, nets_text, pl_text, scl_text, None, target_density)
+    read_files_with_weights(
+        name,
+        nodes_text,
+        nets_text,
+        pl_text,
+        scl_text,
+        None,
+        target_density,
+    )
 }
 
 /// Parses a benchmark from in-memory file contents, including an optional
@@ -268,7 +279,11 @@ pub fn read_files_with_weights(
                     continue;
                 }
             }
-            return Err(parse_err("nets", lineno, format!("unexpected line `{line}`")));
+            return Err(parse_err(
+                "nets",
+                lineno,
+                format!("unexpected line `{line}`"),
+            ));
         }
     }
 
@@ -414,9 +429,8 @@ pub fn to_strings(circuit: &BookshelfCircuit) -> BookshelfFiles {
     let pl_data = &circuit.placement;
     let base = &design.name;
 
-    let aux = format!(
-        "RowBasedPlacement : {base}.nodes {base}.nets {base}.wts {base}.pl {base}.scl\n"
-    );
+    let aux =
+        format!("RowBasedPlacement : {base}.nodes {base}.nets {base}.wts {base}.pl {base}.scl\n");
 
     let mut nodes = String::from("UCLA nodes 1.0\n\n");
     let _ = writeln!(nodes, "NumNodes : {}", nl.num_cells());
@@ -588,8 +602,7 @@ mod tests {
     #[test]
     fn wts_weights_are_parsed_and_round_trip() {
         let wts = "UCLA wts 1.0\nn0 2.5\n";
-        let c = read_files_with_weights("t".into(), NODES, NETS, PL, SCL, Some(wts), 0.9)
-            .unwrap();
+        let c = read_files_with_weights("t".into(), NODES, NETS, PL, SCL, Some(wts), 0.9).unwrap();
         let nl = &c.design.netlist;
         assert_eq!(nl.net_weight(crate::ids::NetId(0)), 2.5);
         assert_eq!(nl.net_weight(crate::ids::NetId(1)), 1.0);

@@ -92,7 +92,9 @@ impl Design {
                 return Err(NetlistError::Geometry(format!("degenerate row {i}")));
             }
             let r = row.rect();
-            if r.xl < die.xl - EPS || r.xh > die.xh + EPS || r.yl < die.yl - EPS
+            if r.xl < die.xl - EPS
+                || r.xh > die.xh + EPS
+                || r.yl < die.yl - EPS
                 || r.yh > die.yh + EPS
             {
                 return Err(NetlistError::Geometry(format!(
@@ -227,15 +229,9 @@ mod tests {
 
     #[test]
     fn uniform_rows_tile_die() {
-        let d = Design::with_uniform_rows(
-            "t",
-            nl(),
-            Rect::new(0.0, 0.0, 100.0, 50.0),
-            10.0,
-            1.0,
-            0.8,
-        )
-        .unwrap();
+        let d =
+            Design::with_uniform_rows("t", nl(), Rect::new(0.0, 0.0, 100.0, 50.0), 10.0, 1.0, 0.8)
+                .unwrap();
         assert_eq!(d.rows.len(), 5);
         assert_eq!(d.rows[4].y, 40.0);
         assert_eq!(d.total_row_area(), 100.0 * 50.0);
@@ -243,37 +239,19 @@ mod tests {
 
     #[test]
     fn partial_last_row_dropped() {
-        let d = Design::with_uniform_rows(
-            "t",
-            nl(),
-            Rect::new(0.0, 0.0, 10.0, 25.0),
-            10.0,
-            1.0,
-            1.0,
-        )
-        .unwrap();
+        let d =
+            Design::with_uniform_rows("t", nl(), Rect::new(0.0, 0.0, 10.0, 25.0), 10.0, 1.0, 1.0)
+                .unwrap();
         assert_eq!(d.rows.len(), 2);
     }
 
     #[test]
     fn rejects_bad_density() {
-        let err = Design::with_uniform_rows(
-            "t",
-            nl(),
-            Rect::new(0.0, 0.0, 10.0, 10.0),
-            1.0,
-            1.0,
-            0.0,
-        );
+        let err =
+            Design::with_uniform_rows("t", nl(), Rect::new(0.0, 0.0, 10.0, 10.0), 1.0, 1.0, 0.0);
         assert!(err.is_err());
-        let err = Design::with_uniform_rows(
-            "t",
-            nl(),
-            Rect::new(0.0, 0.0, 10.0, 10.0),
-            1.0,
-            1.0,
-            1.5,
-        );
+        let err =
+            Design::with_uniform_rows("t", nl(), Rect::new(0.0, 0.0, 10.0, 10.0), 1.0, 1.0, 1.5);
         assert!(err.is_err());
     }
 
@@ -292,17 +270,13 @@ mod tests {
 
     #[test]
     fn regions_validate_and_assign() {
-        let mut d = Design::with_uniform_rows(
-            "t",
-            nl(),
-            Rect::new(0.0, 0.0, 10.0, 10.0),
-            1.0,
-            1.0,
-            0.9,
-        )
-        .unwrap();
+        let mut d =
+            Design::with_uniform_rows("t", nl(), Rect::new(0.0, 0.0, 10.0, 10.0), 1.0, 1.0, 0.9)
+                .unwrap();
         assert!(!d.has_regions());
-        let r = d.add_region("fence", Rect::new(2.0, 2.0, 6.0, 6.0)).unwrap();
+        let r = d
+            .add_region("fence", Rect::new(2.0, 2.0, 6.0, 6.0))
+            .unwrap();
         let cell = crate::CellId(0);
         d.assign_region(cell, Some(r));
         assert!(d.has_regions());
@@ -317,15 +291,9 @@ mod tests {
 
     #[test]
     fn utilization_is_area_ratio() {
-        let d = Design::with_uniform_rows(
-            "t",
-            nl(),
-            Rect::new(0.0, 0.0, 10.0, 10.0),
-            1.0,
-            1.0,
-            0.9,
-        )
-        .unwrap();
+        let d =
+            Design::with_uniform_rows("t", nl(), Rect::new(0.0, 0.0, 10.0, 10.0), 1.0, 1.0, 0.9)
+                .unwrap();
         assert!((d.utilization() - 0.01).abs() < 1e-12);
     }
 }

@@ -16,12 +16,12 @@
 //! present in the simple `- name comp… + REGION r ;` form. [`write_def`]
 //! serializes a placed circuit back out for evaluators and viewers.
 
+use crate::bookshelf::BookshelfCircuit;
 use crate::design::Design;
 use crate::error::NetlistError;
 use crate::geom::{Point, Rect};
 use crate::netlist::NetlistBuilder;
 use crate::placement::Placement;
-use crate::bookshelf::BookshelfCircuit;
 use crate::Row;
 use std::collections::HashMap;
 
@@ -112,7 +112,10 @@ pub fn parse_lef(text: &str) -> Result<LefLibrary, NetlistError> {
     while let Some(t) = tok.next() {
         match t {
             "SITE" => {
-                let name = tok.next().ok_or_else(|| parse_err("SITE name"))?.to_string();
+                let name = tok
+                    .next()
+                    .ok_or_else(|| parse_err("SITE name"))?
+                    .to_string();
                 let mut size = (0.0, 0.0);
                 while let Some(t) = tok.next() {
                     match t {
@@ -136,7 +139,10 @@ pub fn parse_lef(text: &str) -> Result<LefLibrary, NetlistError> {
                 lib.sites.insert(name, size);
             }
             "MACRO" => {
-                let name = tok.next().ok_or_else(|| parse_err("MACRO name"))?.to_string();
+                let name = tok
+                    .next()
+                    .ok_or_else(|| parse_err("MACRO name"))?
+                    .to_string();
                 let mut mac = LefMacro {
                     name: name.clone(),
                     width: 0.0,
@@ -190,16 +196,14 @@ pub fn parse_lef(text: &str) -> Result<LefLibrary, NetlistError> {
                                     _ => {}
                                 }
                             }
-                            let center = rect_acc
-                                .map(|r| r.center())
-                                .unwrap_or(Point::new(0.0, 0.0));
+                            let center =
+                                rect_acc.map(|r| r.center()).unwrap_or(Point::new(0.0, 0.0));
                             mac.pins.insert(pin_name, center);
                         }
-                        "END"
-                            if tok.peek() == Some(name.as_str()) => {
-                                tok.next();
-                                break;
-                            }
+                        "END" if tok.peek() == Some(name.as_str()) => {
+                            tok.next();
+                            break;
+                        }
                         _ => {}
                     }
                 }
@@ -335,7 +339,11 @@ pub fn parse_def(
                 site_w.get_or_insert(sw);
                 site_h.get_or_insert(if sh > 0.0 { sh } else { sw * 8.0 });
                 let sw_dbu = sw * dbu;
-                let width = if step_x > 0.0 { nx * step_x } else { nx * sw_dbu };
+                let width = if step_x > 0.0 {
+                    nx * step_x
+                } else {
+                    nx * sw_dbu
+                };
                 rows.push(Row {
                     y,
                     height: site_h.expect("set above") * dbu,
@@ -409,10 +417,7 @@ pub fn parse_def(
                 loop {
                     match tok.next() {
                         Some("-") => {
-                            let name = tok
-                                .next()
-                                .ok_or_else(|| parse_err("pin name"))?
-                                .to_string();
+                            let name = tok.next().ok_or_else(|| parse_err("pin name"))?.to_string();
                             let mut p = IoPin {
                                 name,
                                 x: 0.0,
@@ -460,10 +465,7 @@ pub fn parse_def(
                 loop {
                     match tok.next() {
                         Some("-") => {
-                            let name = tok
-                                .next()
-                                .ok_or_else(|| parse_err("net name"))?
-                                .to_string();
+                            let name = tok.next().ok_or_else(|| parse_err("net name"))?.to_string();
                             let mut net = DefNet {
                                 name,
                                 pins: Vec::new(),
@@ -646,7 +648,12 @@ pub fn parse_def(
     let netlist = builder.build();
 
     // geometry in site units
-    let die = Rect::new(die.xl * scale, die.yl * scale, die.xh * scale, die.yh * scale);
+    let die = Rect::new(
+        die.xl * scale,
+        die.yl * scale,
+        die.xh * scale,
+        die.yh * scale,
+    );
     let rows: Vec<Row> = rows
         .into_iter()
         .map(|r| Row {

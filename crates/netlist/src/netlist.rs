@@ -52,6 +52,8 @@ pub struct Netlist {
     cell_pin_ids: Vec<PinId>,
     // lookup
     name_index: HashMap<String, CellId>,
+    // process-unique topology token (see `instance_id`)
+    instance_id: u64,
 }
 
 impl Netlist {
@@ -214,6 +216,18 @@ impl Netlist {
         self.movable_cells().map(|c| self.cell_area(c)).sum()
     }
 
+    /// A token identifying this netlist's topology within the process.
+    ///
+    /// Every [`NetlistBuilder::build`] call returns a netlist with a fresh
+    /// id; clones share their source's id (cloning does not change
+    /// topology). Evaluators use this to decide whether cached
+    /// topology-derived state (partitions, gather indices) is still valid
+    /// without comparing CSR arrays.
+    #[inline]
+    pub fn instance_id(&self) -> u64 {
+        self.instance_id
+    }
+
     /// Net-degree histogram: entry `d` counts nets with exactly `d` pins
     /// (degrees ≥ `cap` are accumulated in the last bucket).
     pub fn degree_histogram(&self, cap: usize) -> Vec<usize> {
@@ -328,16 +342,25 @@ impl NetlistBuilder {
     /// `(width, height)` of a cell added earlier (useful while generating
     /// pin offsets before the netlist is finalized).
     pub fn cell_size(&self, cell: CellId) -> (f64, f64) {
-        (self.cell_width[cell.index()], self.cell_height[cell.index()])
+        (
+            self.cell_width[cell.index()],
+            self.cell_height[cell.index()],
+        )
     }
 
     /// Sets the weight of an already-added net (Bookshelf `.wts`).
     ///
+    /// A weight of `0.0` is allowed and removes the net from the objective
+    /// (its pins still exist, e.g. for density).
+    ///
     /// # Panics
     ///
-    /// Panics if the net does not exist or the weight is not positive.
+    /// Panics if the net does not exist or the weight is negative/NaN.
     pub fn set_net_weight(&mut self, net: NetId, weight: f64) {
-        assert!(weight > 0.0, "net weight must be positive, got {weight}");
+        assert!(
+            weight >= 0.0,
+            "net weight must be non-negative, got {weight}"
+        );
         self.net_weights[net.index()] = weight;
     }
 
@@ -352,6 +375,11 @@ impl NetlistBuilder {
 
     /// Finalizes the netlist, computing the cell → pin adjacency.
     pub fn build(self) -> Netlist {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // id 0 is reserved for `Netlist::default()` so freshly built
+        // netlists are always distinguishable from the empty default
+        static NEXT_INSTANCE_ID: AtomicU64 = AtomicU64::new(1);
+        let instance_id = NEXT_INSTANCE_ID.fetch_add(1, Ordering::Relaxed);
         let num_cells = self.cell_names.len();
         let num_pins = self.pin_cell.len();
         // counting sort of pins by cell
@@ -384,6 +412,7 @@ impl NetlistBuilder {
             cell_pin_start,
             cell_pin_ids,
             name_index: self.name_index,
+            instance_id,
         }
     }
 }

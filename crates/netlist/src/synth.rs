@@ -102,14 +102,102 @@ pub fn ispd2006_suite() -> Vec<SynthSpec> {
     let s = |n: usize| n / SCALE_2006;
     use Suite::Ispd2006 as S6;
     vec![
-        SynthSpec::new("adaptec5", S6, s(842_482), s(646).max(8), s(867_798), s(3_433_359), 0, 0.50, 0.40, 1001),
-        SynthSpec::new("newblue1", S6, s(330_137), s(337).max(8), s(338_901), s(1_223_165), 48, 0.80, 0.55, 1002),
-        SynthSpec::new("newblue2", S6, s(440_239), s(1_277), s(465_219), s(1_761_069), 0, 0.90, 0.55, 1003),
-        SynthSpec::new("newblue3", S6, s(482_833), s(11_178), s(552_199), s(1_881_267), 24, 0.80, 0.45, 1004),
-        SynthSpec::new("newblue4", S6, s(642_717), s(3_422), s(637_051), s(2_455_617), 0, 0.50, 0.45, 1005),
-        SynthSpec::new("newblue5", S6, s(1_228_177), s(4_881), s(1_284_251), s(4_849_194), 0, 0.50, 0.45, 1006),
-        SynthSpec::new("newblue6", S6, s(1_248_150), s(6_889), s(1_288_443), s(5_200_208), 0, 0.80, 0.45, 1007),
-        SynthSpec::new("newblue7", S6, s(2_481_372), s(26_582), s(2_636_820), s(9_971_913), 0, 0.80, 0.50, 1008),
+        SynthSpec::new(
+            "adaptec5",
+            S6,
+            s(842_482),
+            s(646).max(8),
+            s(867_798),
+            s(3_433_359),
+            0,
+            0.50,
+            0.40,
+            1001,
+        ),
+        SynthSpec::new(
+            "newblue1",
+            S6,
+            s(330_137),
+            s(337).max(8),
+            s(338_901),
+            s(1_223_165),
+            48,
+            0.80,
+            0.55,
+            1002,
+        ),
+        SynthSpec::new(
+            "newblue2",
+            S6,
+            s(440_239),
+            s(1_277),
+            s(465_219),
+            s(1_761_069),
+            0,
+            0.90,
+            0.55,
+            1003,
+        ),
+        SynthSpec::new(
+            "newblue3",
+            S6,
+            s(482_833),
+            s(11_178),
+            s(552_199),
+            s(1_881_267),
+            24,
+            0.80,
+            0.45,
+            1004,
+        ),
+        SynthSpec::new(
+            "newblue4",
+            S6,
+            s(642_717),
+            s(3_422),
+            s(637_051),
+            s(2_455_617),
+            0,
+            0.50,
+            0.45,
+            1005,
+        ),
+        SynthSpec::new(
+            "newblue5",
+            S6,
+            s(1_228_177),
+            s(4_881),
+            s(1_284_251),
+            s(4_849_194),
+            0,
+            0.50,
+            0.45,
+            1006,
+        ),
+        SynthSpec::new(
+            "newblue6",
+            S6,
+            s(1_248_150),
+            s(6_889),
+            s(1_288_443),
+            s(5_200_208),
+            0,
+            0.80,
+            0.45,
+            1007,
+        ),
+        SynthSpec::new(
+            "newblue7",
+            S6,
+            s(2_481_372),
+            s(26_582),
+            s(2_636_820),
+            s(9_971_913),
+            0,
+            0.80,
+            0.50,
+            1008,
+        ),
     ]
 }
 
@@ -118,16 +206,126 @@ pub fn ispd2019_suite() -> Vec<SynthSpec> {
     let s = |n: usize| n / SCALE_2019;
     use Suite::Ispd2019 as S9;
     vec![
-        SynthSpec::new("ispd19_test1", S9, s(8_879), 0, s(3_153), s(17_203), 0, 0.90, 0.35, 2001),
-        SynthSpec::new("ispd19_test2", S9, s(72_090), 4, s(72_410), s(318_245), 0, 0.90, 0.45, 2002),
-        SynthSpec::new("ispd19_test3", S9, s(8_208), s(75).max(2), s(8_953), s(30_271), 0, 0.90, 0.45, 2003),
-        SynthSpec::new("ispd19_test4", S9, s(146_435), 7, s(151_612), s(436_707), 0, 0.90, 0.45, 2004),
-        SynthSpec::new("ispd19_test5", S9, s(28_914), 8, s(29_416), s(80_757), 0, 0.90, 0.40, 2005),
-        SynthSpec::new("ispd19_test6", S9, s(179_865), 16, s(179_863), s(793_289), 0, 0.90, 0.45, 2006),
-        SynthSpec::new("ispd19_test7", S9, s(359_730), 16, s(358_720), s(1_584_844), 0, 0.90, 0.45, 2007),
-        SynthSpec::new("ispd19_test8", S9, s(539_595), 16, s(537_577), s(2_376_399), 0, 0.90, 0.45, 2008),
-        SynthSpec::new("ispd19_test9", S9, s(899_325), 16, s(895_253), s(3_957_481), 0, 0.90, 0.45, 2009),
-        SynthSpec::new("ispd19_test10", S9, s(899_325), s(79).max(2), s(895_253), s(3_957_499), 0, 0.90, 0.45, 2010),
+        SynthSpec::new(
+            "ispd19_test1",
+            S9,
+            s(8_879),
+            0,
+            s(3_153),
+            s(17_203),
+            0,
+            0.90,
+            0.35,
+            2001,
+        ),
+        SynthSpec::new(
+            "ispd19_test2",
+            S9,
+            s(72_090),
+            4,
+            s(72_410),
+            s(318_245),
+            0,
+            0.90,
+            0.45,
+            2002,
+        ),
+        SynthSpec::new(
+            "ispd19_test3",
+            S9,
+            s(8_208),
+            s(75).max(2),
+            s(8_953),
+            s(30_271),
+            0,
+            0.90,
+            0.45,
+            2003,
+        ),
+        SynthSpec::new(
+            "ispd19_test4",
+            S9,
+            s(146_435),
+            7,
+            s(151_612),
+            s(436_707),
+            0,
+            0.90,
+            0.45,
+            2004,
+        ),
+        SynthSpec::new(
+            "ispd19_test5",
+            S9,
+            s(28_914),
+            8,
+            s(29_416),
+            s(80_757),
+            0,
+            0.90,
+            0.40,
+            2005,
+        ),
+        SynthSpec::new(
+            "ispd19_test6",
+            S9,
+            s(179_865),
+            16,
+            s(179_863),
+            s(793_289),
+            0,
+            0.90,
+            0.45,
+            2006,
+        ),
+        SynthSpec::new(
+            "ispd19_test7",
+            S9,
+            s(359_730),
+            16,
+            s(358_720),
+            s(1_584_844),
+            0,
+            0.90,
+            0.45,
+            2007,
+        ),
+        SynthSpec::new(
+            "ispd19_test8",
+            S9,
+            s(539_595),
+            16,
+            s(537_577),
+            s(2_376_399),
+            0,
+            0.90,
+            0.45,
+            2008,
+        ),
+        SynthSpec::new(
+            "ispd19_test9",
+            S9,
+            s(899_325),
+            16,
+            s(895_253),
+            s(3_957_481),
+            0,
+            0.90,
+            0.45,
+            2009,
+        ),
+        SynthSpec::new(
+            "ispd19_test10",
+            S9,
+            s(899_325),
+            s(79).max(2),
+            s(895_253),
+            s(3_957_499),
+            0,
+            0.90,
+            0.45,
+            2010,
+        ),
     ]
 }
 
@@ -141,7 +339,18 @@ pub fn spec_by_name(name: &str) -> Option<SynthSpec> {
 
 /// A small smoke-test circuit (hundreds of cells) for examples and tests.
 pub fn smoke_spec() -> SynthSpec {
-    SynthSpec::new("smoke", Suite::Ispd2006, 400, 16, 420, 1500, 4, 0.8, 0.45, 42)
+    SynthSpec::new(
+        "smoke",
+        Suite::Ispd2006,
+        400,
+        16,
+        420,
+        1500,
+        4,
+        0.8,
+        0.45,
+        42,
+    )
 }
 
 /// The smoke circuit with two fence regions holding ~10% of the cells —
@@ -221,7 +430,9 @@ pub fn generate(spec: &SynthSpec) -> BookshelfCircuit {
     // can avoid them: vertical strips in the upper third, row-aligned
     let fence_rects: Vec<Rect> = (0..spec.regions)
         .map(|r| {
-            let strip_w = (die.width() / (2.0 * spec.regions as f64 + 1.0)).floor().max(4.0);
+            let strip_w = (die.width() / (2.0 * spec.regions as f64 + 1.0))
+                .floor()
+                .max(4.0);
             let yl = (die.yl + 0.6 * die.height()).floor();
             let yh = (die.yl + 0.9 * die.height()).floor();
             let xl = (die.xl + (2 * r + 1) as f64 * strip_w).floor();
@@ -337,9 +548,20 @@ pub fn generate(spec: &SynthSpec) -> BookshelfCircuit {
             .map(|&cell_idx| {
                 let cell = crate::ids::CellId::from_usize(cell_idx);
                 // offsets uniform inside the cell box (from center)
-                let (w, h) = (builder_cell_w(&builder, cell), builder_cell_h(&builder, cell));
-                let dx = if w > 0.0 { rng.gen_range(-0.5..0.5) * w } else { 0.0 };
-                let dy = if h > 0.0 { rng.gen_range(-0.5..0.5) * h } else { 0.0 };
+                let (w, h) = (
+                    builder_cell_w(&builder, cell),
+                    builder_cell_h(&builder, cell),
+                );
+                let dx = if w > 0.0 {
+                    rng.gen_range(-0.5..0.5) * w
+                } else {
+                    0.0
+                };
+                let dy = if h > 0.0 {
+                    rng.gen_range(-0.5..0.5) * h
+                } else {
+                    0.0
+                };
                 (cell, dx, dy)
             })
             .collect();

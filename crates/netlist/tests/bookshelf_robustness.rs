@@ -13,7 +13,8 @@ fn parse(nodes: &str, nets: &str, pl: &str) -> Result<(), NetlistError> {
 #[test]
 fn tolerates_comments_and_blank_lines() {
     let nodes = "UCLA nodes 1.0\n# a comment\n\nNumNodes : 1\nNumTerminals : 0\n\n  a 1 1  # trailing comment\n";
-    let nets = "# header comment\nNumNets : 1\nNumPins : 2\nNetDegree : 2 n\n a I : 0 0\n a O : 0.5 0\n";
+    let nets =
+        "# header comment\nNumNets : 1\nNumPins : 2\nNetDegree : 2 n\n a I : 0 0\n a O : 0.5 0\n";
     let pl = "a 3 0 : N\n# done\n";
     assert!(parse(nodes, nets, pl).is_ok());
 }

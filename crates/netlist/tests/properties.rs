@@ -36,7 +36,8 @@ fn circuits() -> impl Strategy<Value = RandomCircuit> {
 fn build(c: &RandomCircuit) -> (mep_netlist::Netlist, Placement) {
     let mut b = NetlistBuilder::new();
     for (i, &w) in c.widths.iter().enumerate() {
-        b.add_cell(format!("c{i}"), w, 1.0, i % 5 != 0).expect("unique");
+        b.add_cell(format!("c{i}"), w, 1.0, i % 5 != 0)
+            .expect("unique");
     }
     for (k, net) in c.nets.iter().enumerate() {
         b.add_net(

@@ -234,9 +234,7 @@ mod tests {
 
     #[test]
     fn report_tracks_descent() {
-        let mut p = Quadratic {
-            diag: vec![1.0; 4],
-        };
+        let mut p = Quadratic { diag: vec![1.0; 4] };
         let mut x = vec![2.0; 4];
         let mut opt = Nesterov::new(0.05);
         let mut prev = f64::INFINITY;

@@ -139,7 +139,9 @@ mod tests {
     fn matches_brute_force_on_random_matrices() {
         let mut state = 0x12345678u64;
         let mut rng = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         for n in 1..=7 {

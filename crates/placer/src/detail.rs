@@ -158,8 +158,7 @@ fn row_obstacles(design: &Design, placement: &Placement, row_h: f64) -> Vec<Vec<
     let nrows = design.rows.len().max(1);
     let mut per_row: Vec<Vec<(f64, f64)>> = vec![Vec::new(); nrows];
     for cell in netlist.cells() {
-        let frozen_macro =
-            netlist.is_movable(cell) && netlist.cell_height(cell) > row_h + 1e-9;
+        let frozen_macro = netlist.is_movable(cell) && netlist.cell_height(cell) > row_h + 1e-9;
         if netlist.is_movable(cell) && !frozen_macro {
             continue;
         }
@@ -212,11 +211,7 @@ fn local_reorder(
                 continue;
             }
             // unconstrained windows must not pack into a fence interior
-            if region.is_none()
-                && fences
-                    .iter()
-                    .any(|f| f.xl < left + span_w && left < f.xh)
-            {
+            if region.is_none() && fences.iter().any(|f| f.xl < left + span_w && left < f.xh) {
                 continue;
             }
             nets_of(netlist, cells, &mut nets);
@@ -318,8 +313,7 @@ fn global_swap(
     for &cell in &all {
         // optimal region: median of the other-pin bounding boxes
         let (ox, oy) = optimal_position(netlist, placement, cell);
-        let cur_d = (placement.x[cell.index()] - ox).abs()
-            + (placement.y[cell.index()] - oy).abs();
+        let cur_d = (placement.x[cell.index()] - ox).abs() + (placement.y[cell.index()] - oy).abs();
         if cur_d < row_h {
             continue; // already near optimal
         }
@@ -336,8 +330,8 @@ fn global_swap(
                     if p == cell {
                         continue;
                     }
-                    let d = (placement.x[p.index()] - ox).abs()
-                        + (placement.y[p.index()] - oy).abs();
+                    let d =
+                        (placement.x[p.index()] - ox).abs() + (placement.y[p.index()] - oy).abs();
                     if best_peer.is_none_or(|(bd, _)| d < bd) {
                         best_peer = Some((d, p));
                     }

@@ -17,9 +17,9 @@ use mep_netlist::bookshelf::BookshelfCircuit;
 use mep_netlist::Placement;
 use mep_optim::nesterov::Nesterov;
 use mep_optim::{Optimizer, Problem};
-use mep_wirelength::{
-    EplaceGammaSchedule, ModelKind, SmoothingSchedule, TangentTSchedule,
-};
+use mep_wirelength::engine::{EngineStats, EvalEngine};
+use mep_wirelength::{EplaceGammaSchedule, ModelKind, SmoothingSchedule, TangentTSchedule};
+use std::sync::Arc;
 
 /// Which schedule drives the Moreau smoothing parameter `t` (ablation of
 /// the paper's Eq. (14) design choice; exponential models always use the
@@ -69,7 +69,7 @@ pub struct GlobalConfig {
     pub max_iters: usize,
     /// Minimum iterations before the overflow stop can fire.
     pub min_iters: usize,
-    /// Worker threads for wirelength evaluation.
+    /// Worker threads for the evaluation engine (wirelength + density).
     pub threads: usize,
     /// Record the per-iteration trajectory (Fig. 3).
     pub record_trajectory: bool,
@@ -93,7 +93,7 @@ impl Default for GlobalConfig {
             target_overflow: 0.07,
             max_iters: 600,
             min_iters: 30,
-            threads: default_threads(),
+            threads: mep_wirelength::engine::default_threads(),
             record_trajectory: false,
             t0: 4.0,
             gamma0: 0.5,
@@ -101,13 +101,6 @@ impl Default for GlobalConfig {
             beta: 2000.0,
         }
     }
-}
-
-fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(16)
 }
 
 /// One point of the Fig. 3 trajectory.
@@ -138,13 +131,26 @@ pub struct GlobalResult {
     pub iterations: usize,
     /// Per-iteration `(HPWL, φ)` samples when recording was enabled.
     pub trajectory: Vec<TrajectoryPoint>,
+    /// Evaluation-engine instrumentation (spawns, eval counts, stage times).
+    pub engine_stats: EngineStats,
 }
 
-/// Runs ePlace-style global placement on a circuit.
+/// Runs ePlace-style global placement on a circuit, creating a persistent
+/// evaluation engine with `config.threads` workers for the run.
 pub fn place(circuit: &BookshelfCircuit, config: &GlobalConfig) -> GlobalResult {
+    place_with_engine(circuit, config, Arc::new(EvalEngine::new(config.threads)))
+}
+
+/// Runs global placement on a caller-provided engine (so a pipeline can
+/// share one worker pool across stages and aggregate instrumentation).
+pub fn place_with_engine(
+    circuit: &BookshelfCircuit,
+    config: &GlobalConfig,
+    engine: Arc<EvalEngine>,
+) -> GlobalResult {
     let design = &circuit.design;
     let model = config.model.instantiate(1.0);
-    let mut problem = PlacementProblem::new(design, &circuit.placement, model, config.threads);
+    let mut problem = PlacementProblem::new(design, &circuit.placement, model, engine.clone());
     problem.set_preconditioner(config.precondition);
     let mut params = problem.pack_params(&circuit.placement);
     problem.project(&mut params);
@@ -201,11 +207,9 @@ pub fn place(circuit: &BookshelfCircuit, config: &GlobalConfig) -> GlobalResult 
     let mut optimizer: Box<dyn Optimizer> = match config.optimizer {
         OptimizerKind::Nesterov => Box::new(Nesterov::new(initial_step)),
         OptimizerKind::Adam => Box::new(mep_optim::adam::Adam::new(0.25 * (bw + bh))),
-        OptimizerKind::ConjugateSubgradient => Box::new(
-            mep_optim::cg::ConjugateSubgradient::new(
-                2.0 * (bw + bh) * (problem.dim() as f64).sqrt(),
-            ),
-        ),
+        OptimizerKind::ConjugateSubgradient => Box::new(mep_optim::cg::ConjugateSubgradient::new(
+            2.0 * (bw + bh) * (problem.dim() as f64).sqrt(),
+        )),
     };
 
     let mut trajectory = Vec::new();
@@ -250,6 +254,7 @@ pub fn place(circuit: &BookshelfCircuit, config: &GlobalConfig) -> GlobalResult 
         overflow,
         iterations,
         trajectory,
+        engine_stats: engine.stats(),
     }
 }
 
@@ -320,6 +325,22 @@ mod tests {
             assert!(r.hpwl.is_finite(), "{kind}");
             assert!(r.overflow < 0.9, "{kind}: overflow {}", r.overflow);
         }
+    }
+
+    #[test]
+    fn engine_stats_cover_the_whole_run() {
+        let c = synth::generate(&synth::smoke_spec());
+        let mut cfg = smoke_config(ModelKind::Moreau);
+        cfg.max_iters = 40;
+        cfg.record_trajectory = false;
+        let r = place(&c, &cfg);
+        let s = r.engine_stats;
+        // one wirelength-gradient eval per optimizer eval, plus the λ0 probes
+        assert!(s.wl_grad.count >= r.iterations as u64, "{s:?}");
+        assert_eq!(s.wl_grad.count, s.density.count, "{s:?}");
+        assert_eq!(s.spawned_threads, 0, "1-thread config must not spawn");
+        assert_eq!(s.workspace_allocs, 1, "workspace built once, then reused");
+        assert!(s.wl_grad.nanos > 0 && s.density.nanos > 0);
     }
 
     #[test]

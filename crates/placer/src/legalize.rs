@@ -209,11 +209,8 @@ pub fn legalize(design: &Design, gp: &Placement) -> (Placement, LegalizeReport) 
                 }
             }
         }
-        let (_, bx, by) = best.unwrap_or((
-            0.0,
-            die.xl,
-            design.rows.last().expect("design has rows").y,
-        ));
+        let (_, bx, by) =
+            best.unwrap_or((0.0, die.xl, design.rows.last().expect("design has rows").y));
         legal.x[m.index()] = bx;
         legal.y[m.index()] = by;
         obstacles.push(Rect::from_origin_size(bx, by, w, h));
@@ -304,18 +301,18 @@ pub fn legalize(design: &Design, gp: &Placement) -> (Placement, LegalizeReport) 
         .movable_cells()
         .filter(|&c| netlist.cell_height(c) <= row_h + 1e-9)
         .collect();
-    std_cells.sort_by(|&a, &b| gp.x[a.index()].partial_cmp(&gp.x[b.index()]).expect("finite"));
+    std_cells.sort_by(|&a, &b| {
+        gp.x[a.index()]
+            .partial_cmp(&gp.x[b.index()])
+            .expect("finite")
+    });
 
     let mut spills = 0usize;
     for &cell in &std_cells {
         let w = netlist.cell_width(cell).max(1e-9);
         let tx = gp.x[cell.index()];
         let ty = gp.y[cell.index()];
-        let cell_region = design
-            .cell_region
-            .get(cell.index())
-            .copied()
-            .flatten();
+        let cell_region = design.cell_region.get(cell.index()).copied().flatten();
         // candidate rows ordered by |dy|
         let mut order: Vec<usize> = (0..rows.len()).collect();
         order.sort_by(|&a, &b| {
@@ -354,9 +351,7 @@ pub fn legalize(design: &Design, gp: &Placement) -> (Placement, LegalizeReport) 
                 let mut found = None;
                 'outer: for (ri, (_, segs)) in rows.iter().enumerate() {
                     for (si, seg) in segs.iter().enumerate() {
-                        if seg.region == cell_region
-                            && seg.used + w <= seg.xh - seg.xl + 1e-9
-                        {
+                        if seg.region == cell_region && seg.used + w <= seg.xh - seg.xl + 1e-9 {
                             found = Some((ri, si));
                             break 'outer;
                         }
@@ -409,7 +404,11 @@ pub fn legalize(design: &Design, gp: &Placement) -> (Placement, LegalizeReport) 
     (
         legal,
         LegalizeReport {
-            avg_displacement: if count > 0 { total_disp / count as f64 } else { 0.0 },
+            avg_displacement: if count > 0 {
+                total_disp / count as f64
+            } else {
+                0.0
+            },
             max_displacement: max_disp,
             macros: n_macros,
             spills,
@@ -501,8 +500,11 @@ mod tests {
     use mep_netlist::synth;
     use mep_wirelength::ModelKind;
 
-    fn legalized_smoke() -> (mep_netlist::bookshelf::BookshelfCircuit, Placement, LegalizeReport)
-    {
+    fn legalized_smoke() -> (
+        mep_netlist::bookshelf::BookshelfCircuit,
+        Placement,
+        LegalizeReport,
+    ) {
         let c = synth::generate(&synth::smoke_spec());
         let cfg = GlobalConfig {
             model: ModelKind::Moreau,

@@ -38,6 +38,8 @@ pub mod pipeline;
 pub mod quadratic;
 
 pub use detail::{DetailConfig, DetailReport};
-pub use global::{GlobalConfig, GlobalResult, MoreauSchedule, OptimizerKind, TrajectoryPoint};
+pub use global::{
+    place_with_engine, GlobalConfig, GlobalResult, MoreauSchedule, OptimizerKind, TrajectoryPoint,
+};
 pub use legalize::{check_legal, legalize, LegalizeReport, Violation};
 pub use pipeline::{run, PipelineConfig, PipelineResult};

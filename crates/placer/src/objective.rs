@@ -6,9 +6,24 @@
 //! positions. Projection clamps each movable cell inside the die.
 
 use mep_density::electro::{DensityReport, Electrostatics};
+use mep_density::exec::ParallelExec;
 use mep_netlist::{CellId, Design, Placement};
 use mep_optim::Problem;
+use mep_wirelength::engine::{EvalEngine, Stage};
 use mep_wirelength::{AnyModel, NetModel, NetlistEvaluator, WirelengthGrad};
+use std::sync::Arc;
+
+/// Adapter exposing the wirelength crate's [`EvalEngine`] to the density
+/// crate's [`ParallelExec`] hook (the density crate must not depend on the
+/// wirelength crate).
+#[derive(Debug, Clone)]
+struct EngineExec(Arc<EvalEngine>);
+
+impl ParallelExec for EngineExec {
+    fn run(&self, parts: usize, f: &(dyn Fn(usize) + Sync)) {
+        self.0.run(parts, f);
+    }
+}
 
 /// Statistics of the most recent objective evaluation.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -25,9 +40,13 @@ pub struct EvalStats {
 pub struct PlacementProblem<'a> {
     design: &'a Design,
     movable: Vec<CellId>,
+    engine: Arc<EvalEngine>,
     evaluator: NetlistEvaluator,
     wl: WirelengthGrad,
     es: Electrostatics,
+    /// Reused density-gradient buffers (zeroed each eval, never reallocated).
+    dgx: Vec<f64>,
+    dgy: Vec<f64>,
     scratch: Placement,
     /// Current density weight `λ`.
     pub lambda: f64,
@@ -49,27 +68,52 @@ impl<'a> PlacementProblem<'a> {
     /// Builds the problem. `initial` provides fixed-cell positions (and the
     /// starting movable positions extracted by
     /// [`PlacementProblem::pack_params`]); `model` is the wirelength model;
-    /// `threads` bounds evaluation parallelism.
+    /// `engine` executes every evaluation stage (wirelength and density)
+    /// and collects per-stage instrumentation.
     pub fn new(
         design: &'a Design,
         initial: &Placement,
         model: AnyModel,
-        threads: usize,
+        engine: Arc<EvalEngine>,
     ) -> Self {
         let netlist = &design.netlist;
         let movable: Vec<CellId> = netlist.movable_cells().collect();
-        let es = Electrostatics::new(design, initial);
+        let mut es = Electrostatics::new(design, initial);
+        es.set_executor(
+            Arc::new(EngineExec(Arc::clone(&engine))),
+            engine.threads(),
+            netlist,
+        );
         Self {
             movable,
-            evaluator: NetlistEvaluator::new(model, threads),
+            evaluator: NetlistEvaluator::new(model, Arc::clone(&engine)),
+            engine,
             wl: WirelengthGrad::zeros(netlist.num_cells()),
             es,
+            dgx: vec![0.0; netlist.num_cells()],
+            dgy: vec![0.0; netlist.num_cells()],
             scratch: initial.clone(),
             lambda: 0.0,
             precondition: false,
             design,
             last: EvalStats::default(),
         }
+    }
+
+    /// Convenience constructor building a private engine with `threads`
+    /// workers (tests and small tools; the pipeline shares one engine).
+    pub fn with_threads(
+        design: &'a Design,
+        initial: &Placement,
+        model: AnyModel,
+        threads: usize,
+    ) -> Self {
+        Self::new(design, initial, model, Arc::new(EvalEngine::new(threads)))
+    }
+
+    /// The evaluation engine (e.g. for its instrumentation counters).
+    pub fn engine(&self) -> &Arc<EvalEngine> {
+        &self.engine
     }
 
     /// Enables the ePlace/DREAMPlace Jacobi preconditioner: the reported
@@ -168,20 +212,24 @@ impl<'a> Problem for PlacementProblem<'a> {
         self.unpack_params(x, &mut scratch);
         let netlist = &self.design.netlist;
 
-        // wirelength term
+        // wirelength term (engine-timed inside the evaluator)
         self.evaluator.evaluate(netlist, &scratch, &mut self.wl);
 
-        // density term
-        let report = self.es.update(netlist, &scratch);
-        let mut dgx = vec![0.0; netlist.num_cells()];
-        let mut dgy = vec![0.0; netlist.num_cells()];
-        self.es
-            .accumulate_gradient(netlist, &scratch, &mut dgx, &mut dgy);
+        // density term, on reused buffers
+        self.dgx.iter_mut().for_each(|g| *g = 0.0);
+        self.dgy.iter_mut().for_each(|g| *g = 0.0);
+        let es = &mut self.es;
+        let (dgx, dgy) = (&mut self.dgx, &mut self.dgy);
+        let report = self.engine.time_stage(Stage::Density, || {
+            let report = es.update(netlist, &scratch);
+            es.accumulate_gradient(netlist, &scratch, dgx, dgy);
+            report
+        });
 
         for (i, &cell) in self.movable.iter().enumerate() {
             let c = cell.index();
-            grad[i] = self.wl.grad_x[c] + self.lambda * dgx[c];
-            grad[m + i] = self.wl.grad_y[c] + self.lambda * dgy[c];
+            grad[i] = self.wl.grad_x[c] + self.lambda * self.dgx[c];
+            grad[m + i] = self.wl.grad_y[c] + self.lambda * self.dgy[c];
             if self.precondition {
                 let diag = (netlist.cell_pins(cell).len() as f64
                     + self.lambda * netlist.cell_area(cell))
@@ -208,11 +256,7 @@ impl<'a> Problem for PlacementProblem<'a> {
             let hw = 0.5 * netlist.cell_width(cell);
             let hh = 0.5 * netlist.cell_height(cell);
             // region-constrained cells are boxed into their fence
-            let fence = self
-                .design
-                .region_of(cell)
-                .map(|r| r.rect)
-                .unwrap_or(die);
+            let fence = self.design.region_of(cell).map(|r| r.rect).unwrap_or(die);
             // degenerate box smaller than the cell: pin to the box center
             let (lo_x, hi_x) = (fence.xl + hw, fence.xh - hw);
             let (lo_y, hi_y) = (fence.yl + hh, fence.yh - hh);
@@ -238,12 +282,26 @@ mod tests {
     use mep_wirelength::ModelKind;
 
     fn problem(c: &mep_netlist::bookshelf::BookshelfCircuit) -> PlacementProblem<'_> {
-        PlacementProblem::new(
+        PlacementProblem::with_threads(
             &c.design,
             &c.placement,
             ModelKind::Moreau.instantiate(1.0),
             1,
         )
+    }
+
+    #[test]
+    fn engine_instrumentation_sees_both_stages() {
+        let c = synth::generate(&synth::smoke_spec());
+        let mut p = problem(&c);
+        let params = p.pack_params(&c.placement);
+        let mut g = vec![0.0; p.dim()];
+        p.eval(&params, &mut g);
+        p.eval(&params, &mut g);
+        let stats = p.engine().stats();
+        assert_eq!(stats.wl_grad.count, 2);
+        assert_eq!(stats.density.count, 2);
+        assert_eq!(stats.spawned_threads, 0, "1-thread engine never spawns");
     }
 
     #[test]

@@ -3,10 +3,12 @@
 //! Tables II/III report (LGWL, DPWL, RT).
 
 use crate::detail::{refine, DetailConfig, DetailReport};
-use crate::global::{place, GlobalConfig, GlobalResult, TrajectoryPoint};
+use crate::global::{place_with_engine, GlobalConfig, GlobalResult, TrajectoryPoint};
 use crate::legalize::{check_legal, legalize, LegalizeReport};
 use mep_netlist::bookshelf::BookshelfCircuit;
 use mep_netlist::{total_hpwl, Placement};
+use mep_wirelength::engine::{EngineStats, EvalEngine};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Pipeline configuration.
@@ -47,6 +49,8 @@ pub struct PipelineResult {
     pub placement: Placement,
     /// Legality violations in the final placement (must be empty).
     pub violations: usize,
+    /// Evaluation-engine instrumentation for the global-placement stage.
+    pub engine_stats: EngineStats,
 }
 
 impl PipelineResult {
@@ -57,11 +61,16 @@ impl PipelineResult {
 }
 
 /// Runs the full GP → LG → DP flow on a circuit.
+///
+/// The persistent evaluation engine is created once here and lives for the
+/// whole flow; its worker pool and workspaces are reused across every
+/// global-placement iteration.
 pub fn run(circuit: &BookshelfCircuit, config: &PipelineConfig) -> PipelineResult {
     let design = &circuit.design;
+    let engine = Arc::new(EvalEngine::new(config.global.threads));
 
     let t0 = Instant::now();
-    let gp: GlobalResult = place(circuit, &config.global);
+    let gp: GlobalResult = place_with_engine(circuit, &config.global, engine);
     let rt_gp = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
@@ -91,6 +100,7 @@ pub fn run(circuit: &BookshelfCircuit, config: &PipelineConfig) -> PipelineResul
         trajectory: gp.trajectory,
         placement: refined,
         violations,
+        engine_stats: gp.engine_stats,
     }
 }
 
@@ -115,7 +125,12 @@ mod tests {
         let r = run(&c, &config);
         assert_eq!(r.violations, 0);
         // DP never worsens the legal placement
-        assert!(r.dpwl <= r.lgwl + 1e-9, "dpwl {} vs lgwl {}", r.dpwl, r.lgwl);
+        assert!(
+            r.dpwl <= r.lgwl + 1e-9,
+            "dpwl {} vs lgwl {}",
+            r.dpwl,
+            r.lgwl
+        );
         // legalization stays close to GP quality once converged
         assert!(r.lgwl < 1.3 * r.gpwl, "lgwl {} vs gpwl {}", r.lgwl, r.gpwl);
         assert!(r.rt_total() > 0.0);

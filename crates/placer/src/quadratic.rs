@@ -88,7 +88,13 @@ impl LaplacianSystem {
         precond(&r, &mut z, &self.diag);
         p.copy_from_slice(&z);
         let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
-        let rhs_norm: f64 = self.rhs.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-30);
+        let rhs_norm: f64 = self
+            .rhs
+            .iter()
+            .map(|v| v * v)
+            .sum::<f64>()
+            .sqrt()
+            .max(1e-30);
         for it in 0..max_iters {
             let rn: f64 = r.iter().map(|v| v * v).sum::<f64>().sqrt();
             if rn <= tol * rhs_norm {
@@ -296,7 +302,14 @@ pub fn place_b2b(circuit: &BookshelfCircuit, config: &B2bConfig) -> (Placement, 
                         0.5 * netlist.cell_height(cell) + netlist.pin_offset_y(p)
                     }
                 };
-                build_axis(netlist, &positions, &movable_index, offset, &mut system, config.min_gap);
+                build_axis(
+                    netlist,
+                    &positions,
+                    &movable_index,
+                    offset,
+                    &mut system,
+                    config.min_gap,
+                );
             }
             if !has_fixed_pins {
                 // degenerate free-floating system: weak anchor to the die
@@ -449,14 +462,20 @@ mod tests {
         // scatter cells randomly (deterministically) so there is slack
         let mut scattered = c.clone();
         for (i, v) in scattered.placement.x.iter_mut().enumerate() {
-            if c.design.netlist.is_movable(mep_netlist::CellId::from_usize(i)) {
+            if c.design
+                .netlist
+                .is_movable(mep_netlist::CellId::from_usize(i))
+            {
                 *v = (i as f64 * 0.61).fract() * c.design.die.width();
             }
         }
         let before = mep_netlist::total_hpwl(&c.design.netlist, &scattered.placement);
         let (solved, report) = place_b2b(&scattered, &B2bConfig::default());
         let after = mep_netlist::total_hpwl(&c.design.netlist, &solved);
-        assert!(after < 0.7 * before, "B2B barely helped: {before} → {after}");
+        assert!(
+            after < 0.7 * before,
+            "B2B barely helped: {before} → {after}"
+        );
         assert!(report.cg_iterations > 0);
     }
 

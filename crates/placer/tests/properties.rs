@@ -21,10 +21,7 @@ fn scenarios() -> impl Strategy<Value = Scenario> {
     (4usize..40).prop_flat_map(|n| {
         let widths = prop::collection::vec(1u8..4, n);
         let positions = prop::collection::vec((0.0f64..28.0, 0.0f64..14.0), n);
-        let nets = prop::collection::vec(
-            prop::collection::btree_set(0..n, 2..n.min(5)),
-            1..10,
-        );
+        let nets = prop::collection::vec(prop::collection::btree_set(0..n, 2..n.min(5)), 1..10);
         (widths, positions, nets).prop_map(|(widths, positions, nets)| Scenario {
             widths,
             positions,
@@ -36,7 +33,8 @@ fn scenarios() -> impl Strategy<Value = Scenario> {
 fn build(s: &Scenario) -> (Design, Placement) {
     let mut b = NetlistBuilder::new();
     for (i, &w) in s.widths.iter().enumerate() {
-        b.add_cell(format!("c{i}"), w as f64, 1.0, true).expect("unique");
+        b.add_cell(format!("c{i}"), w as f64, 1.0, true)
+            .expect("unique");
     }
     for (k, net) in s.nets.iter().enumerate() {
         b.add_net(
@@ -47,15 +45,9 @@ fn build(s: &Scenario) -> (Design, Placement) {
     }
     let nl = b.build();
     // die with generous slack so legalization always succeeds
-    let design = Design::with_uniform_rows(
-        "prop",
-        nl,
-        Rect::new(0.0, 0.0, 32.0, 16.0),
-        1.0,
-        1.0,
-        1.0,
-    )
-    .expect("valid design");
+    let design =
+        Design::with_uniform_rows("prop", nl, Rect::new(0.0, 0.0, 32.0, 16.0), 1.0, 1.0, 1.0)
+            .expect("valid design");
     let mut pl = Placement::zeros(design.netlist.num_cells());
     for (i, &(x, y)) in s.positions.iter().enumerate() {
         pl.x[i] = x;

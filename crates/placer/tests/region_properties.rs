@@ -43,15 +43,9 @@ fn build(s: &FencedScenario) -> (Design, Placement) {
         );
     }
     let nl = b.build();
-    let mut design = Design::with_uniform_rows(
-        "fenced",
-        nl,
-        Rect::new(0.0, 0.0, 32.0, 16.0),
-        1.0,
-        1.0,
-        1.0,
-    )
-    .expect("valid design");
+    let mut design =
+        Design::with_uniform_rows("fenced", nl, Rect::new(0.0, 0.0, 32.0, 16.0), 1.0, 1.0, 1.0)
+            .expect("valid design");
     // one 8×6 fence, row-aligned, with ≤ 30% of ≤24 unit cells: fits easily
     let fence = design
         .add_region("f", Rect::new(20.0, 8.0, 28.0, 14.0))

@@ -86,7 +86,10 @@ impl BigChks {
     ///
     /// Panics if `γ ≤ 0`.
     pub fn new(gamma: f64) -> Self {
-        assert!(gamma > 0.0, "smoothing parameter must be positive, got {gamma}");
+        assert!(
+            gamma > 0.0,
+            "smoothing parameter must be positive, got {gamma}"
+        );
         Self {
             gamma,
             fwd_max: Vec::new(),
@@ -177,7 +180,10 @@ impl BigWa {
     ///
     /// Panics if `γ ≤ 0`.
     pub fn new(gamma: f64) -> Self {
-        assert!(gamma > 0.0, "smoothing parameter must be positive, got {gamma}");
+        assert!(
+            gamma > 0.0,
+            "smoothing parameter must be positive, got {gamma}"
+        );
         Self {
             gamma,
             fwd_max: Vec::new(),

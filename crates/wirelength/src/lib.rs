@@ -30,6 +30,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod big;
+pub mod engine;
 pub mod hpwl;
 pub mod lse;
 pub mod model;
@@ -39,6 +40,7 @@ pub mod schedule;
 pub mod wa;
 pub mod waterfill;
 
+pub use engine::{EngineStats, EvalEngine, Stage, StageStats};
 pub use model::{AnyModel, ModelKind, NetModel};
 pub use netgrad::{NetlistEvaluator, WirelengthGrad};
 pub use schedule::{EplaceGammaSchedule, SmoothingSchedule, TangentTSchedule};

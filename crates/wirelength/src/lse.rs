@@ -49,7 +49,10 @@ impl Lse {
     ///
     /// Panics if `γ ≤ 0`.
     pub fn new(gamma: f64) -> Self {
-        assert!(gamma > 0.0, "smoothing parameter must be positive, got {gamma}");
+        assert!(
+            gamma > 0.0,
+            "smoothing parameter must be positive, got {gamma}"
+        );
         Self {
             gamma,
             weights: Vec::new(),

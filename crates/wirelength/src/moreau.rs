@@ -43,7 +43,7 @@ pub struct EnvelopeEval {
 pub fn prox(x: &[f64], t: f64, out: &mut [f64]) -> EnvelopeEval {
     assert_eq!(x.len(), out.len(), "output length must match input");
     let mut scratch = x.to_vec();
-    
+
     eval_sorted_scratch(&mut scratch, x, t, None, Some(out))
 }
 

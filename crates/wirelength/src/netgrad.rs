@@ -2,13 +2,30 @@
 //! (both axes) and accumulates pin gradients onto cells.
 //!
 //! This is the `Σ_e W_e(x, y)` term of the global placement objective
-//! (Eq. (1)). Evaluation is embarrassingly parallel over nets; with more
-//! than a few thousand nets the work is split across threads, each with its
-//! own cloned model (models carry scratch buffers) and gradient
-//! accumulator.
+//! (Eq. (1)). Evaluation is embarrassingly parallel over nets and runs on
+//! the persistent [`EvalEngine`]: the netlist is partitioned once into
+//! pin-count-balanced contiguous net ranges (CSR prefix sums, so a part
+//! with a few huge nets gets fewer of them), each part owns a workspace
+//! arena (cloned model, per-net value slots, per-pin gradient slots,
+//! coordinate gather buffers) that lives across iterations, and results
+//! are combined on the calling thread in a fixed order.
+//!
+//! # Determinism
+//!
+//! Evaluation is **bit-identical at any thread count** (including the
+//! serial path):
+//!
+//! * each net's value and per-pin gradients depend only on that net's
+//!   coordinates, never on which part or thread computed them;
+//! * net values are summed in global net order (parts are contiguous and
+//!   ascending, so part-major iteration *is* net order);
+//! * per-pin gradients are scattered onto cells by walking each cell's
+//!   pin list in CSR order, independent of the partition.
 
+use crate::engine::{EvalEngine, Stage};
 use crate::model::{AnyModel, NetModel};
-use mep_netlist::{Netlist, Placement};
+use mep_netlist::{NetId, Netlist, Placement};
+use std::sync::{Arc, Mutex};
 
 /// Result of one whole-netlist wirelength evaluation.
 #[derive(Debug, Clone, Default)]
@@ -40,33 +57,205 @@ impl WirelengthGrad {
     }
 }
 
-/// Reusable whole-netlist evaluator for one wirelength model.
-#[derive(Debug, Clone)]
-pub struct NetlistEvaluator {
+/// Per-part workspace arena: everything one part needs to evaluate its net
+/// range without touching shared state. The `Mutex` is uncontended (a part
+/// is claimed by exactly one thread per run); it exists to satisfy the
+/// shared-closure signature of [`EvalEngine::run`].
+#[derive(Debug)]
+struct PartArena {
     model: AnyModel,
-    threads: usize,
+    /// Gather buffers: pin coordinates of the net being evaluated.
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Per-pin axis gradients of the net being evaluated.
+    gx: Vec<f64>,
+    gy: Vec<f64>,
+    /// Weighted value per net of this part (slot `n - net_lo`).
+    net_value: Vec<f64>,
+    /// Weighted gradient per pin of this part (slot `p - pin_lo`).
+    pin_gx: Vec<f64>,
+    pin_gy: Vec<f64>,
 }
 
-/// Below this net count the parallel path is not worth the thread spawns.
-const PARALLEL_THRESHOLD: usize = 4096;
+/// Topology-derived state, cached per netlist instance.
+#[derive(Debug)]
+struct Workspace {
+    netlist_instance: u64,
+    parts: usize,
+    /// Pin-count-balanced partition: part `p` owns nets
+    /// `part_net_start[p]..part_net_start[p+1]` (contiguous, ascending).
+    part_net_start: Vec<u32>,
+    /// First pin index of each part (CSR prefix at the part boundary).
+    part_pin_start: Vec<u32>,
+    /// Per-pin gather info: owning cell, and offset from the cell's
+    /// lower-left corner to the pin (half-extent + pin offset), so a
+    /// gather is one add per axis.
+    pin_cell: Vec<u32>,
+    pin_bias_x: Vec<f64>,
+    pin_bias_y: Vec<f64>,
+    /// Per-pin weighted gradients in global pin order (assembly copies the
+    /// part segments here; scatter reads them per cell).
+    pin_grad_x: Vec<f64>,
+    pin_grad_y: Vec<f64>,
+    arenas: Vec<Mutex<PartArena>>,
+}
 
-impl NetlistEvaluator {
-    /// Creates an evaluator using up to `threads` worker threads
-    /// (`threads = 1` forces the serial path).
-    pub fn new(model: AnyModel, threads: usize) -> Self {
+impl Workspace {
+    fn build(netlist: &Netlist, model: &AnyModel, parts: usize) -> Self {
+        let nets = netlist.num_nets();
+        let pins = netlist.num_pins();
+        let prefix = |net: usize| -> usize {
+            if net == nets {
+                pins
+            } else {
+                netlist.net_pin_range(NetId::from_usize(net)).start
+            }
+        };
+        // pin-count-balanced boundaries: part k starts at the first net
+        // whose CSR prefix reaches k/parts of the total pin count
+        let mut part_net_start = Vec::with_capacity(parts + 1);
+        let mut lo = 0usize;
+        for k in 0..=parts {
+            let target = (pins as u128 * k as u128 / parts as u128) as usize;
+            let mut hi = nets;
+            let mut lo_k = lo;
+            while lo_k < hi {
+                let mid = (lo_k + hi) / 2;
+                if prefix(mid) < target {
+                    lo_k = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            lo = lo_k;
+            part_net_start.push(lo as u32);
+        }
+        part_net_start[parts] = nets as u32;
+        let part_pin_start: Vec<u32> = part_net_start
+            .iter()
+            .map(|&n| prefix(n as usize) as u32)
+            .collect();
+
+        let mut pin_cell = Vec::with_capacity(pins);
+        let mut pin_bias_x = Vec::with_capacity(pins);
+        let mut pin_bias_y = Vec::with_capacity(pins);
+        for pin in netlist.pins() {
+            let cell = netlist.pin_cell(pin);
+            pin_cell.push(cell.index() as u32);
+            pin_bias_x.push(0.5 * netlist.cell_width(cell) + netlist.pin_offset_x(pin));
+            pin_bias_y.push(0.5 * netlist.cell_height(cell) + netlist.pin_offset_y(pin));
+        }
+
+        let arenas = (0..parts)
+            .map(|p| {
+                let net_lo = part_net_start[p] as usize;
+                let net_hi = part_net_start[p + 1] as usize;
+                let pin_count = (part_pin_start[p + 1] - part_pin_start[p]) as usize;
+                let max_deg = (net_lo..net_hi)
+                    .map(|n| netlist.net_degree(NetId::from_usize(n)))
+                    .max()
+                    .unwrap_or(0);
+                Mutex::new(PartArena {
+                    model: model.clone(),
+                    xs: Vec::with_capacity(max_deg),
+                    ys: Vec::with_capacity(max_deg),
+                    gx: vec![0.0; max_deg],
+                    gy: vec![0.0; max_deg],
+                    net_value: vec![0.0; net_hi - net_lo],
+                    pin_gx: vec![0.0; pin_count],
+                    pin_gy: vec![0.0; pin_count],
+                })
+            })
+            .collect();
+
         Self {
-            model,
-            threads: threads.max(1),
+            netlist_instance: netlist.instance_id(),
+            parts,
+            part_net_start,
+            part_pin_start,
+            pin_cell,
+            pin_bias_x,
+            pin_bias_y,
+            pin_grad_x: vec![0.0; pins],
+            pin_grad_y: vec![0.0; pins],
+            arenas,
         }
     }
 
-    /// Evaluator with threads picked from available parallelism.
-    pub fn with_default_threads(model: AnyModel) -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(16);
-        Self::new(model, threads)
+    /// Evaluates the nets of part `p`: per-net weighted values into
+    /// `net_value`, and (when `with_grad`) per-pin weighted gradients into
+    /// `pin_gx`/`pin_gy`. Output depends only on `p`, never on the thread.
+    fn eval_part(&self, netlist: &Netlist, placement: &Placement, p: usize, with_grad: bool) {
+        let mut arena = self.arenas[p].lock().expect("part arena lock");
+        let arena = &mut *arena;
+        let net_lo = self.part_net_start[p] as usize;
+        let net_hi = self.part_net_start[p + 1] as usize;
+        let pin_lo = self.part_pin_start[p] as usize;
+        for net_idx in net_lo..net_hi {
+            let net = NetId::from_usize(net_idx);
+            let range = netlist.net_pin_range(net);
+            let deg = range.len();
+            let local = range.start - pin_lo;
+            arena.xs.clear();
+            arena.ys.clear();
+            for k in range {
+                let cell = self.pin_cell[k] as usize;
+                arena.xs.push(placement.x[cell] + self.pin_bias_x[k]);
+                arena.ys.push(placement.y[cell] + self.pin_bias_y[k]);
+            }
+            if deg < 2 {
+                arena.net_value[net_idx - net_lo] = 0.0;
+                if with_grad {
+                    arena.pin_gx[local..local + deg].fill(0.0);
+                    arena.pin_gy[local..local + deg].fill(0.0);
+                }
+                continue;
+            }
+            let w = netlist.net_weight(net);
+            if with_grad {
+                let vx = arena.model.eval_axis(&arena.xs, &mut arena.gx[..deg]);
+                let vy = arena.model.eval_axis(&arena.ys, &mut arena.gy[..deg]);
+                arena.net_value[net_idx - net_lo] = w * (vx + vy);
+                for slot in 0..deg {
+                    arena.pin_gx[local + slot] = w * arena.gx[slot];
+                    arena.pin_gy[local + slot] = w * arena.gy[slot];
+                }
+            } else {
+                arena.net_value[net_idx - net_lo] =
+                    w * (arena.model.value_axis(&arena.xs) + arena.model.value_axis(&arena.ys));
+            }
+        }
+    }
+}
+
+/// Reusable whole-netlist evaluator for one wirelength model, backed by a
+/// persistent [`EvalEngine`].
+#[derive(Debug)]
+pub struct NetlistEvaluator {
+    model: AnyModel,
+    engine: Arc<EvalEngine>,
+    ws: Option<Workspace>,
+}
+
+impl NetlistEvaluator {
+    /// Creates an evaluator dispatching through `engine`.
+    pub fn new(model: AnyModel, engine: Arc<EvalEngine>) -> Self {
+        Self {
+            model,
+            engine,
+            ws: None,
+        }
+    }
+
+    /// Strictly serial evaluator (private engine with one thread); handy
+    /// for tests and small tools.
+    pub fn serial(model: AnyModel) -> Self {
+        Self::new(model, Arc::new(EvalEngine::new(1)))
+    }
+
+    /// The engine this evaluator dispatches through.
+    pub fn engine(&self) -> &Arc<EvalEngine> {
+        &self.engine
     }
 
     /// The wrapped model (e.g. to change its smoothing parameter).
@@ -79,134 +268,107 @@ impl NetlistEvaluator {
         &self.model
     }
 
+    /// Ensures the workspace matches this netlist's topology and the
+    /// engine's part count, then syncs the per-part model smoothing.
+    fn prepare(&mut self, netlist: &Netlist) -> &Workspace {
+        let parts = self.engine.threads();
+        let stale = match &self.ws {
+            Some(ws) => ws.netlist_instance != netlist.instance_id() || ws.parts != parts,
+            None => true,
+        };
+        if stale {
+            self.ws = Some(Workspace::build(netlist, &self.model, parts));
+            self.engine.note_workspace_alloc();
+        }
+        let ws = self.ws.as_ref().expect("workspace just ensured");
+        let smoothing = self.model.smoothing();
+        for arena in &ws.arenas {
+            arena
+                .lock()
+                .expect("part arena lock")
+                .model
+                .set_smoothing(smoothing);
+        }
+        ws
+    }
+
+    fn dispatch(&self, netlist: &Netlist, f: &(dyn Fn(usize) + Sync), parts: usize) {
+        if netlist.num_nets() >= self.engine.parallel_threshold() {
+            self.engine.run(parts, f);
+        } else {
+            self.engine.run_serial(parts, f);
+        }
+    }
+
     /// Evaluates value + cell gradients into `out` (buffers are reused).
-    pub fn evaluate(&self, netlist: &Netlist, placement: &Placement, out: &mut WirelengthGrad) {
+    ///
+    /// Bit-identical across engine thread counts; see the module docs.
+    pub fn evaluate(&mut self, netlist: &Netlist, placement: &Placement, out: &mut WirelengthGrad) {
         out.reset(netlist.num_cells());
-        let nets = netlist.num_nets();
-        if nets == 0 {
+        if netlist.num_nets() == 0 {
             return;
         }
-        if self.threads > 1 && nets >= PARALLEL_THRESHOLD {
-            self.evaluate_parallel(netlist, placement, out);
-        } else {
-            let mut model = self.model.clone();
-            out.value = eval_net_range(
-                &mut model,
+        self.prepare(netlist);
+        let engine = Arc::clone(&self.engine);
+        engine.time_stage(Stage::WlGrad, || {
+            let ws = self.ws.as_ref().expect("workspace prepared");
+            self.dispatch(
                 netlist,
-                placement,
-                0..nets,
-                &mut out.grad_x,
-                &mut out.grad_y,
+                &|p| ws.eval_part(netlist, placement, p, true),
+                ws.parts,
             );
-        }
-    }
-
-    /// Value only (no gradient buffers touched).
-    pub fn value(&self, netlist: &Netlist, placement: &Placement) -> f64 {
-        let mut model = self.model.clone();
-        let mut coords_x = Vec::new();
-        let mut coords_y = Vec::new();
-        let mut total = 0.0;
-        for net in netlist.nets() {
-            gather(netlist, placement, net, &mut coords_x, &mut coords_y);
-            if coords_x.len() < 2 {
-                continue;
+            // fixed-order assembly on the calling thread
+            let ws = self.ws.as_mut().expect("workspace prepared");
+            let mut total = 0.0;
+            for p in 0..ws.parts {
+                let arena = ws.arenas[p].lock().expect("part arena lock");
+                for v in &arena.net_value {
+                    total += v;
+                }
+                let pin_lo = ws.part_pin_start[p] as usize;
+                let pin_hi = ws.part_pin_start[p + 1] as usize;
+                ws.pin_grad_x[pin_lo..pin_hi].copy_from_slice(&arena.pin_gx);
+                ws.pin_grad_y[pin_lo..pin_hi].copy_from_slice(&arena.pin_gy);
             }
-            let w = netlist.net_weight(net);
-            total += w * (model.value_axis(&coords_x) + model.value_axis(&coords_y));
-        }
-        total
-    }
-
-    fn evaluate_parallel(
-        &self,
-        netlist: &Netlist,
-        placement: &Placement,
-        out: &mut WirelengthGrad,
-    ) {
-        let nets = netlist.num_nets();
-        let threads = self.threads.min(nets);
-        let chunk = nets.div_ceil(threads);
-        let num_cells = netlist.num_cells();
-        let mut partials: Vec<(f64, Vec<f64>, Vec<f64>)> = Vec::with_capacity(threads);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for tid in 0..threads {
-                let lo = tid * chunk;
-                let hi = ((tid + 1) * chunk).min(nets);
-                let mut model = self.model.clone();
-                handles.push(scope.spawn(move || {
-                    let mut gx = vec![0.0; num_cells];
-                    let mut gy = vec![0.0; num_cells];
-                    let v = eval_net_range(&mut model, netlist, placement, lo..hi, &mut gx, &mut gy);
-                    (v, gx, gy)
-                }));
-            }
-            for h in handles {
-                partials.push(h.join().expect("wirelength worker panicked"));
+            out.value = total;
+            // scatter pins onto cells in cell-CSR order (partition-independent)
+            for cell in netlist.cells() {
+                let (mut ax, mut ay) = (0.0, 0.0);
+                for &pin in netlist.cell_pins(cell) {
+                    ax += ws.pin_grad_x[pin.index()];
+                    ay += ws.pin_grad_y[pin.index()];
+                }
+                out.grad_x[cell.index()] = ax;
+                out.grad_y[cell.index()] = ay;
             }
         });
-        for (v, gx, gy) in partials {
-            out.value += v;
-            for (o, p) in out.grad_x.iter_mut().zip(&gx) {
-                *o += p;
-            }
-            for (o, p) in out.grad_y.iter_mut().zip(&gy) {
-                *o += p;
-            }
-        }
     }
-}
 
-/// Gathers the pin coordinates of one net into the scratch vectors.
-fn gather(
-    netlist: &Netlist,
-    placement: &Placement,
-    net: mep_netlist::NetId,
-    xs: &mut Vec<f64>,
-    ys: &mut Vec<f64>,
-) {
-    xs.clear();
-    ys.clear();
-    for pin in netlist.net_pins(net) {
-        let p = placement.pin_position(netlist, pin);
-        xs.push(p.x);
-        ys.push(p.y);
-    }
-}
-
-fn eval_net_range(
-    model: &mut AnyModel,
-    netlist: &Netlist,
-    placement: &Placement,
-    range: std::ops::Range<usize>,
-    grad_x: &mut [f64],
-    grad_y: &mut [f64],
-) -> f64 {
-    let mut coords_x = Vec::new();
-    let mut coords_y = Vec::new();
-    let mut gx = Vec::new();
-    let mut gy = Vec::new();
-    let mut total = 0.0;
-    for net_idx in range {
-        let net = mep_netlist::NetId::from_usize(net_idx);
-        gather(netlist, placement, net, &mut coords_x, &mut coords_y);
-        let deg = coords_x.len();
-        if deg < 2 {
-            continue;
+    /// Value only (no gradient buffers touched). Runs on the engine like
+    /// [`NetlistEvaluator::evaluate`] and is equally deterministic.
+    pub fn value(&mut self, netlist: &Netlist, placement: &Placement) -> f64 {
+        if netlist.num_nets() == 0 {
+            return 0.0;
         }
-        gx.resize(deg, 0.0);
-        gy.resize(deg, 0.0);
-        let w = netlist.net_weight(net);
-        total += w * model.eval_axis(&coords_x, &mut gx[..deg]);
-        total += w * model.eval_axis(&coords_y, &mut gy[..deg]);
-        for (slot, pin) in netlist.net_pins(net).enumerate() {
-            let cell = netlist.pin_cell(pin).index();
-            grad_x[cell] += w * gx[slot];
-            grad_y[cell] += w * gy[slot];
-        }
+        self.prepare(netlist);
+        let engine = Arc::clone(&self.engine);
+        engine.time_stage(Stage::WlValue, || {
+            let ws = self.ws.as_ref().expect("workspace prepared");
+            self.dispatch(
+                netlist,
+                &|p| ws.eval_part(netlist, placement, p, false),
+                ws.parts,
+            );
+            let mut total = 0.0;
+            for p in 0..ws.parts {
+                let arena = ws.arenas[p].lock().expect("part arena lock");
+                for v in &arena.net_value {
+                    total += v;
+                }
+            }
+            total
+        })
     }
-    total
 }
 
 #[cfg(test)]
@@ -216,11 +378,19 @@ mod tests {
     use mep_netlist::synth;
     use mep_netlist::total_hpwl;
 
+    fn parallel_eval(model: AnyModel, threads: usize) -> NetlistEvaluator {
+        // threshold 1 forces the parallel path on the tiny smoke circuit
+        NetlistEvaluator::new(
+            model,
+            Arc::new(EvalEngine::new(threads).with_parallel_threshold(1)),
+        )
+    }
+
     #[test]
     fn matches_exact_hpwl_with_hpwl_model() {
         let c = synth::generate(&synth::smoke_spec());
         let nl = &c.design.netlist;
-        let eval = NetlistEvaluator::new(ModelKind::Hpwl.instantiate(0.0), 1);
+        let mut eval = NetlistEvaluator::serial(ModelKind::Hpwl.instantiate(0.0));
         let mut out = WirelengthGrad::zeros(nl.num_cells());
         eval.evaluate(nl, &c.placement, &mut out);
         let exact = total_hpwl(nl, &c.placement);
@@ -233,13 +403,16 @@ mod tests {
         let nl = &c.design.netlist;
         for kind in ModelKind::contestants() {
             let model = kind.instantiate(2.0);
-            let serial = NetlistEvaluator::new(model.clone(), 1);
+            let mut serial = NetlistEvaluator::serial(model.clone());
             let mut a = WirelengthGrad::zeros(nl.num_cells());
             serial.evaluate(nl, &c.placement, &mut a);
-            // force the parallel path by lowering the threshold via many threads
-            let par = NetlistEvaluator::new(model, 4);
+            let mut par = parallel_eval(model, 4);
             let mut b = WirelengthGrad::zeros(nl.num_cells());
-            par.evaluate_parallel(nl, &c.placement, &mut b);
+            par.evaluate(nl, &c.placement, &mut b);
+            assert!(
+                par.engine().stats().parallel_runs > 0,
+                "{kind}: parallel path not exercised"
+            );
             assert!(
                 (a.value - b.value).abs() < 1e-9 * a.value.abs().max(1.0),
                 "{kind}: {} vs {}",
@@ -258,7 +431,7 @@ mod tests {
         // spot-check dO/dx of a few cells through the full accumulation
         let c = synth::generate(&synth::smoke_spec());
         let nl = &c.design.netlist;
-        let eval = NetlistEvaluator::new(ModelKind::Moreau.instantiate(1.5), 1);
+        let mut eval = NetlistEvaluator::serial(ModelKind::Moreau.instantiate(1.5));
         let mut out = WirelengthGrad::zeros(nl.num_cells());
         eval.evaluate(nl, &c.placement, &mut out);
         let h = 1e-5;
@@ -282,7 +455,7 @@ mod tests {
         let c = synth::generate(&synth::smoke_spec());
         let nl = &c.design.netlist;
         for kind in ModelKind::contestants() {
-            let eval = NetlistEvaluator::new(kind.instantiate(1.0), 1);
+            let mut eval = NetlistEvaluator::serial(kind.instantiate(1.0));
             let mut out = WirelengthGrad::zeros(nl.num_cells());
             eval.evaluate(nl, &c.placement, &mut out);
             let sx: f64 = out.grad_x.iter().sum();
@@ -296,7 +469,7 @@ mod tests {
     fn value_matches_evaluate() {
         let c = synth::generate(&synth::smoke_spec());
         let nl = &c.design.netlist;
-        let eval = NetlistEvaluator::new(ModelKind::Wa.instantiate(3.0), 1);
+        let mut eval = NetlistEvaluator::serial(ModelKind::Wa.instantiate(3.0));
         let mut out = WirelengthGrad::zeros(nl.num_cells());
         eval.evaluate(nl, &c.placement, &mut out);
         let v = eval.value(nl, &c.placement);
@@ -313,7 +486,7 @@ mod tests {
         let nl = b.build();
         let mut pl = Placement::zeros(2);
         pl.x[1] = 10.0;
-        let eval = NetlistEvaluator::new(ModelKind::Moreau.instantiate(0.5), 1);
+        let mut eval = NetlistEvaluator::serial(ModelKind::Moreau.instantiate(0.5));
         let mut out = WirelengthGrad::zeros(2);
         eval.evaluate(&nl, &pl, &mut out);
         // unweighted value would be (envelope + t) ≈ 10 for x plus ~t for y
@@ -332,12 +505,49 @@ mod tests {
     }
 
     #[test]
+    fn workspace_rebuilds_only_on_topology_change() {
+        let c = synth::generate(&synth::smoke_spec());
+        let nl = &c.design.netlist;
+        let mut eval = NetlistEvaluator::serial(ModelKind::Moreau.instantiate(1.0));
+        let mut out = WirelengthGrad::zeros(nl.num_cells());
+        for _ in 0..5 {
+            eval.evaluate(nl, &c.placement, &mut out);
+        }
+        assert_eq!(
+            eval.engine().stats().workspace_allocs,
+            1,
+            "workspace must be built exactly once for a fixed netlist"
+        );
+    }
+
+    #[test]
+    fn smoothing_changes_propagate_to_part_models() {
+        let c = synth::generate(&synth::smoke_spec());
+        let nl = &c.design.netlist;
+        let mut eval = parallel_eval(ModelKind::Moreau.instantiate(4.0), 2);
+        let mut warm = WirelengthGrad::zeros(nl.num_cells());
+        eval.evaluate(nl, &c.placement, &mut warm);
+        eval.model_mut().set_smoothing(0.25);
+        let mut tightened = WirelengthGrad::zeros(nl.num_cells());
+        eval.evaluate(nl, &c.placement, &mut tightened);
+        // a fresh evaluator at the new smoothing must agree exactly
+        let mut fresh = NetlistEvaluator::serial(ModelKind::Moreau.instantiate(0.25));
+        let mut expect = WirelengthGrad::zeros(nl.num_cells());
+        fresh.evaluate(nl, &c.placement, &mut expect);
+        assert_eq!(tightened.value.to_bits(), expect.value.to_bits());
+    }
+
+    #[test]
     fn empty_netlist() {
         let nl = mep_netlist::NetlistBuilder::new().build();
         let pl = Placement::zeros(0);
-        let eval = NetlistEvaluator::new(ModelKind::Moreau.instantiate(1.0), 2);
+        let mut eval = NetlistEvaluator::new(
+            ModelKind::Moreau.instantiate(1.0),
+            Arc::new(EvalEngine::new(2)),
+        );
         let mut out = WirelengthGrad::zeros(0);
         eval.evaluate(&nl, &pl, &mut out);
         assert_eq!(out.value, 0.0);
+        assert_eq!(eval.value(&nl, &pl), 0.0);
     }
 }

@@ -41,7 +41,10 @@ impl Wa {
     ///
     /// Panics if `γ ≤ 0`.
     pub fn new(gamma: f64) -> Self {
-        assert!(gamma > 0.0, "smoothing parameter must be positive, got {gamma}");
+        assert!(
+            gamma > 0.0,
+            "smoothing parameter must be positive, got {gamma}"
+        );
         Self {
             gamma,
             w_hi: Vec::new(),

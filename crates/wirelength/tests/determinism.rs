@@ -1,0 +1,161 @@
+//! The engine's determinism contract, enforced bitwise: evaluating the
+//! same placement twice, or at 1, 2, and 8 threads, must produce
+//! bit-identical value and gradients — on a realistic circuit and on a
+//! degenerate netlist of single-pin and zero-weight nets.
+
+use mep_netlist::{synth, Netlist, NetlistBuilder, Placement};
+use mep_wirelength::engine::EvalEngine;
+use mep_wirelength::{ModelKind, NetlistEvaluator, WirelengthGrad};
+use std::sync::Arc;
+
+fn evaluator(kind: ModelKind, smoothing: f64, threads: usize) -> NetlistEvaluator {
+    // threshold 1 so even tiny netlists exercise the parallel path
+    NetlistEvaluator::new(
+        kind.instantiate(smoothing),
+        Arc::new(EvalEngine::new(threads).with_parallel_threshold(1)),
+    )
+}
+
+fn eval_bits(
+    eval: &mut NetlistEvaluator,
+    nl: &Netlist,
+    pl: &Placement,
+) -> (u64, Vec<u64>, Vec<u64>) {
+    let mut out = WirelengthGrad::zeros(nl.num_cells());
+    eval.evaluate(nl, pl, &mut out);
+    (
+        out.value.to_bits(),
+        out.grad_x.iter().map(|g| g.to_bits()).collect(),
+        out.grad_y.iter().map(|g| g.to_bits()).collect(),
+    )
+}
+
+/// A netlist exercising the skip paths: single-pin nets (no wirelength),
+/// zero-weight nets (pins exist, contribution removed), and ordinary nets.
+fn degenerate_netlist() -> (Netlist, Placement) {
+    let mut b = NetlistBuilder::new();
+    let cells: Vec<_> = (0..12)
+        .map(|i| b.add_cell(format!("c{i}"), 1.0, 1.0, true).unwrap())
+        .collect();
+    // single-pin nets
+    b.add_net("solo0", vec![(cells[0], 0.0, 0.0)]);
+    b.add_net("solo1", vec![(cells[5], 0.1, -0.1)]);
+    // zero-weight net
+    let zw = b.add_net("dead", vec![(cells[1], 0.0, 0.0), (cells[2], 0.0, 0.0)]);
+    b.set_net_weight(zw, 0.0);
+    // ordinary nets interleaved
+    b.add_net(
+        "n0",
+        vec![
+            (cells[2], 0.0, 0.0),
+            (cells[3], 0.0, 0.0),
+            (cells[4], 0.0, 0.0),
+        ],
+    );
+    b.add_net("empty", Vec::new());
+    b.add_net(
+        "n1",
+        vec![
+            (cells[6], 0.2, 0.0),
+            (cells[7], 0.0, 0.2),
+            (cells[8], -0.2, 0.0),
+            (cells[9], 0.0, -0.2),
+        ],
+    );
+    b.add_net("n2", vec![(cells[10], 0.0, 0.0), (cells[11], 0.0, 0.0)]);
+    let nl = b.build();
+    let mut pl = Placement::zeros(12);
+    for i in 0..12 {
+        pl.x[i] = (i as f64 * 2.7).sin() * 10.0;
+        pl.y[i] = (i as f64 * 1.3).cos() * 10.0;
+    }
+    (nl, pl)
+}
+
+#[test]
+fn same_placement_twice_is_bit_identical() {
+    let c = synth::generate(&synth::smoke_spec());
+    let nl = &c.design.netlist;
+    for kind in ModelKind::contestants() {
+        let mut eval = evaluator(kind, 1.5, 4);
+        let a = eval_bits(&mut eval, nl, &c.placement);
+        let b = eval_bits(&mut eval, nl, &c.placement);
+        assert_eq!(a, b, "{kind}: re-evaluation must be bit-identical");
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_a_single_bit() {
+    let c = synth::generate(&synth::smoke_spec());
+    let nl = &c.design.netlist;
+    for kind in ModelKind::contestants() {
+        let mut results = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let mut eval = evaluator(kind, 2.0, threads);
+            results.push((threads, eval_bits(&mut eval, nl, &c.placement)));
+        }
+        let (_, base) = &results[0];
+        for (threads, bits) in &results[1..] {
+            assert_eq!(
+                bits, base,
+                "{kind}: {threads}-thread evaluation differs from serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn degenerate_nets_are_deterministic_and_inert() {
+    let (nl, pl) = degenerate_netlist();
+    for kind in ModelKind::contestants() {
+        let mut results = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let mut eval = evaluator(kind, 1.0, threads);
+            results.push(eval_bits(&mut eval, &nl, &pl));
+        }
+        assert_eq!(results[0], results[1], "{kind}: 2 threads");
+        assert_eq!(results[0], results[2], "{kind}: 8 threads");
+        // single-pin net cells and zero-weight net cells feel no force
+        let (_, gx, gy) = &results[0];
+        for cell in [0usize, 1, 5] {
+            assert_eq!(f64::from_bits(gx[cell]), 0.0, "{kind}: gx[{cell}]");
+            assert_eq!(f64::from_bits(gy[cell]), 0.0, "{kind}: gy[{cell}]");
+        }
+    }
+}
+
+#[test]
+fn value_serial_and_parallel_agree_for_all_contestants() {
+    let c = synth::generate(&synth::smoke_spec());
+    let nl = &c.design.netlist;
+    for kind in ModelKind::contestants() {
+        let mut serial = evaluator(kind, 2.5, 1);
+        let mut parallel = evaluator(kind, 2.5, 8);
+        let vs = serial.value(nl, &c.placement);
+        let vp = parallel.value(nl, &c.placement);
+        assert!(
+            parallel.engine().stats().parallel_runs > 0,
+            "{kind}: value() must route through the engine"
+        );
+        assert!(
+            (vs - vp).abs() <= 1e-9 * vs.abs().max(1.0),
+            "{kind}: serial {vs} vs parallel {vp}"
+        );
+    }
+}
+
+#[test]
+fn value_agrees_with_evaluate_on_degenerate_nets() {
+    let (nl, pl) = degenerate_netlist();
+    for kind in ModelKind::contestants() {
+        let mut eval = evaluator(kind, 1.0, 2);
+        let mut out = WirelengthGrad::zeros(nl.num_cells());
+        eval.evaluate(&nl, &pl, &mut out);
+        let v = eval.value(&nl, &pl);
+        assert!(
+            (out.value - v).abs() <= 1e-9 * v.abs().max(1.0),
+            "{kind}: evaluate {} vs value {v}",
+            out.value
+        );
+    }
+}

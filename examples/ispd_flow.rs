@@ -13,13 +13,18 @@ use moreau_placer::placer::pipeline::{run, PipelineConfig};
 fn main() {
     let mut args = std::env::args().skip(1);
     let bench = args.next().unwrap_or_else(|| "ispd19_test1".to_string());
-    let outdir = args.next().unwrap_or_else(|| "target/ispd_flow".to_string());
+    let outdir = args
+        .next()
+        .unwrap_or_else(|| "target/ispd_flow".to_string());
 
     let spec = synth::spec_by_name(&bench).unwrap_or_else(|| {
         eprintln!("unknown benchmark `{bench}`; Table I names, e.g. newblue1 or ispd19_test3");
         std::process::exit(2);
     });
-    println!("generating `{}` (scaled stand-in, seed {}) …", spec.name, spec.seed);
+    println!(
+        "generating `{}` (scaled stand-in, seed {}) …",
+        spec.name, spec.seed
+    );
     let circuit = synth::generate(&spec);
 
     let result = run(&circuit, &PipelineConfig::default());

@@ -32,16 +32,22 @@ fn main() {
     let result = run(&circuit, &PipelineConfig::default());
 
     // 3. report
-    println!("global placement : HPWL {:.4e}  (overflow {:.3}, {} iters, {:.2}s)",
-        result.gpwl, result.overflow, result.iterations, result.rt_gp);
-    println!("legalization     : HPWL {:.4e}  (avg move {:.2}, {:.2}s)",
-        result.lgwl, result.legalize.avg_displacement, result.rt_lg);
-    println!("detailed place   : HPWL {:.4e}  ({} reorders, {} swaps, {} matchings, {:.2}s)",
+    println!(
+        "global placement : HPWL {:.4e}  (overflow {:.3}, {} iters, {:.2}s)",
+        result.gpwl, result.overflow, result.iterations, result.rt_gp
+    );
+    println!(
+        "legalization     : HPWL {:.4e}  (avg move {:.2}, {:.2}s)",
+        result.lgwl, result.legalize.avg_displacement, result.rt_lg
+    );
+    println!(
+        "detailed place   : HPWL {:.4e}  ({} reorders, {} swaps, {} matchings, {:.2}s)",
         result.dpwl,
         result.detail.reorders,
         result.detail.swaps,
         result.detail.matchings,
-        result.rt_dp);
+        result.rt_dp
+    );
     println!("legality violations: {}", result.violations);
     assert_eq!(result.violations, 0, "pipeline must emit a legal placement");
 }

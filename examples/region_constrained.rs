@@ -9,23 +9,28 @@
 //! ```
 
 use moreau_placer::netlist::synth;
-use moreau_placer::placer::pipeline::{run, PipelineConfig};
 use moreau_placer::placer::check_legal;
+use moreau_placer::placer::pipeline::{run, PipelineConfig};
 
 fn main() {
     let circuit = synth::generate(&synth::smoke_regions_spec());
     let design = &circuit.design;
-    println!("circuit `{}` with {} fence regions:", design.name, design.regions.len());
+    println!(
+        "circuit `{}` with {} fence regions:",
+        design.name,
+        design.regions.len()
+    );
     for region in &design.regions {
         let members = design
             .cell_region
             .iter()
             .enumerate()
-            .filter(|(_, r)| {
-                r.is_some_and(|idx| design.regions[idx as usize].name == region.name)
-            })
+            .filter(|(_, r)| r.is_some_and(|idx| design.regions[idx as usize].name == region.name))
             .count();
-        println!("  {} at {} holding {members} cells", region.name, region.rect);
+        println!(
+            "  {} at {} holding {members} cells",
+            region.name, region.rect
+        );
     }
 
     let result = run(&circuit, &PipelineConfig::default());
@@ -38,7 +43,10 @@ fn main() {
     );
 
     let violations = check_legal(design, &result.placement);
-    println!("legality violations (incl. region checks): {}", violations.len());
+    println!(
+        "legality violations (incl. region checks): {}",
+        violations.len()
+    );
     assert!(violations.is_empty(), "{violations:?}");
 
     // show where the fenced cells ended up

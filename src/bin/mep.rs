@@ -50,8 +50,8 @@ fn load_circuit(spec: &str, lef: Option<&str>, density: f64) -> Result<Bookshelf
         let lef_path = lef.ok_or("DEF input needs --lef <library.lef>")?;
         let lef_text = std::fs::read_to_string(lef_path).map_err(|e| e.to_string())?;
         let def_text = std::fs::read_to_string(spec).map_err(|e| e.to_string())?;
-        let lib = moreau_placer::netlist::lefdef::parse_lef(&lef_text)
-            .map_err(|e| e.to_string())?;
+        let lib =
+            moreau_placer::netlist::lefdef::parse_lef(&lef_text).map_err(|e| e.to_string())?;
         return moreau_placer::netlist::lefdef::parse_def(&def_text, &lib, density)
             .map_err(|e| e.to_string());
     }
@@ -84,7 +84,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "stats" => {
-            let Some(circuit) = args.get(1) else { return usage() };
+            let Some(circuit) = args.get(1) else {
+                return usage();
+            };
             let lef = args
                 .iter()
                 .position(|a| a == "--lef")
@@ -136,7 +138,9 @@ fn main() -> ExitCode {
             }
         }
         "place" => {
-            let Some(circuit_arg) = args.get(1) else { return usage() };
+            let Some(circuit_arg) = args.get(1) else {
+                return usage();
+            };
             let mut model = ModelKind::Moreau;
             let mut out: Option<String> = None;
             let mut iters = 800usize;
@@ -212,14 +216,45 @@ fn main() -> ExitCode {
                 model.label(),
                 circuit.design.netlist.num_movable()
             );
-            let result = run(&circuit, &PipelineConfig { global, ..PipelineConfig::default() });
+            let result = run(
+                &circuit,
+                &PipelineConfig {
+                    global,
+                    ..PipelineConfig::default()
+                },
+            );
             println!("GPWL  {:.6e}", result.gpwl);
             println!("LGWL  {:.6e}", result.lgwl);
             println!("DPWL  {:.6e}", result.dpwl);
-            println!("RT    {:.2}s (gp {:.2} + lg {:.2} + dp {:.2})",
-                result.rt_total(), result.rt_gp, result.rt_lg, result.rt_dp);
-            println!("iters {}  overflow {:.4}  violations {}",
-                result.iterations, result.overflow, result.violations);
+            println!(
+                "RT    {:.2}s (gp {:.2} + lg {:.2} + dp {:.2})",
+                result.rt_total(),
+                result.rt_gp,
+                result.rt_lg,
+                result.rt_dp
+            );
+            println!(
+                "iters {}  overflow {:.4}  violations {}",
+                result.iterations, result.overflow, result.violations
+            );
+            let es = &result.engine_stats;
+            println!(
+                "engine threads {}  spawned {}  runs {} par / {} serial  workspace allocs {}",
+                es.threads,
+                es.spawned_threads,
+                es.parallel_runs,
+                es.serial_runs,
+                es.workspace_allocs
+            );
+            println!(
+                "stage wl-grad {}x {:.3}s  wl-value {}x {:.3}s  density {}x {:.3}s",
+                es.wl_grad.count,
+                es.wl_grad.seconds(),
+                es.wl_value.count,
+                es.wl_value.seconds(),
+                es.density.count,
+                es.density.seconds()
+            );
             if let Some(dir) = out {
                 let placed = BookshelfCircuit {
                     design: circuit.design.clone(),

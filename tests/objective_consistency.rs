@@ -5,7 +5,8 @@
 use moreau_placer::netlist::synth;
 use moreau_placer::optim::Problem;
 use moreau_placer::placer::objective::PlacementProblem;
-use moreau_placer::wirelength::{ModelKind, NetlistEvaluator, WirelengthGrad};
+use moreau_placer::wirelength::{EvalEngine, ModelKind, NetlistEvaluator, WirelengthGrad};
+use std::sync::Arc;
 
 #[test]
 fn total_wirelength_gradient_sums_to_zero_for_all_models() {
@@ -13,7 +14,7 @@ fn total_wirelength_gradient_sums_to_zero_for_all_models() {
     let circuit = synth::generate(&synth::smoke_spec());
     let nl = &circuit.design.netlist;
     for model in ModelKind::contestants() {
-        let eval = NetlistEvaluator::new(model.instantiate(1.7), 2);
+        let mut eval = NetlistEvaluator::new(model.instantiate(1.7), Arc::new(EvalEngine::new(2)));
         let mut out = WirelengthGrad::zeros(nl.num_cells());
         eval.evaluate(nl, &circuit.placement, &mut out);
         let sx: f64 = out.grad_x.iter().sum();
@@ -31,17 +32,17 @@ fn moreau_model_upper_bounds_exact_hpwl_by_envelope_gap() {
     let circuit = synth::generate(&synth::smoke_spec());
     let nl = &circuit.design.netlist;
     let t = 0.8;
-    let eval = NetlistEvaluator::new(ModelKind::Moreau.instantiate(t), 1);
+    let mut eval = NetlistEvaluator::serial(ModelKind::Moreau.instantiate(t));
     let model_total = eval.value(nl, &circuit.placement);
     let exact = moreau_placer::netlist::total_hpwl(nl, &circuit.placement);
     // every multi-pin net contributes two axes, each offset by +t
-    let active: usize = nl
-        .nets()
-        .filter(|&n| nl.net_degree(n) >= 2)
-        .count();
+    let active: usize = nl.nets().filter(|&n| nl.net_degree(n) >= 2).count();
     let offset = 2.0 * t * active as f64;
     let envelope_total = model_total - offset;
-    assert!(envelope_total <= exact + 1e-6, "{envelope_total} vs {exact}");
+    assert!(
+        envelope_total <= exact + 1e-6,
+        "{envelope_total} vs {exact}"
+    );
     assert!(
         envelope_total >= exact - offset - 1e-6,
         "{envelope_total} vs lower bound {}",
@@ -52,7 +53,7 @@ fn moreau_model_upper_bounds_exact_hpwl_by_envelope_gap() {
 #[test]
 fn smoothing_updates_propagate_through_problem() {
     let circuit = synth::generate(&synth::smoke_spec());
-    let mut p = PlacementProblem::new(
+    let mut p = PlacementProblem::with_threads(
         &circuit.design,
         &circuit.placement,
         ModelKind::Moreau.instantiate(5.0),
@@ -71,7 +72,9 @@ fn smoothing_updates_propagate_through_problem() {
 
 #[test]
 fn objective_decreases_under_any_optimizer() {
-    use moreau_placer::optim::{adam::Adam, cg::ConjugateSubgradient, gd::GradientDescent, Optimizer};
+    use moreau_placer::optim::{
+        adam::Adam, cg::ConjugateSubgradient, gd::GradientDescent, Optimizer,
+    };
     let circuit = synth::generate(&synth::smoke_spec());
     let optimizers: Vec<Box<dyn Optimizer>> = vec![
         Box::new(Adam::new(0.05)),
@@ -79,7 +82,7 @@ fn objective_decreases_under_any_optimizer() {
         Box::new(ConjugateSubgradient::new(0.5)),
     ];
     for mut opt in optimizers {
-        let mut p = PlacementProblem::new(
+        let mut p = PlacementProblem::with_threads(
             &circuit.design,
             &circuit.placement,
             ModelKind::Moreau.instantiate(1.0),

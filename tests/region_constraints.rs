@@ -25,12 +25,7 @@ fn region_spec_generates_constrained_circuit() {
     let c = synth::generate(&synth::smoke_regions_spec());
     assert_eq!(c.design.regions.len(), 2);
     assert!(c.design.has_regions());
-    let constrained = c
-        .design
-        .cell_region
-        .iter()
-        .filter(|r| r.is_some())
-        .count();
+    let constrained = c.design.cell_region.iter().filter(|r| r.is_some()).count();
     assert!(constrained > 10, "only {constrained} constrained cells");
     // initial placement already honors the fences
     let nl = &c.design.netlist;

@@ -74,7 +74,10 @@ fn overflow_trends_down_after_burn_in() {
     };
     let early = mean(&traj[q..2 * q]);
     let late = mean(&traj[3 * q..]);
-    assert!(late < early, "overflow did not trend down: {early} → {late}");
+    assert!(
+        late < early,
+        "overflow did not trend down: {early} → {late}"
+    );
 }
 
 #[test]

@@ -68,8 +68,5 @@ fn heavier_net_ends_shorter() {
     let xc = r.placement.x[c.index()];
     // cell c balances its two unit nets near the middle; cell a is yanked
     // toward its weighted left net
-    assert!(
-        xa + 2.0 < xc,
-        "weighted pull failed: a at {xa}, c at {xc}"
-    );
+    assert!(xa + 2.0 < xc, "weighted pull failed: a at {xa}, c at {xc}");
 }

@@ -1,0 +1,222 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched. This shim keeps the workspace's benches compiling and
+//! *measuring*: it implements the API subset they use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros) with a
+//! simple warmup-then-measure loop reporting the median per-iteration time.
+//! No statistics engine, no HTML reports — just honest wall-clock numbers.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time spent measuring each benchmark.
+const MEASURE_TARGET: Duration = Duration::from_millis(600);
+/// Target wall time spent warming up each benchmark.
+const WARMUP_TARGET: Duration = Duration::from_millis(150);
+/// Number of measured batches used for the median.
+const BATCHES: usize = 11;
+
+/// Identifies one benchmark within a group, e.g. `new("fft", 1024)`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function: impl ToString, parameter: impl ToString) -> Self {
+        Self {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// The timing harness handed to benchmark closures.
+pub struct Bencher {
+    /// Median per-iteration time of the last `iter` call.
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then measuring batches and
+    /// recording the median per-iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // warmup, and discover how many iterations fit in a batch
+        let warmup_start = Instant::now();
+        let mut iters: u64 = 0;
+        while warmup_start.elapsed() < WARMUP_TARGET {
+            black_box(routine());
+            iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / iters as f64;
+        let batch = ((MEASURE_TARGET.as_secs_f64() / BATCHES as f64 / per_iter).ceil() as u64)
+            .clamp(1, 1_000_000);
+
+        let mut samples = Vec::with_capacity(BATCHES);
+        for _ in 0..BATCHES {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+        self.last = Some(Duration::from_secs_f64(samples[BATCHES / 2]));
+    }
+}
+
+/// Formats a duration with an auto-selected unit, criterion-style.
+fn format_time(d: Duration) -> String {
+    let ns = d.as_secs_f64() * 1e9;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    fn run_one(&self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return;
+        }
+        let mut b = Bencher { last: None };
+        f(&mut b);
+        match b.last {
+            Some(t) => println!("{full:<60} time: {}", format_time(t)),
+            None => println!("{full:<60} (no measurement)"),
+        }
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(&mut self, id: impl ToString, f: impl FnOnce(&mut Bencher)) {
+        self.run_one(&id.to_string(), f);
+    }
+
+    /// Benchmarks `f` under `id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        self.run_one(&id.to_string(), |b| f(b, input));
+    }
+
+    /// Finishes the group (printing is incremental; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies command-line configuration (`cargo bench -- <filter>`).
+    pub fn configure_from_args(mut self) -> Self {
+        // skip flags criterion would consume (--bench, --noplot, ...)
+        self.filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.is_empty());
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl ToString) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function(&mut self, id: impl ToString, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let name = id.to_string();
+        if self.matches(&name) {
+            let mut b = Bencher { last: None };
+            f(&mut b);
+            match b.last {
+                Some(t) => println!("{name:<60} time: {}", format_time(t)),
+                None => println!("{name:<60} (no measurement)"),
+            }
+        }
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        let mut ran = false;
+        group.bench_function("spin", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let c = Criterion {
+            filter: Some("only_this".into()),
+        };
+        assert!(c.matches("group/only_this/42"));
+        assert!(!c.matches("group/other"));
+    }
+}

@@ -1,0 +1,262 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no registry cache, so the
+//! real `rand` cannot be fetched. This shim implements the small API subset
+//! the workspace uses — `Rng::gen`, `Rng::gen_range`, `SeedableRng`,
+//! `rngs::StdRng` — on top of a deterministic xoshiro256++ generator seeded
+//! via SplitMix64. Streams differ from upstream `rand`, but every consumer
+//! in this workspace only requires a seeded, reproducible, well-mixed
+//! uniform source, not upstream's exact bit streams.
+
+/// A value that can be drawn uniformly from a range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Draws a uniform sample from `[low, high)` (`high` exclusive).
+    fn sample_half_open(rng: &mut dyn RngCore, low: Self, high: Self) -> Self;
+    /// Draws a uniform sample from `[low, high]` (`high` inclusive).
+    fn sample_closed(rng: &mut dyn RngCore, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+                assert!(low < high, "empty range in gen_range");
+                let span = (high as i128 - low as i128) as u128;
+                low + uniform_below(rng, span) as $t
+            }
+            fn sample_closed(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+                assert!(low <= high, "empty range in gen_range");
+                let span = (high as i128 - low as i128) as u128 + 1;
+                low + uniform_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+        assert!(low < high, "empty range in gen_range");
+        low + (high - low) * unit_f64(rng.next_u64())
+    }
+    fn sample_closed(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+        assert!(low <= high, "empty range in gen_range");
+        low + (high - low) * unit_f64(rng.next_u64())
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+        f64::sample_half_open(rng, low as f64, high as f64) as f32
+    }
+    fn sample_closed(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+        f64::sample_closed(rng, low as f64, high as f64) as f32
+    }
+}
+
+/// Multiply-shift uniform integer below `span` (Lemire's method, no modulo
+/// bias worth speaking of for a 64-bit source).
+fn uniform_below(rng: &mut dyn RngCore, span: u128) -> u64 {
+    debug_assert!(span > 0 && span <= u64::MAX as u128 + 1);
+    if span == u64::MAX as u128 + 1 {
+        return rng.next_u64();
+    }
+    ((rng.next_u64() as u128 * span) >> 64) as u64
+}
+
+/// Maps a `u64` to `[0, 1)` with 53 bits of precision.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample_single(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single(self, rng: &mut dyn RngCore) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single(self, rng: &mut dyn RngCore) -> T {
+        T::sample_closed(rng, *self.start(), *self.end())
+    }
+}
+
+/// A type with a canonical "draw one" distribution (`Rng::gen`).
+pub trait Standard: Sized {
+    /// Draws one value from the standard distribution.
+    fn draw(rng: &mut dyn RngCore) -> Self;
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for f32 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        unit_f64(rng.next_u64()) as f32
+    }
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Minimal core generator interface.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws one value from the type's standard distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+
+    /// Draws a uniform value from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stands in for `rand`'s
+    /// `StdRng`; reproducible across platforms and runs).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the canonical xoshiro seeding routine.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64_pub(), b.next_u64_pub());
+        }
+    }
+
+    impl StdRng {
+        fn next_u64_pub(&mut self) -> u64 {
+            use super::RngCore;
+            self.next_u64()
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen_range(-2.5..7.5);
+            assert!((-2.5..7.5).contains(&x));
+            let n: usize = rng.gen_range(3..9);
+            assert!((3..9).contains(&n));
+            let m: i32 = rng.gen_range(0..=4);
+            assert!((0..=4).contains(&m));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut buckets = [0usize; 10];
+        for _ in 0..100_000 {
+            buckets[rng.gen_range(0..10usize)] += 1;
+        }
+        for &b in &buckets {
+            assert!((8_000..12_000).contains(&b), "bucket count {b}");
+        }
+    }
+}
