@@ -1,0 +1,89 @@
+//! Criterion microbench: the spectral density step — unplanned baseline
+//! vs. the planned real-FFT path vs. planned + parallel row batches.
+//!
+//! One "density step" is the four 2-D sweeps of a Poisson solve (analysis
+//! DCT2×DCT2, potential DCT3×DCT3, and the two field syntheses), which is
+//! exactly the per-iteration spectral cost of the placer. Grid sizes span
+//! 256×256 to 1024×1024 (`BinGrid::auto` caps at 1024).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mep_density::transform::{transform_2d, Kind, Spectral2d, TransformScratch};
+use mep_density::ParallelExec;
+use mep_wirelength::engine::EvalEngine;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// The four sweeps of one spectral Poisson solve.
+const SWEEPS: [(Kind, Kind); 4] = [
+    (Kind::Dct2, Kind::Dct2),
+    (Kind::Dct3, Kind::Dct3),
+    (Kind::Dst3, Kind::Dct3),
+    (Kind::Dct3, Kind::Dst3),
+];
+
+/// Adapter exposing the persistent worker pool to the density crate (same
+/// shape as the placer's private adapter).
+#[derive(Debug)]
+struct EngineExec(Arc<EvalEngine>);
+
+impl ParallelExec for EngineExec {
+    fn run(&self, parts: usize, f: &(dyn Fn(usize) + Sync)) {
+        self.0.run(parts, f);
+    }
+}
+
+fn bench_density_transform(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut group = c.benchmark_group("density_transform");
+    for &n in &[256usize, 512, 1024] {
+        let rho: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut bufs = vec![vec![0.0; n * n]; SWEEPS.len()];
+
+        let mut scratch = TransformScratch::new();
+        group.bench_with_input(BenchmarkId::new("unplanned", n), &n, |b, _| {
+            b.iter(|| {
+                for (buf, &(kx, ky)) in bufs.iter_mut().zip(&SWEEPS) {
+                    buf.copy_from_slice(&rho);
+                    transform_2d(buf, n, n, kx, ky, &mut scratch);
+                }
+                black_box(bufs[0][0])
+            })
+        });
+
+        let mut planned = Spectral2d::new(n, n);
+        group.bench_with_input(BenchmarkId::new("planned", n), &n, |b, _| {
+            b.iter(|| {
+                for (buf, &(kx, ky)) in bufs.iter_mut().zip(&SWEEPS) {
+                    buf.copy_from_slice(&rho);
+                    planned.execute(buf, kx, ky);
+                }
+                black_box(bufs[0][0])
+            })
+        });
+
+        for &threads in &[2usize, 8] {
+            let engine = Arc::new(EvalEngine::new(threads));
+            let mut parallel = Spectral2d::new(n, n);
+            parallel.set_executor(Arc::new(EngineExec(Arc::clone(&engine))), threads);
+            group.bench_with_input(
+                BenchmarkId::new(format!("planned_{threads}t"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        for (buf, &(kx, ky)) in bufs.iter_mut().zip(&SWEEPS) {
+                            buf.copy_from_slice(&rho);
+                            parallel.execute(buf, kx, ky);
+                        }
+                        black_box(bufs[0][0])
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_density_transform);
+criterion_main!(benches);

@@ -114,6 +114,8 @@ impl Electrostatics {
     /// path (disjoint per-cell outputs, applied in a fixed order).
     pub fn set_executor(&mut self, exec: Arc<dyn ParallelExec>, parts: usize, netlist: &Netlist) {
         let parts = parts.max(1);
+        // the spectral transforms dispatch row batches over the same pool
+        self.solver.set_executor(Arc::clone(&exec), parts);
         let movable: Vec<u32> = netlist.movable_cells().map(|c| c.index() as u32).collect();
         let n = movable.len();
         let part_start = (0..=parts)
@@ -135,6 +137,12 @@ impl Electrostatics {
     /// The bin grid in use.
     pub fn grid(&self) -> &BinGrid {
         self.map.grid()
+    }
+
+    /// Call count and cumulative wall time of the planned 2-D spectral
+    /// transforms run by the Poisson solver.
+    pub fn transform_stats(&self) -> crate::transform::TransformStats {
+        self.solver.transform_stats()
     }
 
     /// Rasterizes movable density and solves the field for `placement`.

@@ -18,6 +18,19 @@ pub trait ParallelExec: Send + Sync + std::fmt::Debug {
     fn run(&self, parts: usize, f: &(dyn Fn(usize) + Sync));
 }
 
+/// The half-open item range `[lo, hi)` owned by `part` when `items` work
+/// items are split into `parts` fixed contiguous chunks.
+///
+/// The split depends only on `(items, parts, part)` — never on thread
+/// identity or timing — which is what lets callers promise bit-identical
+/// results at any thread count. Sizes differ by at most one item.
+pub fn part_bounds(items: usize, parts: usize, part: usize) -> (usize, usize) {
+    debug_assert!(part < parts, "part {part} out of range 0..{parts}");
+    let lo = (items as u128 * part as u128 / parts as u128) as usize;
+    let hi = (items as u128 * (part as u128 + 1) / parts as u128) as usize;
+    (lo, hi)
+}
+
 /// The trivial executor: ascending part order on the calling thread.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SerialExec;
@@ -39,5 +52,22 @@ mod tests {
         let order = std::sync::Mutex::new(Vec::new());
         SerialExec.run(5, &|i| order.lock().unwrap().push(i));
         assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn part_bounds_cover_all_items_without_overlap() {
+        for items in [0usize, 1, 5, 64, 1000, 1 << 20] {
+            for parts in [1usize, 2, 3, 7, 8, 64] {
+                let mut next = 0;
+                for p in 0..parts {
+                    let (lo, hi) = part_bounds(items, parts, p);
+                    assert_eq!(lo, next, "items={items} parts={parts} part={p}");
+                    assert!(hi >= lo);
+                    assert!(hi - lo <= items / parts + 1);
+                    next = hi;
+                }
+                assert_eq!(next, items, "items={items} parts={parts}");
+            }
+        }
     }
 }

@@ -1,8 +1,20 @@
-//! A self-contained iterative radix-2 complex FFT.
+//! A self-contained iterative radix-2 complex FFT, unplanned and planned.
 //!
 //! The spectral Poisson solver only needs power-of-two sizes (the bin grid
 //! is chosen as one), so a clean radix-2 implementation suffices. Data is
 //! split-complex (`re`/`im` slices) to avoid a complex-number dependency.
+//!
+//! Two execution paths exist:
+//!
+//! * [`fft_in_place`] — the original self-contained routine. It derives
+//!   twiddle factors with a per-butterfly complex recurrence seeded by one
+//!   `cos`/`sin` pair per stage; fine for one-off transforms, but the
+//!   recurrence is a serial dependency chain and the bit-reversal shift is
+//!   recomputed every call.
+//! * [`FftPlan`] — a reusable plan holding the bit-reversal permutation
+//!   and all stage twiddle factors as precomputed tables. The placement
+//!   hot loop runs thousands of same-size transforms per iteration, so the
+//!   tables are computed once per grid size and amortized to zero.
 
 /// In-place FFT (`inverse = false`) or unnormalized inverse FFT
 /// (`inverse = true`) of a split-complex sequence.
@@ -53,6 +65,114 @@ pub fn fft_in_place(re: &mut [f64], im: &mut [f64], inverse: bool) {
             }
         }
         len <<= 1;
+    }
+}
+/// A reusable plan for radix-2 complex FFTs of one fixed power-of-two
+/// size: the bit-reversal permutation and every stage's twiddle factors,
+/// precomputed once so [`FftPlan::process`] performs no trigonometry.
+///
+/// The twiddle table is laid out stage-major: for the stage whose
+/// butterflies span `2h` points, entry `h + k` holds
+/// `e^{-iπk/h}` (`k = 0..h`), so the whole table is exactly `n` entries.
+/// Inverse transforms conjugate the factors on the fly.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// Bit-reversed index of each position (`n` entries).
+    bitrev: Vec<u32>,
+    /// Forward twiddle factors, stage-major (see the type docs).
+    tw_re: Vec<f64>,
+    tw_im: Vec<f64>,
+}
+
+impl FftPlan {
+    /// Builds the plan for length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "FFT length {n} is not a power of two");
+        let bits = n.trailing_zeros();
+        let bitrev = (0..n)
+            .map(|i| {
+                if n <= 1 {
+                    0
+                } else {
+                    (i as u32).reverse_bits() >> (32 - bits)
+                }
+            })
+            .collect();
+        let mut tw_re = vec![0.0; n];
+        let mut tw_im = vec![0.0; n];
+        let mut h = 1;
+        while h < n {
+            for k in 0..h {
+                let ang = -std::f64::consts::PI * k as f64 / h as f64;
+                tw_re[h + k] = ang.cos();
+                tw_im[h + k] = ang.sin();
+            }
+            h <<= 1;
+        }
+        Self {
+            n,
+            bitrev,
+            tw_re,
+            tw_im,
+        }
+    }
+
+    /// The transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan is for the trivial length-0 transform.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place FFT (`inverse = false`) or unnormalized inverse FFT
+    /// (`inverse = true`); same contract as [`fft_in_place`] but driven
+    /// entirely by the precomputed tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ from the planned length.
+    pub fn process(&self, re: &mut [f64], im: &mut [f64], inverse: bool) {
+        let n = self.n;
+        assert_eq!(re.len(), n, "re length differs from planned length");
+        assert_eq!(im.len(), n, "im length differs from planned length");
+        if n <= 1 {
+            return;
+        }
+        for i in 0..n {
+            let j = self.bitrev[i] as usize;
+            if j > i {
+                re.swap(i, j);
+                im.swap(i, j);
+            }
+        }
+        let sign = if inverse { -1.0 } else { 1.0 };
+        let mut h = 1;
+        while h < n {
+            let len = 2 * h;
+            for start in (0..n).step_by(len) {
+                for k in 0..h {
+                    let wr = self.tw_re[h + k];
+                    let wi = sign * self.tw_im[h + k];
+                    let a = start + k;
+                    let b = a + h;
+                    let tr = re[b] * wr - im[b] * wi;
+                    let ti = re[b] * wi + im[b] * wr;
+                    re[b] = re[a] - tr;
+                    im[b] = im[a] - ti;
+                    re[a] += tr;
+                    im[a] += ti;
+                }
+            }
+            h = len;
+        }
     }
 }
 
@@ -171,5 +291,62 @@ mod tests {
         let mut re = vec![0.0; 12];
         let mut im = vec![0.0; 12];
         fft_in_place(&mut re, &mut im, false);
+    }
+
+    #[test]
+    fn plan_matches_naive_dft_both_directions() {
+        for &n in &[1usize, 2, 4, 8, 64, 256] {
+            let plan = FftPlan::new(n);
+            assert_eq!(plan.len(), n);
+            for inverse in [false, true] {
+                let re0 = rand_seq(n, 31);
+                let im0 = rand_seq(n, 37);
+                let (want_re, want_im) = dft_naive(&re0, &im0, inverse);
+                let mut re = re0;
+                let mut im = im0;
+                plan.process(&mut re, &mut im, inverse);
+                for i in 0..n {
+                    assert!((re[i] - want_re[i]).abs() < 1e-9, "n={n} inv={inverse}");
+                    assert!((im[i] - want_im[i]).abs() < 1e-9, "n={n} inv={inverse}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_is_reusable_and_deterministic() {
+        let plan = FftPlan::new(128);
+        let re0 = rand_seq(128, 41);
+        let im0 = rand_seq(128, 43);
+        let mut first: Option<(Vec<f64>, Vec<f64>)> = None;
+        for _ in 0..3 {
+            let mut re = re0.clone();
+            let mut im = im0.clone();
+            plan.process(&mut re, &mut im, false);
+            match &first {
+                None => first = Some((re, im)),
+                Some((fr, fi)) => {
+                    for i in 0..128 {
+                        assert_eq!(re[i].to_bits(), fr[i].to_bits());
+                        assert_eq!(im[i].to_bits(), fi[i].to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn plan_rejects_non_power_of_two() {
+        let _ = FftPlan::new(24);
+    }
+
+    #[test]
+    #[should_panic(expected = "differs from planned length")]
+    fn plan_rejects_length_mismatch() {
+        let plan = FftPlan::new(8);
+        let mut re = vec![0.0; 4];
+        let mut im = vec![0.0; 4];
+        plan.process(&mut re, &mut im, false);
     }
 }

@@ -41,6 +41,8 @@ pub mod poisson;
 pub mod transform;
 
 pub use electro::{DensityReport, Electrostatics};
-pub use exec::{ParallelExec, SerialExec};
+pub use exec::{part_bounds, ParallelExec, SerialExec};
+pub use fft::FftPlan;
 pub use grid::{BinGrid, DensityMap};
 pub use poisson::PoissonSolver;
+pub use transform::{DctPlan, Spectral2d, TransformStats};

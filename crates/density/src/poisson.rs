@@ -13,8 +13,16 @@
 //! transform set of ePlace \[18\] / DREAMPlace \[20\]. The DC term is dropped,
 //! which is equivalent to superimposing a uniform neutralizing background
 //! charge; fields are unaffected.
+//!
+//! The four 2-D sweeps of every solve run through a planned
+//! [`Spectral2d`] engine: precomputed twiddle/phase tables, the real-input
+//! FFT fast path, a cache-blocked transpose, and (when an executor is
+//! installed via [`PoissonSolver::set_executor`]) parallel row batches with
+//! bit-identical output at any thread count.
 
-use crate::transform::{transform_2d, Kind, TransformScratch};
+use crate::exec::ParallelExec;
+use crate::transform::{Kind, Spectral2d, TransformStats};
+use std::sync::Arc;
 
 /// Reusable spectral solver for an `ny × nx` bin grid (row-major, `iy`
 /// major) over a die of physical size `width × height`.
@@ -26,7 +34,8 @@ pub struct PoissonSolver {
     wu: Vec<f64>,
     /// y-frequencies `w_v`, `v = 0..ny`.
     wv: Vec<f64>,
-    scratch: TransformScratch,
+    /// Planned 2-D transform engine (all four sweeps per solve run here).
+    spectral: Spectral2d,
     coeff: Vec<f64>,
     work: Vec<f64>,
 }
@@ -63,10 +72,22 @@ impl PoissonSolver {
             ny,
             wu,
             wv,
-            scratch: TransformScratch::new(),
+            spectral: Spectral2d::new(ny, nx),
             coeff: Vec::new(),
             work: Vec::new(),
         }
+    }
+
+    /// Installs a parallel executor for the 2-D transform row batches (see
+    /// [`Spectral2d::set_executor`]); results stay bit-identical at any
+    /// thread count.
+    pub fn set_executor(&mut self, exec: Arc<dyn ParallelExec>, parts: usize) {
+        self.spectral.set_executor(exec, parts);
+    }
+
+    /// Call count and cumulative wall time of the planned 2-D transforms.
+    pub fn transform_stats(&self) -> TransformStats {
+        self.spectral.stats()
     }
 
     /// Solves for the potential and both field components.
@@ -94,14 +115,8 @@ impl PoissonSolver {
         // forward analysis
         self.coeff.clear();
         self.coeff.extend_from_slice(rho);
-        transform_2d(
-            &mut self.coeff,
-            self.ny,
-            self.nx,
-            Kind::Dct2,
-            Kind::Dct2,
-            &mut self.scratch,
-        );
+        self.spectral
+            .execute(&mut self.coeff, Kind::Dct2, Kind::Dct2);
 
         // normalization for the synthesis pair: x = (2/N)(2/M) dct3(dct2 x)
         let norm = (2.0 / self.nx as f64) * (2.0 / self.ny as f64);
@@ -119,14 +134,7 @@ impl PoissonSolver {
             }
         }
         psi.copy_from_slice(&self.work);
-        transform_2d(
-            psi,
-            self.ny,
-            self.nx,
-            Kind::Dct3,
-            Kind::Dct3,
-            &mut self.scratch,
-        );
+        self.spectral.execute(psi, Kind::Dct3, Kind::Dct3);
 
         // E_x = Σ ψ_uv w_u sin(w_u x) cos(w_v y)
         for v in 0..self.ny {
@@ -134,14 +142,7 @@ impl PoissonSolver {
                 ex[v * self.nx + u] = self.work[v * self.nx + u] * self.wu[u];
             }
         }
-        transform_2d(
-            ex,
-            self.ny,
-            self.nx,
-            Kind::Dst3,
-            Kind::Dct3,
-            &mut self.scratch,
-        );
+        self.spectral.execute(ex, Kind::Dst3, Kind::Dct3);
 
         // E_y = Σ ψ_uv w_v cos(w_u x) sin(w_v y)
         for v in 0..self.ny {
@@ -149,14 +150,7 @@ impl PoissonSolver {
                 ey[v * self.nx + u] = self.work[v * self.nx + u] * self.wv[v];
             }
         }
-        transform_2d(
-            ey,
-            self.ny,
-            self.nx,
-            Kind::Dct3,
-            Kind::Dst3,
-            &mut self.scratch,
-        );
+        self.spectral.execute(ey, Kind::Dct3, Kind::Dst3);
 
         SolveStats { modes: n - 1 }
     }

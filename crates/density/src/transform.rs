@@ -8,10 +8,29 @@
 //! * [`dst3`]  — synthesis with sines: `y_i = Σ_{u≥1} X_u sin(πu(i+½)/N)`
 //!   (what DREAMPlace calls IDXST; used for the electric field)
 //!
-//! The pair satisfies `x = (2/N)·dct3(dct2(x))`. Each 1-D transform costs
-//! one complex FFT of length `2N`; the 2-D versions are separable.
+//! The pair satisfies `x = (2/N)·dct3(dct2(x))`.
+//!
+//! Two generations of kernels coexist:
+//!
+//! * the original free functions ([`dct2`], [`dct3`], [`dst3`],
+//!   [`transform_2d`]) embed each length-`N` transform into a length-`2N`
+//!   **complex** FFT with trigonometry recomputed per call — kept as the
+//!   unplanned baseline and for one-off use;
+//! * [`DctPlan`] (1-D) and [`Spectral2d`] (2-D) are the planned hot-loop
+//!   path: each length-`2N` transform collapses onto an `N`-point complex
+//!   FFT through the real-input pack/unpack identities (the inputs are
+//!   real, and the synthesis output of a real spectrum is mirror-conjugate,
+//!   so half the butterflies vanish), every phase factor is a table lookup,
+//!   the 2-D column pass runs on contiguous memory after a cache-blocked
+//!   transpose, and row batches dispatch through a
+//!   [`crate::exec::ParallelExec`] with a fixed row-to-part assignment —
+//!   results are bit-identical at any thread count because every row is
+//!   transformed by the same serial code regardless of which part runs it.
 
-use crate::fft::fft_in_place;
+use crate::exec::{part_bounds, ParallelExec};
+use crate::fft::{fft_in_place, FftPlan};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Scratch buffers for the FFT-based transforms (reused across calls).
 #[derive(Debug, Clone, Default)]
@@ -31,6 +50,15 @@ impl TransformScratch {
         self.re.resize(n2, 0.0);
         self.im.clear();
         self.im.resize(n2, 0.0);
+    }
+
+    /// Sizes the buffers without zeroing them (planned kernels overwrite
+    /// every slot before reading).
+    fn ensure(&mut self, n: usize) {
+        if self.re.len() != n {
+            self.re.resize(n, 0.0);
+            self.im.resize(n, 0.0);
+        }
     }
 }
 
@@ -208,6 +236,387 @@ pub fn transform_2d(
     }
 }
 
+/// A reusable plan for the three length-`N` trigonometric transforms.
+///
+/// Holds an `N`-point [`FftPlan`] plus the two phase-factor tables the
+/// real-input fast path needs, so [`DctPlan::apply`] performs **no**
+/// trigonometry:
+///
+/// * **Analysis** ([`Kind::Dct2`]): the even-mirrored extension of the
+///   input is a length-`2N` *real* sequence; its FFT is computed by packing
+///   adjacent pairs into an `N`-point complex FFT and unpacking with the
+///   conjugate-symmetry identity
+///   `Y_u = (Z_u + Z̄_{N−u})/2 − (i/2)·e^{−iπu/N}(Z_u − Z̄_{N−u})`.
+/// * **Synthesis** ([`Kind::Dct3`] / [`Kind::Dst3`]): the length-`2N`
+///   half-spectrum inverse FFT `s_i = Σ_u c_u e^{iπu(i+½)/N}` of *real*
+///   coefficients `c` satisfies `s_{2N−1−i} = s̄_i`, so its even-indexed
+///   samples are exactly the `N`-point inverse FFT of
+///   `d_u = c_u e^{iπu/2N}` and the odd-indexed samples are conjugated
+///   mirror reads of the same array.
+///
+/// Either way a planned 1-D transform costs one `N`-point complex FFT and
+/// two `O(N)` table passes — versus a `2N`-point FFT plus `O(N)` `cos`/`sin`
+/// calls for the unplanned functions.
+#[derive(Debug, Clone)]
+pub struct DctPlan {
+    n: usize,
+    fft: FftPlan,
+    /// `(cos, sin)` of `πu/2N`, `u = 0..N`: synthesis input rotation
+    /// `e^{iπu/2N}`; its conjugate is the analysis output rotation.
+    ph_re: Vec<f64>,
+    ph_im: Vec<f64>,
+    /// `(cos, sin)` of `πk/N`, `k = 0..N`: real-FFT unpack rotation
+    /// (used conjugated, as `e^{−iπk/N}`).
+    un_re: Vec<f64>,
+    un_im: Vec<f64>,
+}
+
+impl DctPlan {
+    /// Builds the plan for transforms of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n.is_power_of_two(),
+            "transform length {n} is not a power of two"
+        );
+        let half_angle = |u: usize, denom: f64| {
+            let ang = std::f64::consts::PI * u as f64 / denom;
+            (ang.cos(), ang.sin())
+        };
+        let mut ph_re = Vec::with_capacity(n);
+        let mut ph_im = Vec::with_capacity(n);
+        let mut un_re = Vec::with_capacity(n);
+        let mut un_im = Vec::with_capacity(n);
+        for u in 0..n {
+            let (c, s) = half_angle(u, 2.0 * n as f64);
+            ph_re.push(c);
+            ph_im.push(s);
+            let (c, s) = half_angle(u, n as f64);
+            un_re.push(c);
+            un_im.push(s);
+        }
+        Self {
+            n,
+            fft: FftPlan::new(n),
+            ph_re,
+            ph_im,
+            un_re,
+            un_im,
+        }
+    }
+
+    /// The transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan is for the trivial length-0 transform.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Applies `kind` to `inout` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inout.len()` differs from the planned length.
+    pub fn apply(&self, kind: Kind, inout: &mut [f64], scratch: &mut TransformScratch) {
+        match kind {
+            Kind::Dct2 => self.dct2(inout, scratch),
+            Kind::Dct3 => self.dct3(inout, scratch),
+            Kind::Dst3 => self.dst3(inout, scratch),
+        }
+    }
+
+    /// In-place DCT-II (same math as the free [`dct2`]).
+    pub fn dct2(&self, inout: &mut [f64], scratch: &mut TransformScratch) {
+        let n = self.n;
+        assert_eq!(inout.len(), n, "input length differs from planned length");
+        if n <= 1 {
+            return; // X_0 = x_0
+        }
+        scratch.ensure(n);
+        // pack the even-mirrored sequence y (y_i = x_i, y_{2N−1−i} = x_i)
+        // pairwise: z_j = y_{2j} + i·y_{2j+1}
+        let half = n / 2;
+        for j in 0..half {
+            scratch.re[j] = inout[2 * j];
+            scratch.im[j] = inout[2 * j + 1];
+        }
+        for j in half..n {
+            scratch.re[j] = inout[2 * n - 1 - 2 * j];
+            scratch.im[j] = inout[2 * n - 2 - 2 * j];
+        }
+        self.fft.process(&mut scratch.re, &mut scratch.im, false);
+        // unpack bins 0..N of the 2N-point real FFT and rotate into DCT-II
+        for u in 0..n {
+            let v = (n - u) & (n - 1); // N − u mod N (Z_N ≡ Z_0)
+            let (zr_u, zi_u) = (scratch.re[u], scratch.im[u]);
+            let (zr_v, zi_v) = (scratch.re[v], scratch.im[v]);
+            let a_re = 0.5 * (zr_u + zr_v);
+            let a_im = 0.5 * (zi_u - zi_v);
+            let d_re = 0.5 * (zr_u - zr_v);
+            let d_im = 0.5 * (zi_u + zi_v);
+            // B = −i·D, then Y = A + e^{−iπu/N}·B
+            let (b_re, b_im) = (d_im, -d_re);
+            let y_re = a_re + self.un_re[u] * b_re + self.un_im[u] * b_im;
+            let y_im = a_im + self.un_re[u] * b_im - self.un_im[u] * b_re;
+            // X_u = ½·Re[Y_u e^{−iπu/2N}]
+            inout[u] = 0.5 * (y_re * self.ph_re[u] + y_im * self.ph_im[u]);
+        }
+    }
+
+    /// In-place DCT-III (same math as the free [`dct3`]).
+    pub fn dct3(&self, inout: &mut [f64], scratch: &mut TransformScratch) {
+        self.synthesize(inout, scratch, false)
+    }
+
+    /// In-place DST-III synthesis (same math as the free [`dst3`]).
+    pub fn dst3(&self, inout: &mut [f64], scratch: &mut TransformScratch) {
+        self.synthesize(inout, scratch, true)
+    }
+
+    fn synthesize(&self, inout: &mut [f64], scratch: &mut TransformScratch, sine: bool) {
+        let n = self.n;
+        assert_eq!(inout.len(), n, "input length differs from planned length");
+        if n == 0 {
+            return;
+        }
+        if n == 1 {
+            inout[0] = if sine { 0.0 } else { 0.5 * inout[0] };
+            return;
+        }
+        scratch.ensure(n);
+        // d_u = c_u·e^{iπu/2N}; c_0 contributes only to the real (cosine)
+        // output, so the sine path zeroes it
+        let c0 = if sine { 0.0 } else { 0.5 * inout[0] };
+        scratch.re[0] = c0;
+        scratch.im[0] = 0.0;
+        for u in 1..n {
+            let c = inout[u];
+            scratch.re[u] = c * self.ph_re[u];
+            scratch.im[u] = c * self.ph_im[u];
+        }
+        self.fft.process(&mut scratch.re, &mut scratch.im, true);
+        // s_{2m} = E_m, s_{2m+1} = conj(E_{N−1−m}); cosine output reads the
+        // real parts, sine output the (sign-flipped on odd) imaginary parts
+        let half = n / 2;
+        if sine {
+            for m in 0..half {
+                inout[2 * m] = scratch.im[m];
+                inout[2 * m + 1] = -scratch.im[n - 1 - m];
+            }
+        } else {
+            for m in 0..half {
+                inout[2 * m] = scratch.re[m];
+                inout[2 * m + 1] = scratch.re[n - 1 - m];
+            }
+        }
+    }
+}
+
+/// Call count and cumulative wall time of planned 2-D transforms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransformStats {
+    /// Number of [`Spectral2d::execute`] calls.
+    pub calls: u64,
+    /// Cumulative wall time, nanoseconds.
+    pub nanos: u64,
+}
+
+impl TransformStats {
+    /// Cumulative wall time in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.nanos as f64 * 1e-9
+    }
+}
+
+/// Below this element count parallel row dispatch is not worth the
+/// synchronization; [`Spectral2d`] stays serial even with an executor.
+pub const PARALLEL_GRID_THRESHOLD: usize = 4096;
+
+/// Planned separable 2-D transform engine for one fixed `rows × cols` grid.
+///
+/// Caches a [`DctPlan`] per axis, a transpose buffer, and per-part FFT
+/// scratch, so the placement hot loop performs no allocation and no
+/// trigonometry. The column pass runs on contiguous memory: data is
+/// transposed with a cache-blocked kernel, swept row-wise, and transposed
+/// back.
+///
+/// # Determinism
+///
+/// With an installed [`ParallelExec`], rows are split into contiguous
+/// batches with a **fixed** row-to-part assignment and each part writes
+/// only its own rows with its own scratch. Every row is transformed by the
+/// same serial code whatever part (or thread) runs it, so field and
+/// potential grids are bit-identical at any thread count.
+#[derive(Debug)]
+pub struct Spectral2d {
+    rows: usize,
+    cols: usize,
+    row_plan: DctPlan,
+    col_plan: DctPlan,
+    /// `cols × rows` transpose buffer.
+    tbuf: Vec<f64>,
+    /// One FFT scratch per part (uncontended; each part index runs once).
+    scratches: Vec<Mutex<TransformScratch>>,
+    exec: Option<Arc<dyn ParallelExec>>,
+    calls: u64,
+    nanos: u64,
+}
+
+impl Clone for Spectral2d {
+    fn clone(&self) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            row_plan: self.row_plan.clone(),
+            col_plan: self.col_plan.clone(),
+            tbuf: self.tbuf.clone(),
+            scratches: self
+                .scratches
+                .iter()
+                .map(|m| Mutex::new(m.lock().expect("spectral scratch lock").clone()))
+                .collect(),
+            exec: self.exec.clone(),
+            calls: self.calls,
+            nanos: self.nanos,
+        }
+    }
+}
+
+impl Spectral2d {
+    /// Builds the engine for a row-major `rows × cols` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is not a power of two.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            row_plan: DctPlan::new(cols),
+            col_plan: DctPlan::new(rows),
+            tbuf: vec![0.0; rows * cols],
+            scratches: vec![Mutex::new(TransformScratch::new())],
+            exec: None,
+            calls: 0,
+            nanos: 0,
+        }
+    }
+
+    /// Installs a parallel executor dispatching row batches over `parts`
+    /// fixed contiguous chunks (per-part scratch is (re)built here, never
+    /// in the hot loop).
+    pub fn set_executor(&mut self, exec: Arc<dyn ParallelExec>, parts: usize) {
+        let parts = parts.max(1);
+        self.scratches = (0..parts)
+            .map(|_| Mutex::new(TransformScratch::new()))
+            .collect();
+        self.exec = Some(exec);
+    }
+
+    /// Grid rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Instrumentation snapshot (calls and cumulative wall time).
+    pub fn stats(&self) -> TransformStats {
+        TransformStats {
+            calls: self.calls,
+            nanos: self.nanos,
+        }
+    }
+
+    /// Applies `kind_x` along rows then `kind_y` along columns of the
+    /// row-major grid `data`, in place. Planned equivalent of
+    /// [`transform_2d`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows · cols`.
+    pub fn execute(&mut self, data: &mut [f64], kind_x: Kind, kind_y: Kind) {
+        assert_eq!(data.len(), self.rows * self.cols, "grid shape mismatch");
+        let t0 = Instant::now();
+        self.sweep(&self.row_plan, kind_x, data);
+        let mut tbuf = std::mem::take(&mut self.tbuf);
+        transpose_blocked(data, &mut tbuf, self.rows, self.cols);
+        self.sweep(&self.col_plan, kind_y, &mut tbuf);
+        transpose_blocked(&tbuf, data, self.cols, self.rows);
+        self.tbuf = tbuf;
+        self.calls += 1;
+        self.nanos += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// Transforms every `plan.len()`-sized row of `buf` in place, serially
+    /// or over the installed executor with fixed contiguous row batches.
+    fn sweep(&self, plan: &DctPlan, kind: Kind, buf: &mut [f64]) {
+        let rowlen = plan.len();
+        let nrows = buf.len() / rowlen.max(1);
+        let parts = self.scratches.len();
+        let parallel =
+            self.exec.is_some() && parts > 1 && buf.len() >= PARALLEL_GRID_THRESHOLD && nrows > 1;
+        if !parallel {
+            let mut scratch = self.scratches[0].lock().expect("spectral scratch lock");
+            for row in buf.chunks_exact_mut(rowlen) {
+                plan.apply(kind, row, &mut scratch);
+            }
+            return;
+        }
+        // fixed row-to-part split: part p owns rows part_bounds(nrows, parts, p)
+        let mut batches: Vec<Mutex<&mut [f64]>> = Vec::with_capacity(parts);
+        let mut rest = buf;
+        for p in 0..parts {
+            let (lo, hi) = part_bounds(nrows, parts, p);
+            let (head, tail) = rest.split_at_mut((hi - lo) * rowlen);
+            batches.push(Mutex::new(head));
+            rest = tail;
+        }
+        let exec = self.exec.as_ref().expect("executor checked above");
+        exec.run(parts, &|p| {
+            let mut rows = batches[p].lock().expect("spectral batch lock");
+            let mut scratch = self.scratches[p].lock().expect("spectral scratch lock");
+            for row in rows.chunks_exact_mut(rowlen) {
+                plan.apply(kind, row, &mut scratch);
+            }
+        });
+    }
+}
+
+/// Cache-blocked out-of-place transpose of a row-major `rows × cols`
+/// matrix into a row-major `cols × rows` matrix.
+///
+/// # Panics
+///
+/// Panics if a slice length differs from `rows · cols`.
+pub fn transpose_blocked(src: &[f64], dst: &mut [f64], rows: usize, cols: usize) {
+    assert_eq!(src.len(), rows * cols, "transpose source shape mismatch");
+    assert_eq!(dst.len(), rows * cols, "transpose target shape mismatch");
+    // 32×32 f64 tiles: two 8 KiB working sets, comfortably inside L1
+    const B: usize = 32;
+    for rb in (0..rows).step_by(B) {
+        let r_hi = (rb + B).min(rows);
+        for cb in (0..cols).step_by(B) {
+            let c_hi = (cb + B).min(cols);
+            for r in rb..r_hi {
+                let base = r * cols;
+                for c in cb..c_hi {
+                    dst[c * rows + r] = src[base + c];
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,6 +729,116 @@ mod tests {
                     data[r * cols + c]
                 );
             }
+        }
+    }
+
+    #[test]
+    fn dct_plan_matches_naive_all_kinds() {
+        for &n in &[1usize, 2, 4, 8, 32, 128] {
+            let plan = DctPlan::new(n);
+            assert_eq!(plan.len(), n);
+            let mut scratch = TransformScratch::new();
+            for kind in [Kind::Dct2, Kind::Dct3, Kind::Dst3] {
+                let x = rand_seq(n, 100 + n as u64);
+                let want = match kind {
+                    Kind::Dct2 => naive::dct2(&x),
+                    Kind::Dct3 => naive::dct3(&x),
+                    Kind::Dst3 => naive::dst3(&x),
+                };
+                let mut got = x.clone();
+                plan.apply(kind, &mut got, &mut scratch);
+                for i in 0..n {
+                    assert!(
+                        (got[i] - want[i]).abs() < 1e-9,
+                        "n={n} kind={kind:?} i={i}: {} vs {}",
+                        got[i],
+                        want[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dct_plan_is_deterministic_across_calls() {
+        let n = 64;
+        let plan = DctPlan::new(n);
+        let x = rand_seq(n, 9);
+        let mut scratch = TransformScratch::new();
+        let mut first = x.clone();
+        plan.dct2(&mut first, &mut scratch);
+        for _ in 0..3 {
+            let mut again = x.clone();
+            plan.dct2(&mut again, &mut scratch);
+            for i in 0..n {
+                assert_eq!(again[i].to_bits(), first[i].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "differs from planned length")]
+    fn dct_plan_rejects_length_mismatch() {
+        let plan = DctPlan::new(8);
+        let mut x = vec![0.0; 4];
+        plan.dct2(&mut x, &mut TransformScratch::new());
+    }
+
+    #[test]
+    fn transpose_blocked_matches_direct() {
+        for &(rows, cols) in &[(1usize, 1usize), (4, 8), (33, 65), (64, 64), (100, 7)] {
+            let src = rand_seq(rows * cols, 6);
+            let mut dst = vec![0.0; rows * cols];
+            transpose_blocked(&src, &mut dst, rows, cols);
+            for r in 0..rows {
+                for c in 0..cols {
+                    assert_eq!(dst[c * rows + r].to_bits(), src[r * cols + c].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spectral2d_matches_transform_2d() {
+        let (rows, cols) = (16usize, 32usize);
+        let pairs = [
+            (Kind::Dct2, Kind::Dct2),
+            (Kind::Dct3, Kind::Dct3),
+            (Kind::Dst3, Kind::Dct3),
+            (Kind::Dct3, Kind::Dst3),
+        ];
+        let mut engine = Spectral2d::new(rows, cols);
+        for (i, &(kx, ky)) in pairs.iter().enumerate() {
+            let x = rand_seq(rows * cols, 40 + i as u64);
+            let mut want = x.clone();
+            transform_2d(&mut want, rows, cols, kx, ky, &mut TransformScratch::new());
+            let mut got = x;
+            engine.execute(&mut got, kx, ky);
+            for j in 0..want.len() {
+                assert!(
+                    (got[j] - want[j]).abs() < 1e-9,
+                    "pair {i} elem {j}: {} vs {}",
+                    got[j],
+                    want[j]
+                );
+            }
+        }
+        assert_eq!(engine.stats().calls, pairs.len() as u64);
+    }
+
+    #[test]
+    fn spectral2d_serial_executor_is_bitwise_identical() {
+        let (rows, cols) = (64usize, 64usize); // 4096 elements: meets threshold
+        let x = rand_seq(rows * cols, 77);
+        let mut serial = Spectral2d::new(rows, cols);
+        let mut dispatched = Spectral2d::new(rows, cols);
+        dispatched.set_executor(Arc::new(crate::exec::SerialExec), 4);
+        let mut a = x.clone();
+        let mut b = x;
+        serial.execute(&mut a, Kind::Dct2, Kind::Dct2);
+        dispatched.execute(&mut b, Kind::Dct2, Kind::Dct2);
+        for i in 0..a.len() {
+            assert_eq!(a[i].to_bits(), b[i].to_bits(), "elem {i}");
         }
     }
 }

@@ -2,15 +2,21 @@
 //! rasterization conservation, and Poisson-solver physics on randomized
 //! inputs.
 
-use mep_density::fft::{dft_naive, fft_in_place};
+use mep_density::fft::{dft_naive, fft_in_place, FftPlan};
 use mep_density::grid::BinGrid;
 use mep_density::poisson::PoissonSolver;
-use mep_density::transform::{self, naive, TransformScratch};
+use mep_density::transform::{self, naive, DctPlan, Kind, TransformScratch};
 use mep_netlist::Rect;
 use proptest::prelude::*;
 
 fn pow2_len() -> impl Strategy<Value = usize> {
     (1u32..8).prop_map(|k| 1usize << k)
+}
+
+/// Planned-path coverage spans every grid size the placer can pick
+/// (`BinGrid::auto` caps at 1024).
+fn pow2_len_wide() -> impl Strategy<Value = usize> {
+    (1u32..11).prop_map(|k| 1usize << k)
 }
 
 proptest! {
@@ -47,6 +53,64 @@ proptest! {
         transform::dst3(&x, &mut got, &mut scratch);
         for (g, w) in got.iter().zip(naive::dst3(&x)) {
             prop_assert!((g - w).abs() < 1e-8);
+        }
+    }
+
+    /// The planned FFT matches the naive DFT in both directions across
+    /// sizes 2..=1024.
+    #[test]
+    fn planned_fft_matches_naive(n in pow2_len_wide(), seed in 0u64..500, dir in 0u32..2) {
+        let inverse = dir == 1;
+        let re0: Vec<f64> = (0..n).map(|i| ((seed as f64 + i as f64) * 0.83).sin()).collect();
+        let im0: Vec<f64> = (0..n).map(|i| ((seed as f64 - i as f64) * 0.29).cos()).collect();
+        let (wr, wi) = dft_naive(&re0, &im0, inverse);
+        let plan = FftPlan::new(n);
+        let mut re = re0;
+        let mut im = im0;
+        plan.process(&mut re, &mut im, inverse);
+        // the naive reference itself drifts with n; scale the tolerance
+        let tol = 1e-9 * n as f64;
+        for i in 0..n {
+            prop_assert!((re[i] - wr[i]).abs() < tol, "re[{i}]");
+            prop_assert!((im[i] - wi[i]).abs() < tol, "im[{i}]");
+        }
+    }
+
+    /// The planned real-FFT DCT/DST paths match the naive references
+    /// across sizes 2..=1024.
+    #[test]
+    fn planned_dct_matches_naive(n in pow2_len_wide(), seed in 0u64..500) {
+        let x: Vec<f64> = (0..n).map(|i| ((seed as f64 * 1.7 + i as f64) * 0.47).sin()).collect();
+        let plan = DctPlan::new(n);
+        let mut scratch = TransformScratch::new();
+        let tol = 1e-9 * n as f64;
+        for kind in [Kind::Dct2, Kind::Dct3, Kind::Dst3] {
+            let want = match kind {
+                Kind::Dct2 => naive::dct2(&x),
+                Kind::Dct3 => naive::dct3(&x),
+                Kind::Dst3 => naive::dst3(&x),
+            };
+            let mut got = x.clone();
+            plan.apply(kind, &mut got, &mut scratch);
+            for i in 0..n {
+                prop_assert!((got[i] - want[i]).abs() < tol, "{kind:?}[{i}]");
+            }
+        }
+    }
+
+    /// The planned path agrees with the unplanned free functions exactly
+    /// enough for the solver (and the plan itself is reusable).
+    #[test]
+    fn planned_matches_unplanned(n in pow2_len(), seed in 0u64..500) {
+        let x: Vec<f64> = (0..n).map(|i| ((seed as f64 + i as f64) * 0.71).cos()).collect();
+        let plan = DctPlan::new(n);
+        let mut scratch = TransformScratch::new();
+        let mut legacy = vec![0.0; n];
+        transform::dct2(&x, &mut legacy, &mut scratch);
+        let mut planned = x.clone();
+        plan.dct2(&mut planned, &mut scratch);
+        for i in 0..n {
+            prop_assert!((planned[i] - legacy[i]).abs() < 1e-9 * n as f64);
         }
     }
 

@@ -1,0 +1,133 @@
+//! Determinism contract of the planned 2-D spectral transforms: grids are
+//! bit-identical (`to_bits`) between the serial path and parallel row-batch
+//! execution at 1, 2, and 8 threads.
+//!
+//! Uses a test-local scoped-thread executor (the density crate must not
+//! depend on the wirelength crate's engine; any [`ParallelExec`] must give
+//! identical results, which is exactly what this test pins down).
+
+use mep_density::transform::{Kind, Spectral2d};
+use mep_density::{ParallelExec, PoissonSolver, SerialExec};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A genuinely multi-threaded executor: `threads` scoped workers claim
+/// parts dynamically from a shared counter, so part-to-thread assignment
+/// varies run to run — which is the point: outputs must not depend on it.
+#[derive(Debug)]
+struct ThreadsExec {
+    threads: usize,
+}
+
+impl ParallelExec for ThreadsExec {
+    fn run(&self, parts: usize, f: &(dyn Fn(usize) + Sync)) {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..self.threads.min(parts) {
+                s.spawn(|| loop {
+                    let p = next.fetch_add(1, Ordering::Relaxed);
+                    if p >= parts {
+                        break;
+                    }
+                    f(p);
+                });
+            }
+        });
+    }
+}
+
+fn test_grid(rows: usize, cols: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    (0..rows * cols)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect()
+}
+
+#[test]
+fn transform_2d_bit_identical_across_thread_counts() {
+    // 128×128 = 16384 elements: well past PARALLEL_GRID_THRESHOLD
+    let (rows, cols) = (128usize, 128usize);
+    let pairs = [
+        (Kind::Dct2, Kind::Dct2),
+        (Kind::Dct3, Kind::Dct3),
+        (Kind::Dst3, Kind::Dct3),
+        (Kind::Dct3, Kind::Dst3),
+    ];
+    for (i, &(kx, ky)) in pairs.iter().enumerate() {
+        let x = test_grid(rows, cols, 11 + i as u64);
+        let mut reference = Spectral2d::new(rows, cols);
+        let mut want = x.clone();
+        reference.execute(&mut want, kx, ky);
+
+        for threads in [1usize, 2, 8] {
+            let mut engine = Spectral2d::new(rows, cols);
+            engine.set_executor(Arc::new(ThreadsExec { threads }), threads.max(2));
+            let mut got = x.clone();
+            engine.execute(&mut got, kx, ky);
+            for j in 0..want.len() {
+                assert_eq!(
+                    got[j].to_bits(),
+                    want[j].to_bits(),
+                    "pair {i} threads {threads} elem {j}: {} vs {}",
+                    got[j],
+                    want[j]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn transform_2d_bit_identical_on_rectangular_grids() {
+    let (rows, cols) = (64usize, 256usize);
+    let x = test_grid(rows, cols, 99);
+    let mut reference = Spectral2d::new(rows, cols);
+    let mut want = x.clone();
+    reference.execute(&mut want, Kind::Dct2, Kind::Dct2);
+    for threads in [2usize, 8] {
+        let mut engine = Spectral2d::new(rows, cols);
+        engine.set_executor(Arc::new(ThreadsExec { threads }), threads);
+        let mut got = x.clone();
+        engine.execute(&mut got, Kind::Dct2, Kind::Dct2);
+        for j in 0..want.len() {
+            assert_eq!(got[j].to_bits(), want[j].to_bits(), "threads {threads}");
+        }
+    }
+}
+
+#[test]
+fn poisson_solve_bit_identical_across_thread_counts() {
+    let n = 128usize;
+    let rho = test_grid(n, n, 7);
+    let solve = |exec: Option<(Arc<dyn ParallelExec>, usize)>| {
+        let mut solver = PoissonSolver::new(n, n, 2.0, 2.0);
+        if let Some((e, parts)) = exec {
+            solver.set_executor(e, parts);
+        }
+        let mut psi = vec![0.0; n * n];
+        let mut ex = vec![0.0; n * n];
+        let mut ey = vec![0.0; n * n];
+        solver.solve(&rho, &mut psi, &mut ex, &mut ey);
+        (psi, ex, ey)
+    };
+    let (psi0, ex0, ey0) = solve(None);
+    let configs: Vec<(Arc<dyn ParallelExec>, usize)> = vec![
+        (Arc::new(SerialExec), 4),
+        (Arc::new(ThreadsExec { threads: 1 }), 4),
+        (Arc::new(ThreadsExec { threads: 2 }), 4),
+        (Arc::new(ThreadsExec { threads: 8 }), 8),
+    ];
+    for (k, cfg) in configs.into_iter().enumerate() {
+        let (psi, ex, ey) = solve(Some(cfg));
+        for i in 0..n * n {
+            assert_eq!(psi[i].to_bits(), psi0[i].to_bits(), "cfg {k} psi[{i}]");
+            assert_eq!(ex[i].to_bits(), ex0[i].to_bits(), "cfg {k} ex[{i}]");
+            assert_eq!(ey[i].to_bits(), ey0[i].to_bits(), "cfg {k} ey[{i}]");
+        }
+    }
+}

@@ -52,6 +52,9 @@ pub struct PlacementProblem<'a> {
     pub lambda: f64,
     precondition: bool,
     last: EvalStats,
+    /// Spectral-transform stats already forwarded to the engine; new
+    /// samples are synced as deltas after each density stage.
+    tf_synced: mep_density::TransformStats,
 }
 
 impl<'a> std::fmt::Debug for PlacementProblem<'a> {
@@ -97,6 +100,7 @@ impl<'a> PlacementProblem<'a> {
             precondition: false,
             design,
             last: EvalStats::default(),
+            tf_synced: mep_density::TransformStats::default(),
         }
     }
 
@@ -225,6 +229,14 @@ impl<'a> Problem for PlacementProblem<'a> {
             es.accumulate_gradient(netlist, &scratch, dgx, dgy);
             report
         });
+        // forward the transform sub-stage clock (kept by the density crate)
+        let tf = self.es.transform_stats();
+        self.engine.add_stage_sample(
+            Stage::DensityTransform,
+            tf.calls - self.tf_synced.calls,
+            tf.nanos - self.tf_synced.nanos,
+        );
+        self.tf_synced = tf;
 
         for (i, &cell) in self.movable.iter().enumerate() {
             let c = cell.index();
@@ -301,6 +313,9 @@ mod tests {
         let stats = p.engine().stats();
         assert_eq!(stats.wl_grad.count, 2);
         assert_eq!(stats.density.count, 2);
+        // each density update runs 4 spectral sweeps (DCT2, DCT3, ×2 field)
+        assert_eq!(stats.density_transform.count, 8);
+        assert!(stats.density_transform.nanos <= stats.density.nanos);
         assert_eq!(stats.spawned_threads, 0, "1-thread engine never spawns");
     }
 

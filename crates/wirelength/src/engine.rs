@@ -55,16 +55,21 @@ pub enum Stage {
     WlValue,
     /// Density update + gradient accumulation.
     Density,
+    /// Planned 2-D spectral transforms inside the density stage (a subset
+    /// of [`Stage::Density`] wall time, counted per `transform_2d`-
+    /// equivalent sweep).
+    DensityTransform,
 }
 
 impl Stage {
-    const COUNT: usize = 3;
+    const COUNT: usize = 4;
 
     fn index(self) -> usize {
         match self {
             Stage::WlGrad => 0,
             Stage::WlValue => 1,
             Stage::Density => 2,
+            Stage::DensityTransform => 3,
         }
     }
 }
@@ -106,6 +111,8 @@ pub struct EngineStats {
     pub wl_value: StageStats,
     /// Density stage.
     pub density: StageStats,
+    /// Spectral-transform sub-stage of density (included in `density`).
+    pub density_transform: StageStats,
 }
 
 #[derive(Debug, Default)]
@@ -327,6 +334,16 @@ impl EvalEngine {
         r
     }
 
+    /// Attributes `count` evaluations and `nanos` of wall time measured
+    /// elsewhere to `stage` — for sub-stages timed by subsystems (e.g. the
+    /// density crate's spectral transforms) whose clocks the engine cannot
+    /// wrap directly.
+    pub fn add_stage_sample(&self, stage: Stage, count: u64, nanos: u64) {
+        let c = &self.stages[stage.index()];
+        c.count.fetch_add(count, Ordering::Relaxed);
+        c.nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
     /// Records one workspace arena (re)allocation. Evaluators call this
     /// when they (re)build topology-derived buffers; a warmed-up hot loop
     /// must keep this counter flat.
@@ -352,6 +369,7 @@ impl EvalEngine {
             wl_grad: stage(Stage::WlGrad),
             wl_value: stage(Stage::WlValue),
             density: stage(Stage::Density),
+            density_transform: stage(Stage::DensityTransform),
         }
     }
 

@@ -35,40 +35,176 @@ pub struct EnvelopeEval {
 
 /// Computes `prox_{tW_e}(x)` per Theorem 1 into `out`.
 ///
-/// `x` need not be sorted. `O(n log n)` from the internal sort.
+/// `x` need not be sorted. `O(n log n)` from the internal sort. Allocates
+/// a per-call scratch copy; the hot loop uses [`prox_in`].
 ///
 /// # Panics
 ///
 /// Panics if `x` is empty, `out.len() != x.len()`, or `t ≤ 0`.
 pub fn prox(x: &[f64], t: f64, out: &mut [f64]) -> EnvelopeEval {
-    assert_eq!(x.len(), out.len(), "output length must match input");
-    let mut scratch = x.to_vec();
+    prox_in(x, t, out, &mut Vec::new())
+}
 
-    eval_sorted_scratch(&mut scratch, x, t, None, Some(out))
+/// [`prox`] with a caller-provided scratch vector (e.g. an engine
+/// workspace slot): zero allocations once `scratch` has grown to the
+/// largest net degree.
+///
+/// # Panics
+///
+/// Panics if `x` is empty, `out.len() != x.len()`, or `t ≤ 0`.
+pub fn prox_in(x: &[f64], t: f64, out: &mut [f64], scratch: &mut Vec<f64>) -> EnvelopeEval {
+    assert_eq!(x.len(), out.len(), "output length must match input");
+    scratch.clear();
+    scratch.extend_from_slice(x);
+    eval_sorted_scratch(scratch, x, t, None, Some(out))
 }
 
 /// Computes the envelope value and its gradient (Algorithm 1 + Corollary 1).
 ///
 /// `grad` receives `∇W_e^t(x)`; the return value carries the envelope and
-/// the water levels. `x` need not be sorted.
+/// the water levels. `x` need not be sorted. Allocates a per-call scratch
+/// copy; the hot loop uses [`eval_with_gradient_in`].
 ///
 /// # Panics
 ///
 /// Panics if `x` is empty, `grad.len() != x.len()`, or `t ≤ 0`.
 pub fn eval_with_gradient(x: &[f64], t: f64, grad: &mut [f64]) -> EnvelopeEval {
-    assert_eq!(x.len(), grad.len(), "gradient length must match input");
-    let mut scratch = x.to_vec();
-    eval_sorted_scratch(&mut scratch, x, t, Some(grad), None)
+    eval_with_gradient_in(x, t, grad, &mut Vec::new())
 }
 
-/// Envelope value only.
+/// [`eval_with_gradient`] with a caller-provided scratch vector: zero
+/// allocations once `scratch` has grown to the largest net degree.
+///
+/// # Panics
+///
+/// Panics if `x` is empty, `grad.len() != x.len()`, or `t ≤ 0`.
+pub fn eval_with_gradient_in(
+    x: &[f64],
+    t: f64,
+    grad: &mut [f64],
+    scratch: &mut Vec<f64>,
+) -> EnvelopeEval {
+    assert_eq!(x.len(), grad.len(), "gradient length must match input");
+    scratch.clear();
+    scratch.extend_from_slice(x);
+    eval_sorted_scratch(scratch, x, t, Some(grad), None)
+}
+
+/// Envelope value only. Allocates a per-call scratch copy; the hot loop
+/// uses [`envelope_in`].
 ///
 /// # Panics
 ///
 /// Panics if `x` is empty or `t ≤ 0`.
 pub fn envelope(x: &[f64], t: f64) -> f64 {
-    let mut scratch = x.to_vec();
-    eval_sorted_scratch(&mut scratch, x, t, None, None).envelope
+    envelope_in(x, t, &mut Vec::new())
+}
+
+/// [`envelope`] with a caller-provided scratch vector: zero allocations
+/// once `scratch` has grown to the largest net degree.
+///
+/// # Panics
+///
+/// Panics if `x` is empty or `t ≤ 0`.
+pub fn envelope_in(x: &[f64], t: f64, scratch: &mut Vec<f64>) -> f64 {
+    scratch.clear();
+    scratch.extend_from_slice(x);
+    eval_sorted_scratch(scratch, x, t, None, None).envelope
+}
+
+/// Branchless ascending sort of `v.len() ≤ 8` elements by optimal sorting
+/// networks: every compare-exchange lowers to `minsd`/`maxsd`, no data-
+/// dependent branches, no comparator closure. Nets of ≤ 8 pins are the
+/// vast majority of every benchmark, so this removes the
+/// `sort_unstable_by` dispatch from the model's hot path.
+fn sort_small(v: &mut [f64]) {
+    #[inline(always)]
+    fn cx(v: &mut [f64], i: usize, j: usize) {
+        let (a, b) = (v[i], v[j]);
+        v[i] = a.min(b);
+        v[j] = a.max(b);
+    }
+    match v.len() {
+        0 | 1 => {}
+        2 => cx(v, 0, 1),
+        3 => {
+            cx(v, 0, 1);
+            cx(v, 0, 2);
+            cx(v, 1, 2);
+        }
+        4 => {
+            cx(v, 0, 1);
+            cx(v, 2, 3);
+            cx(v, 0, 2);
+            cx(v, 1, 3);
+            cx(v, 1, 2);
+        }
+        5 => {
+            cx(v, 0, 1);
+            cx(v, 3, 4);
+            cx(v, 2, 4);
+            cx(v, 2, 3);
+            cx(v, 1, 4);
+            cx(v, 0, 3);
+            cx(v, 0, 2);
+            cx(v, 1, 3);
+            cx(v, 1, 2);
+        }
+        6 => {
+            cx(v, 1, 2);
+            cx(v, 4, 5);
+            cx(v, 0, 2);
+            cx(v, 3, 5);
+            cx(v, 0, 1);
+            cx(v, 3, 4);
+            cx(v, 2, 5);
+            cx(v, 0, 3);
+            cx(v, 1, 4);
+            cx(v, 2, 4);
+            cx(v, 1, 3);
+            cx(v, 2, 3);
+        }
+        7 => {
+            cx(v, 1, 2);
+            cx(v, 3, 4);
+            cx(v, 5, 6);
+            cx(v, 0, 2);
+            cx(v, 3, 5);
+            cx(v, 4, 6);
+            cx(v, 0, 1);
+            cx(v, 4, 5);
+            cx(v, 2, 6);
+            cx(v, 0, 4);
+            cx(v, 1, 5);
+            cx(v, 0, 3);
+            cx(v, 2, 5);
+            cx(v, 1, 3);
+            cx(v, 2, 4);
+            cx(v, 2, 3);
+        }
+        8 => {
+            cx(v, 0, 1);
+            cx(v, 2, 3);
+            cx(v, 4, 5);
+            cx(v, 6, 7);
+            cx(v, 0, 2);
+            cx(v, 1, 3);
+            cx(v, 4, 6);
+            cx(v, 5, 7);
+            cx(v, 1, 2);
+            cx(v, 5, 6);
+            cx(v, 0, 4);
+            cx(v, 3, 7);
+            cx(v, 1, 5);
+            cx(v, 2, 6);
+            cx(v, 1, 4);
+            cx(v, 3, 6);
+            cx(v, 2, 4);
+            cx(v, 3, 5);
+            cx(v, 3, 4);
+        }
+        _ => unreachable!("sort_small is only called for n <= 8"),
+    }
 }
 
 /// Shared core: sorts `scratch`, solves the water levels, then fills the
@@ -82,7 +218,15 @@ fn eval_sorted_scratch(
 ) -> EnvelopeEval {
     assert!(!x.is_empty(), "net must have at least one pin");
     assert!(t > 0.0, "smoothing parameter must be positive, got {t}");
-    scratch.sort_unstable_by(|a, b| a.partial_cmp(b).expect("coordinates must not be NaN"));
+    if scratch.len() <= 8 {
+        debug_assert!(
+            scratch.iter().all(|v| !v.is_nan()),
+            "coordinates must not be NaN"
+        );
+        sort_small(scratch);
+    } else {
+        scratch.sort_unstable_by(|a, b| a.partial_cmp(b).expect("coordinates must not be NaN"));
+    }
     let pair = TauPair::solve(scratch, t);
     let n = x.len() as f64;
 
@@ -170,13 +314,7 @@ impl Moreau {
 
     /// Full evaluation exposing levels and collapse status.
     pub fn eval_detailed(&mut self, x: &[f64], grad: &mut [f64]) -> EnvelopeEval {
-        self.scratch.clear();
-        self.scratch.extend_from_slice(x);
-        // split borrow: scratch lives in self, outputs are external
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let eval = eval_sorted_scratch(&mut scratch, x, self.t, Some(grad), None);
-        self.scratch = scratch;
-        eval
+        eval_with_gradient_in(x, self.t, grad, &mut self.scratch)
     }
 }
 
@@ -199,12 +337,7 @@ impl NetModel for Moreau {
     }
 
     fn value_axis(&mut self, x: &[f64]) -> f64 {
-        self.scratch.clear();
-        self.scratch.extend_from_slice(x);
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let eval = eval_sorted_scratch(&mut scratch, x, self.t, None, None);
-        self.scratch = scratch;
-        eval.envelope + self.t
+        envelope_in(x, self.t, &mut self.scratch) + self.t
     }
 }
 
@@ -450,5 +583,83 @@ mod tests {
     #[should_panic(expected = "smoothing parameter must be positive")]
     fn zero_t_rejected() {
         let _ = Moreau::new(0.0);
+    }
+
+    #[test]
+    fn sorting_networks_pass_zero_one_principle() {
+        // a comparator network sorts all inputs iff it sorts every 0/1
+        // sequence (Knuth's 0-1 principle); n ≤ 8 is exhaustible
+        for n in 0..=8usize {
+            for mask in 0..(1u32 << n) {
+                let mut v: Vec<f64> = (0..n)
+                    .map(|i| if mask >> i & 1 == 1 { 1.0 } else { 0.0 })
+                    .collect();
+                sort_small(&mut v);
+                assert!(
+                    v.windows(2).all(|w| w[0] <= w[1]),
+                    "n={n} mask={mask:b}: {v:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sorting_networks_match_std_sort_on_random_data() {
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for n in 1..=8usize {
+            for _ in 0..200 {
+                let v: Vec<f64> = (0..n).map(|_| next()).collect();
+                let mut want = v.clone();
+                want.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+                let mut got = v;
+                sort_small(&mut got);
+                for i in 0..n {
+                    assert_eq!(got[i].to_bits(), want[i].to_bits(), "n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_variants_match_allocating_ones() {
+        let x = [0.3, -1.2, 4.5, 2.0, 4.5, 9.1, -3.0, 0.0, 2.2];
+        let t = 0.8;
+        let mut scratch = Vec::new();
+
+        assert_eq!(envelope(&x, t), envelope_in(&x, t, &mut scratch));
+
+        let mut g1 = vec![0.0; x.len()];
+        let mut g2 = vec![0.0; x.len()];
+        let e1 = eval_with_gradient(&x, t, &mut g1);
+        let e2 = eval_with_gradient_in(&x, t, &mut g2, &mut scratch);
+        assert_eq!(e1, e2);
+        assert_eq!(g1, g2);
+
+        let mut p1 = vec![0.0; x.len()];
+        let mut p2 = vec![0.0; x.len()];
+        let e1 = prox(&x, t, &mut p1);
+        let e2 = prox_in(&x, t, &mut p2, &mut scratch);
+        assert_eq!(e1, e2);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn scratch_is_reused_without_reallocation() {
+        let x = [5.0, 1.0, 3.0, 2.0, 4.0, 0.0, 6.0];
+        let mut scratch = Vec::new();
+        let _ = envelope_in(&x, 1.0, &mut scratch);
+        let cap = scratch.capacity();
+        assert!(cap >= x.len());
+        for _ in 0..10 {
+            let mut g = vec![0.0; x.len()];
+            let _ = eval_with_gradient_in(&x, 1.0, &mut g, &mut scratch);
+            assert_eq!(scratch.capacity(), cap, "scratch reallocated");
+        }
     }
 }

@@ -49,6 +49,10 @@ pub fn solve_lower(sorted: &[f64], t: f64) -> f64 {
 pub fn solve_upper(sorted: &[f64], t: f64) -> f64 {
     debug_assert!(!sorted.is_empty(), "water-filling needs at least one pin");
     debug_assert!(t > 0.0, "water amount must be positive, got {t}");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "coordinates must be ascending"
+    );
     let n = sorted.len();
     let mut filled = 0.0_f64;
     for k in 1..n {

@@ -46,12 +46,20 @@ impl std::fmt::Display for BenchmarkId {
 pub struct Bencher {
     /// Median per-iteration time of the last `iter` call.
     last: Option<Duration>,
+    /// `--test` smoke mode: run each routine once, skip timing.
+    test_mode: bool,
 }
 
 impl Bencher {
     /// Times `routine`, first warming up, then measuring batches and
-    /// recording the median per-iteration time.
+    /// recording the median per-iteration time. In `--test` mode the
+    /// routine runs exactly once and no time is recorded (criterion's
+    /// smoke-test behaviour, used by CI to keep benches from rotting).
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
         // warmup, and discover how many iterations fit in a batch
         let warmup_start = Instant::now();
         let mut iters: u64 = 0;
@@ -102,8 +110,15 @@ impl<'a> BenchmarkGroup<'a> {
         if !self.criterion.matches(&full) {
             return;
         }
-        let mut b = Bencher { last: None };
+        let mut b = Bencher {
+            last: None,
+            test_mode: self.criterion.test_mode,
+        };
         f(&mut b);
+        if self.criterion.test_mode {
+            println!("{full:<60} test: ok");
+            return;
+        }
         match b.last {
             Some(t) => println!("{full:<60} time: {}", format_time(t)),
             None => println!("{full:<60} (no measurement)"),
@@ -134,12 +149,15 @@ impl<'a> BenchmarkGroup<'a> {
 #[derive(Default)]
 pub struct Criterion {
     filter: Option<String>,
+    test_mode: bool,
 }
 
 impl Criterion {
-    /// Applies command-line configuration (`cargo bench -- <filter>`).
+    /// Applies command-line configuration (`cargo bench -- [--test] [filter]`).
     pub fn configure_from_args(mut self) -> Self {
-        // skip flags criterion would consume (--bench, --noplot, ...)
+        // skip flags criterion would consume (--bench, --noplot, ...);
+        // `--test` switches to run-once smoke mode
+        self.test_mode = std::env::args().skip(1).any(|a| a == "--test");
         self.filter = std::env::args()
             .skip(1)
             .find(|a| !a.starts_with('-') && !a.is_empty());
@@ -162,11 +180,18 @@ impl Criterion {
     pub fn bench_function(&mut self, id: impl ToString, f: impl FnOnce(&mut Bencher)) -> &mut Self {
         let name = id.to_string();
         if self.matches(&name) {
-            let mut b = Bencher { last: None };
+            let mut b = Bencher {
+                last: None,
+                test_mode: self.test_mode,
+            };
             f(&mut b);
-            match b.last {
-                Some(t) => println!("{name:<60} time: {}", format_time(t)),
-                None => println!("{name:<60} (no measurement)"),
+            if self.test_mode {
+                println!("{name:<60} test: ok");
+            } else {
+                match b.last {
+                    Some(t) => println!("{name:<60} time: {}", format_time(t)),
+                    None => println!("{name:<60} (no measurement)"),
+                }
             }
         }
         self
@@ -215,8 +240,22 @@ mod tests {
     fn filter_skips_nonmatching() {
         let c = Criterion {
             filter: Some("only_this".into()),
+            test_mode: false,
         };
         assert!(c.matches("group/only_this/42"));
         assert!(!c.matches("group/other"));
+    }
+
+    #[test]
+    fn test_mode_runs_once_without_timing() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+        };
+        let mut group = c.benchmark_group("shim");
+        let mut count = 0;
+        group.bench_function("once", |b| b.iter(|| count += 1));
+        group.finish();
+        assert_eq!(count, 1, "--test mode must run the routine exactly once");
     }
 }
