@@ -21,7 +21,8 @@ fn bench_stages(c: &mut Criterion) {
             threads: 1,
             ..GlobalConfig::default()
         },
-    );
+    )
+    .expect("placement flow");
 
     let mut group = c.benchmark_group("flow_stages");
     group.bench_function("legalize_smoke", |b| {

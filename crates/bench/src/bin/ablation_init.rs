@@ -34,7 +34,7 @@ fn main() {
         };
         // center init (default)
         eprintln!("[ablation] {bench} × center-init …");
-        let center = run(&circuit, &config);
+        let center = run(&circuit, &config).expect("placement flow");
         // B2B warm start
         eprintln!("[ablation] {bench} × quadratic-init …");
         let t0 = std::time::Instant::now();
@@ -44,7 +44,7 @@ fn main() {
             design: circuit.design.clone(),
             placement: qp,
         };
-        let warm = run(&warm_circuit, &config);
+        let warm = run(&warm_circuit, &config).expect("placement flow");
         for (name, r, extra) in [("center", &center, 0.0), ("quadratic(B2B)", &warm, qp_time)] {
             println!(
                 "{bench:<14} {name:<16} DPWL {:.4e}  iters {}  RT {:.1}s",

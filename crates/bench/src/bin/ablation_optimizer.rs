@@ -56,7 +56,7 @@ fn main() {
                 },
                 ..PipelineConfig::default()
             };
-            let r = run(&circuit, &config);
+            let r = run(&circuit, &config).expect("placement flow");
             if base.is_none() {
                 base = Some(r.dpwl);
             }

@@ -41,7 +41,7 @@ fn main() {
             },
             ..PipelineConfig::default()
         };
-        let r = run(&circuit, &config);
+        let r = run(&circuit, &config).expect("placement flow");
         // per-class HPWL totals of the final placement
         let mut class_wl = vec![0.0; CLASSES.len()];
         for net in nl.nets() {

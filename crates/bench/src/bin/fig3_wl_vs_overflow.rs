@@ -31,7 +31,7 @@ fn main() {
                 record_trajectory: true,
                 ..GlobalConfig::default()
             };
-            let r = place(&circuit, &cfg);
+            let r = place(&circuit, &cfg).expect("placement flow");
             for p in &r.trajectory {
                 table.push([
                     bench.to_string(),

@@ -47,10 +47,10 @@ fn main() {
         ..PipelineConfig::default()
     };
     // capture the GP stage separately for the middle snapshot
-    let gp = mep_placer::global::place(&circuit, &config.global);
+    let gp = mep_placer::global::place(&circuit, &config.global).expect("placement flow");
     write("global", placement_svg(&circuit.design, &gp.placement));
 
-    let result = run(&circuit, &config);
+    let result = run(&circuit, &config).expect("placement flow");
     write("final", placement_svg(&circuit.design, &result.placement));
 
     // density heatmap of the final placement

@@ -98,7 +98,7 @@ pub fn run_benchmark(spec: &SynthSpec, model: ModelKind, opts: &FlowOptions) -> 
         },
         ..PipelineConfig::default()
     };
-    let r = run(&circuit, &config);
+    let r = run(&circuit, &config).expect("placement flow");
     BenchmarkRow {
         bench: spec.name.clone(),
         model,

@@ -145,6 +145,17 @@ impl Electrostatics {
         self.solver.transform_stats()
     }
 
+    /// Degrades the Poisson solver to the unplanned serial transform
+    /// baseline (see [`PoissonSolver::degrade_to_unplanned`]); one-way.
+    pub fn degrade_solver(&mut self) {
+        self.solver.degrade_to_unplanned();
+    }
+
+    /// Whether the Poisson solver runs in degraded (unplanned) mode.
+    pub fn solver_degraded(&self) -> bool {
+        self.solver.is_degraded()
+    }
+
     /// Rasterizes movable density and solves the field for `placement`.
     pub fn update(&mut self, netlist: &Netlist, placement: &Placement) -> DensityReport {
         self.map.update_movable(netlist, placement);

@@ -224,12 +224,11 @@ pub fn read_files_with_weights(
         let mut lines = content_lines(nets_text).peekable();
         let mut net_counter = 0usize;
         while let Some((lineno, line)) = lines.next() {
-            if let Some((k, _)) = key_value(line) {
+            if let Some((k, v)) = key_value(line) {
                 if k.starts_with("NumNets") || k.starts_with("NumPins") {
                     continue;
                 }
                 if k.starts_with("NetDegree") {
-                    let v = key_value(line).unwrap().1;
                     let mut tok = v.split_whitespace();
                     let degree: usize = tok
                         .next()
@@ -380,7 +379,7 @@ pub fn read_files_with_weights(
         .iter()
         .map(Row::rect)
         .reduce(|a, b| a.union(&b))
-        .expect("rows checked non-empty");
+        .ok_or_else(|| NetlistError::Geometry("scl file declared no rows".into()))?;
     let design = Design::new(name, netlist, die, rows, target_density)?;
     Ok(BookshelfCircuit { design, placement })
 }

@@ -57,9 +57,15 @@ impl Rect {
     ///
     /// # Panics
     ///
-    /// Panics (debug builds) if the rectangle is inverted.
+    /// Panics (debug builds) if the rectangle is inverted (NaNs excepted —
+    /// non-finite coordinates must propagate to the placement guard, not
+    /// abort mid-evaluation).
     pub fn new(xl: f64, yl: f64, xh: f64, yh: f64) -> Self {
-        debug_assert!(xl <= xh && yl <= yh, "inverted rect {xl} {yl} {xh} {yh}");
+        use std::cmp::Ordering::Greater;
+        debug_assert!(
+            xl.partial_cmp(&xh) != Some(Greater) && yl.partial_cmp(&yh) != Some(Greater),
+            "inverted rect {xl} {yl} {xh} {yh}"
+        );
         Self { xl, yl, xh, yh }
     }
 

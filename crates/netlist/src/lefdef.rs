@@ -48,56 +48,67 @@ pub struct LefLibrary {
 }
 
 /// Whitespace/token stream over LEF/DEF text (both are token-oriented;
-/// statements end with `;`).
+/// statements end with `;`). Each token carries its 1-based source line so
+/// parse errors can point at the offending statement.
 struct Tokens<'a> {
-    iter: std::iter::Peekable<std::vec::IntoIter<&'a str>>,
+    iter: std::iter::Peekable<std::vec::IntoIter<(usize, &'a str)>>,
+    /// Line of the most recently consumed token (error context).
+    line: usize,
 }
 
 impl<'a> Tokens<'a> {
     fn new(text: &'a str) -> Self {
         // strip `#` comments per line, then tokenize
-        let tokens: Vec<&'a str> = text
+        let tokens: Vec<(usize, &'a str)> = text
             .lines()
-            .map(|line| match line.find('#') {
-                Some(pos) => &line[..pos],
-                None => line,
+            .enumerate()
+            .map(|(i, line)| {
+                let line = match line.find('#') {
+                    Some(pos) => &line[..pos],
+                    None => line,
+                };
+                (i + 1, line)
             })
-            .flat_map(str::split_whitespace)
+            .flat_map(|(no, line)| line.split_whitespace().map(move |t| (no, t)))
             .collect();
         Self {
             iter: tokens.into_iter().peekable(),
+            line: 0,
         }
     }
 
     fn next(&mut self) -> Option<&'a str> {
-        self.iter.next()
+        let (no, t) = self.iter.next()?;
+        self.line = no;
+        Some(t)
     }
 
     fn peek(&mut self) -> Option<&'a str> {
-        self.iter.peek().copied()
+        self.iter.peek().map(|&(_, t)| t)
     }
 
     /// Skips tokens through the next `;`.
     fn skip_statement(&mut self) {
-        for t in self.iter.by_ref() {
+        while let Some(t) = self.next() {
             if t == ";" || t.ends_with(';') {
                 return;
             }
         }
     }
 
-    fn expect_f64(&mut self, what: &'static str) -> Result<f64, NetlistError> {
+    fn expect_f64(&mut self, what: &str) -> Result<f64, NetlistError> {
         self.next()
             .and_then(|t| t.trim_end_matches(';').parse().ok())
-            .ok_or_else(|| parse_err(what))
+            .ok_or_else(|| self.err(what))
     }
-}
 
-fn parse_err(message: &'static str) -> NetlistError {
-    NetlistError::Parse {
-        file: "lefdef",
-        line: 0,
-        message: message.to_string(),
+    /// A parse error anchored at the last consumed token's line.
+    fn err(&self, message: &str) -> NetlistError {
+        NetlistError::Parse {
+            file: "lefdef",
+            line: self.line,
+            message: message.to_string(),
+        }
     }
 }
 
@@ -112,17 +123,15 @@ pub fn parse_lef(text: &str) -> Result<LefLibrary, NetlistError> {
     while let Some(t) = tok.next() {
         match t {
             "SITE" => {
-                let name = tok
-                    .next()
-                    .ok_or_else(|| parse_err("SITE name"))?
-                    .to_string();
+                let name = tok.next().ok_or_else(|| tok.err("SITE name"))?.to_string();
                 let mut size = (0.0, 0.0);
                 while let Some(t) = tok.next() {
                     match t {
                         "SIZE" => {
                             size.0 = tok.expect_f64("site width")?;
-                            let by = tok.next();
-                            debug_assert_eq!(by, Some("BY"));
+                            if tok.next() != Some("BY") {
+                                return Err(tok.err("expected BY in SITE SIZE"));
+                            }
                             size.1 = tok.expect_f64("site height")?;
                             tok.skip_statement();
                         }
@@ -134,15 +143,12 @@ pub fn parse_lef(text: &str) -> Result<LefLibrary, NetlistError> {
                     }
                 }
                 if size.0 <= 0.0 || size.1 <= 0.0 {
-                    return Err(parse_err("site has no SIZE"));
+                    return Err(tok.err("site has no SIZE"));
                 }
                 lib.sites.insert(name, size);
             }
             "MACRO" => {
-                let name = tok
-                    .next()
-                    .ok_or_else(|| parse_err("MACRO name"))?
-                    .to_string();
+                let name = tok.next().ok_or_else(|| tok.err("MACRO name"))?.to_string();
                 let mut mac = LefMacro {
                     name: name.clone(),
                     width: 0.0,
@@ -151,22 +157,24 @@ pub fn parse_lef(text: &str) -> Result<LefLibrary, NetlistError> {
                 };
                 loop {
                     let Some(t) = tok.next() else {
-                        return Err(parse_err("unterminated MACRO"));
+                        return Err(tok.err("unterminated MACRO"));
                     };
                     match t {
                         "SIZE" => {
                             mac.width = tok.expect_f64("macro width")?;
-                            tok.next(); // BY
+                            if tok.next() != Some("BY") {
+                                return Err(tok.err("expected BY in MACRO SIZE"));
+                            }
                             mac.height = tok.expect_f64("macro height")?;
                             tok.skip_statement();
                         }
                         "PIN" => {
                             let pin_name =
-                                tok.next().ok_or_else(|| parse_err("PIN name"))?.to_string();
+                                tok.next().ok_or_else(|| tok.err("PIN name"))?.to_string();
                             let mut rect_acc: Option<Rect> = None;
                             loop {
                                 let Some(t) = tok.next() else {
-                                    return Err(parse_err("unterminated PIN"));
+                                    return Err(tok.err("unterminated PIN"));
                                 };
                                 match t {
                                     "RECT" => {
@@ -208,7 +216,7 @@ pub fn parse_lef(text: &str) -> Result<LefLibrary, NetlistError> {
                     }
                 }
                 if mac.width <= 0.0 || mac.height <= 0.0 {
-                    return Err(parse_err("macro has no SIZE"));
+                    return Err(tok.err("macro has no SIZE"));
                 }
                 // convert pin locations (from origin) to center offsets
                 let (cw, ch) = (mac.width / 2.0, mac.height / 2.0);
@@ -290,7 +298,7 @@ pub fn parse_def(
                 let mut vals = Vec::new();
                 while vals.len() < 4 {
                     let Some(t) = tok.next() else {
-                        return Err(parse_err("truncated DIEAREA"));
+                        return Err(tok.err("truncated DIEAREA"));
                     };
                     if let Ok(v) = t.parse::<f64>() {
                         vals.push(v);
@@ -300,7 +308,7 @@ pub fn parse_def(
                     }
                 }
                 if vals.len() < 4 {
-                    return Err(parse_err("DIEAREA needs two points"));
+                    return Err(tok.err("DIEAREA needs two points"));
                 }
                 die = Some(Rect::new(
                     vals[0].min(vals[2]),
@@ -337,7 +345,7 @@ pub fn parse_def(
                     .copied()
                     .unwrap_or((step_x.max(1.0) / dbu, 0.0));
                 site_w.get_or_insert(sw);
-                site_h.get_or_insert(if sh > 0.0 { sh } else { sw * 8.0 });
+                let sh_sites = *site_h.get_or_insert(if sh > 0.0 { sh } else { sw * 8.0 });
                 let sw_dbu = sw * dbu;
                 let width = if step_x > 0.0 {
                     nx * step_x
@@ -346,7 +354,7 @@ pub fn parse_def(
                 };
                 rows.push(Row {
                     y,
-                    height: site_h.expect("set above") * dbu,
+                    height: sh_sites * dbu,
                     xl: x,
                     xh: x + width,
                     site_width: if step_x > 0.0 { step_x } else { sw_dbu },
@@ -359,11 +367,11 @@ pub fn parse_def(
                         Some("-") => {
                             let name = tok
                                 .next()
-                                .ok_or_else(|| parse_err("component name"))?
+                                .ok_or_else(|| tok.err("component name"))?
                                 .to_string();
                             let macro_name = tok
                                 .next()
-                                .ok_or_else(|| parse_err("component macro"))?
+                                .ok_or_else(|| tok.err("component macro"))?
                                 .to_string();
                             let mut c = Comp {
                                 name,
@@ -375,7 +383,7 @@ pub fn parse_def(
                             // scan the statement for PLACED/FIXED ( x y )
                             loop {
                                 let Some(t) = tok.next() else {
-                                    return Err(parse_err("unterminated component"));
+                                    return Err(tok.err("unterminated component"));
                                 };
                                 match t {
                                     "FIXED" | "PLACED" => {
@@ -384,7 +392,7 @@ pub fn parse_def(
                                         let mut got = 0;
                                         while got < 2 {
                                             let Some(v) = tok.next() else {
-                                                return Err(parse_err("component point"));
+                                                return Err(tok.err("component point"));
                                             };
                                             if let Ok(f) = v.parse::<f64>() {
                                                 if got == 0 {
@@ -408,7 +416,7 @@ pub fn parse_def(
                             break;
                         }
                         Some(_) => {}
-                        None => return Err(parse_err("unterminated COMPONENTS")),
+                        None => return Err(tok.err("unterminated COMPONENTS")),
                     }
                 }
             }
@@ -417,7 +425,7 @@ pub fn parse_def(
                 loop {
                     match tok.next() {
                         Some("-") => {
-                            let name = tok.next().ok_or_else(|| parse_err("pin name"))?.to_string();
+                            let name = tok.next().ok_or_else(|| tok.err("pin name"))?.to_string();
                             let mut p = IoPin {
                                 name,
                                 x: 0.0,
@@ -425,14 +433,14 @@ pub fn parse_def(
                             };
                             loop {
                                 let Some(t) = tok.next() else {
-                                    return Err(parse_err("unterminated pin"));
+                                    return Err(tok.err("unterminated pin"));
                                 };
                                 match t {
                                     "FIXED" | "PLACED" => {
                                         let mut got = 0;
                                         while got < 2 {
                                             let Some(v) = tok.next() else {
-                                                return Err(parse_err("pin point"));
+                                                return Err(tok.err("pin point"));
                                             };
                                             if let Ok(f) = v.parse::<f64>() {
                                                 if got == 0 {
@@ -456,7 +464,7 @@ pub fn parse_def(
                             break;
                         }
                         Some(_) => {}
-                        None => return Err(parse_err("unterminated PINS")),
+                        None => return Err(tok.err("unterminated PINS")),
                     }
                 }
             }
@@ -465,24 +473,24 @@ pub fn parse_def(
                 loop {
                     match tok.next() {
                         Some("-") => {
-                            let name = tok.next().ok_or_else(|| parse_err("net name"))?.to_string();
+                            let name = tok.next().ok_or_else(|| tok.err("net name"))?.to_string();
                             let mut net = DefNet {
                                 name,
                                 pins: Vec::new(),
                             };
                             loop {
                                 let Some(t) = tok.next() else {
-                                    return Err(parse_err("unterminated net"));
+                                    return Err(tok.err("unterminated net"));
                                 };
                                 match t {
                                     "(" => {
                                         let comp = tok
                                             .next()
-                                            .ok_or_else(|| parse_err("net pin comp"))?
+                                            .ok_or_else(|| tok.err("net pin comp"))?
                                             .to_string();
                                         let pin = tok
                                             .next()
-                                            .ok_or_else(|| parse_err("net pin name"))?
+                                            .ok_or_else(|| tok.err("net pin name"))?
                                             .to_string();
                                         // consume ")"
                                         if tok.peek() == Some(")") {
@@ -502,7 +510,7 @@ pub fn parse_def(
                             break;
                         }
                         Some(_) => {}
-                        None => return Err(parse_err("unterminated NETS")),
+                        None => return Err(tok.err("unterminated NETS")),
                     }
                 }
             }
@@ -513,12 +521,12 @@ pub fn parse_def(
                         Some("-") => {
                             let name = tok
                                 .next()
-                                .ok_or_else(|| parse_err("region name"))?
+                                .ok_or_else(|| tok.err("region name"))?
                                 .to_string();
                             let mut vals = Vec::new();
                             loop {
                                 let Some(t) = tok.next() else {
-                                    return Err(parse_err("unterminated region"));
+                                    return Err(tok.err("unterminated region"));
                                 };
                                 if let Ok(v) = t.trim_end_matches(';').parse::<f64>() {
                                     vals.push(v);
@@ -544,7 +552,7 @@ pub fn parse_def(
                             break;
                         }
                         Some(_) => {}
-                        None => return Err(parse_err("unterminated REGIONS")),
+                        None => return Err(tok.err("unterminated REGIONS")),
                     }
                 }
             }
@@ -558,7 +566,7 @@ pub fn parse_def(
                             let mut region = None;
                             loop {
                                 let Some(t) = tok.next() else {
-                                    return Err(parse_err("unterminated group"));
+                                    return Err(tok.err("unterminated group"));
                                 };
                                 match t {
                                     "+" => {
@@ -583,7 +591,7 @@ pub fn parse_def(
                             break;
                         }
                         Some(_) => {}
-                        None => return Err(parse_err("unterminated GROUPS")),
+                        None => return Err(tok.err("unterminated GROUPS")),
                     }
                 }
             }
@@ -591,9 +599,9 @@ pub fn parse_def(
         }
     }
 
-    let die = die.ok_or_else(|| parse_err("no DIEAREA"))?;
+    let die = die.ok_or_else(|| tok.err("no DIEAREA"))?;
     if rows.is_empty() {
-        return Err(parse_err("no ROW statements"));
+        return Err(tok.err("no ROW statements"));
     }
     // normalization: site width → 1.0
     let sw_microns = site_w.unwrap_or(1.0);

@@ -1,8 +1,12 @@
 //! Robustness tests for the Bookshelf parser: whitespace, comments,
-//! unusual-but-legal formatting, and clear errors for broken files.
+//! unusual-but-legal formatting, clear errors for broken files, and
+//! fuzzing of truncated/corrupted Bookshelf and DEF inputs (the parsers
+//! must never panic — every malformed input is a typed error).
 
 use mep_netlist::bookshelf::read_files;
+use mep_netlist::lefdef::{parse_def, parse_lef};
 use mep_netlist::NetlistError;
+use proptest::prelude::*;
 
 const SCL: &str = "UCLA scl 1.0\nNumRows : 1\nCoreRow Horizontal\n Coordinate : 0\n Height : 1\n Sitewidth : 1 Sitespacing : 1\n SubrowOrigin : 0 NumSites : 50\nEnd\n";
 
@@ -100,4 +104,98 @@ fn fixed_flag_in_pl_is_read() {
     let nodes = "NumNodes : 1\n a 1 1\n";
     let pl = "a 4 0 : N /FIXED\n";
     assert!(parse(nodes, "", pl).is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// fuzzing: the parsers must return a typed Result on ANY mangling of valid
+// input — truncation, token corruption, or garbage injection — not panic
+
+const GOOD_NODES: &str =
+    "UCLA nodes 1.0\nNumNodes : 3\nNumTerminals : 1\n  o0 2 1\n  o1 4 1\n  p0 0 0 terminal\n";
+const GOOD_NETS: &str = "UCLA nets 1.0\nNumNets : 2\nNumPins : 5\nNetDegree : 3 n0\n  o0 I : 0.5 0\n  o1 O : 0 0\n  p0 I : 0 0\nNetDegree : 2\n  o0 I : 0 0\n  o1 I : -1 0\n";
+const GOOD_PL: &str = "UCLA pl 1.0\no0 1 2 : N\no1 5 2 : N\np0 0 0 : N /FIXED\n";
+
+const GOOD_LEF: &str = "SITE core\n SIZE 0.2 BY 1.6 ;\nEND core\nMACRO INV\n CLASS CORE ;\n SIZE 0.4 BY 1.6 ;\n PIN A\n  PORT\n   RECT 0.05 0.7 0.15 0.9 ;\n  END\n END A\nEND INV\nEND LIBRARY\n";
+const GOOD_DEF: &str = "VERSION 5.8 ;\nDESIGN top ;\nUNITS DISTANCE MICRONS 1000 ;\nDIEAREA ( 0 0 ) ( 20000 16000 ) ;\nROW r0 core 0 0 N DO 100 BY 1 STEP 200 0 ;\nROW r1 core 0 1600 N DO 100 BY 1 STEP 200 0 ;\nCOMPONENTS 2 ;\n - u1 INV + PLACED ( 1000 0 ) N ;\n - u2 INV + PLACED ( 5000 1600 ) N ;\nEND COMPONENTS\nNETS 1 ;\n - n1 ( u1 A ) ( u2 A ) ;\nEND NETS\nEND DESIGN\n";
+
+const GARBAGE: [&str; 8] = [
+    "",
+    ";",
+    "NaN",
+    "-",
+    "NetDegree :",
+    "999999999999999999999",
+    "(",
+    "END",
+];
+
+/// Applies one mangling operation to ASCII `text` (all fixtures are ASCII,
+/// so byte positions are char boundaries).
+fn mangle(text: &str, op: usize, pos_frac: f64, garbage_idx: usize) -> String {
+    let pos = ((text.len() as f64) * pos_frac) as usize;
+    let pos = pos.min(text.len());
+    let garbage = GARBAGE[garbage_idx % GARBAGE.len()];
+    match op % 3 {
+        // truncate
+        0 => text[..pos].to_string(),
+        // splice garbage into the middle
+        1 => format!("{}{garbage}{}", &text[..pos], &text[pos..]),
+        // drop a chunk after pos (simulates a torn write)
+        _ => {
+            let end = (pos + text.len() / 4).min(text.len());
+            format!("{}{}", &text[..pos], &text[end..])
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn corrupted_bookshelf_never_panics(
+        which in 0usize..3,
+        op in 0usize..3,
+        pos_frac in 0.0f64..1.0,
+        garbage_idx in 0usize..8,
+    ) {
+        let mut nodes = GOOD_NODES.to_string();
+        let mut nets = GOOD_NETS.to_string();
+        let mut pl = GOOD_PL.to_string();
+        match which {
+            0 => nodes = mangle(GOOD_NODES, op, pos_frac, garbage_idx),
+            1 => nets = mangle(GOOD_NETS, op, pos_frac, garbage_idx),
+            _ => pl = mangle(GOOD_PL, op, pos_frac, garbage_idx),
+        }
+        // must return Ok or a typed error — reaching here without a panic
+        // is the property; errors must carry the right file tag
+        match read_files("fuzz".into(), &nodes, &nets, &pl, SCL, 0.9) {
+            Ok(_) => {}
+            Err(NetlistError::Parse { file, .. }) => {
+                prop_assert!(matches!(file, "nodes" | "nets" | "pl" | "scl"));
+            }
+            Err(_) => {} // other typed variants (UnknownCell, Geometry, …)
+        }
+    }
+
+    #[test]
+    fn corrupted_def_never_panics(
+        target_def in prop::bool::weighted(0.5),
+        op in 0usize..3,
+        pos_frac in 0.0f64..1.0,
+        garbage_idx in 0usize..8,
+    ) {
+        let (lef_text, def_text) = if target_def {
+            (GOOD_LEF.to_string(), mangle(GOOD_DEF, op, pos_frac, garbage_idx))
+        } else {
+            (mangle(GOOD_LEF, op, pos_frac, garbage_idx), GOOD_DEF.to_string())
+        };
+        match parse_lef(&lef_text) {
+            Ok(lib) => {
+                // any outcome is fine as long as it is a Result, not a panic
+                let _ = parse_def(&def_text, &lib, 0.9);
+            }
+            Err(NetlistError::Parse { file, .. }) => prop_assert_eq!(file, "lefdef"),
+            Err(_) => {}
+        }
+    }
 }

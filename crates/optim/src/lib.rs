@@ -61,6 +61,12 @@ pub trait Optimizer {
 
     /// Clears internal state (momenta, steplength history).
     fn reset(&mut self);
+
+    /// Shrinks the working steplength by `factor` after a recovery rollback
+    /// (a tripped numerical guard in the caller). The default is a no-op so
+    /// optimizers without a steplength concept can ignore it; implementors
+    /// should also discard momentum built on the now-abandoned iterates.
+    fn backoff(&mut self, _factor: f64) {}
 }
 
 #[cfg(test)]

@@ -93,6 +93,19 @@ impl Optimizer for Nesterov {
         self.initialized = false;
     }
 
+    fn backoff(&mut self, factor: f64) {
+        // Restart from the caller's (restored) iterate with a shrunken
+        // initial steplength: momentum and the Lipschitz history were built
+        // on the abandoned trajectory and must not leak into the retry.
+        let base = if self.step > 0.0 && self.step.is_finite() {
+            self.step
+        } else {
+            self.initial_step
+        };
+        self.initial_step = (base * factor).max(f64::MIN_POSITIVE);
+        self.initialized = false;
+    }
+
     fn step(&mut self, problem: &mut dyn Problem, x: &mut [f64]) -> StepReport {
         self.ensure_init(problem, x);
         let n = x.len();
@@ -230,6 +243,37 @@ mod tests {
         let report = opt.step(&mut p, &mut x);
         assert!(report.value.is_finite());
         assert!(report.step > 0.0);
+    }
+
+    #[test]
+    fn backoff_shrinks_steplength_and_restarts() {
+        let mut p = Quadratic {
+            diag: vec![1.0, 2.0],
+        };
+        let mut x = vec![1.0, 1.0];
+        let mut opt = Nesterov::new(0.1);
+        let before = opt.step(&mut p, &mut x).step;
+        opt.backoff(0.5);
+        let after = opt.step(&mut p, &mut x);
+        assert!(after.value.is_finite());
+        // the restarted first step uses the shrunken initial steplength
+        assert!(
+            after.step <= 0.5 * before + 1e-12,
+            "step {} vs before {before}",
+            after.step
+        );
+    }
+
+    #[test]
+    fn backoff_recovers_from_poisoned_state() {
+        // even if the last predicted step was non-finite, backoff must leave
+        // a usable positive steplength behind
+        let mut opt = Nesterov::new(0.2);
+        opt.step = f64::NAN;
+        opt.initialized = true;
+        opt.backoff(0.5);
+        assert!(opt.initial_step > 0.0 && opt.initial_step.is_finite());
+        assert!(!opt.initialized);
     }
 
     #[test]

@@ -527,7 +527,7 @@ mod tests {
             threads: 1,
             ..GlobalConfig::default()
         };
-        let gp = place(&c, &cfg);
+        let gp = place(&c, &cfg).expect("placement flow");
         let (legal, _) = legalize(&c.design, &gp.placement);
         (c, legal)
     }

@@ -1,0 +1,94 @@
+//! Typed errors for the placement flow.
+//!
+//! Every fallible entry point of this crate ([`crate::global::place`],
+//! [`crate::pipeline::run`], …) returns [`PlacerError`] instead of
+//! panicking: malformed inputs surface as [`PlacerError::Netlist`] with
+//! file/line context from the parsers, degenerate-but-well-formed inputs
+//! (nothing to place, zero-area die) as [`PlacerError::DegenerateInput`],
+//! and unrecoverable numerical faults as
+//! [`PlacerError::NumericalFailure`].
+
+use mep_netlist::NetlistError;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the placement flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacerError {
+    /// Netlist construction or parsing failed (carries file/line context).
+    Netlist(NetlistError),
+    /// The input is well-formed but cannot be placed (e.g. no movable
+    /// cells, zero-area die, non-finite initial coordinates).
+    DegenerateInput {
+        /// What makes the input degenerate.
+        reason: String,
+    },
+    /// A numerical fault that the recovery guard could not handle (e.g. a
+    /// non-finite objective before the first iteration).
+    NumericalFailure {
+        /// Iteration at which the fault surfaced (0 for setup).
+        iteration: usize,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for PlacerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacerError::Netlist(e) => write!(f, "{e}"),
+            PlacerError::DegenerateInput { reason } => {
+                write!(f, "degenerate placement input: {reason}")
+            }
+            PlacerError::NumericalFailure { iteration, detail } => {
+                write!(f, "numerical failure at iteration {iteration}: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for PlacerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PlacerError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for PlacerError {
+    fn from(e: NetlistError) -> Self {
+        PlacerError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = PlacerError::DegenerateInput {
+            reason: "no movable cells".into(),
+        };
+        assert!(e.to_string().contains("no movable cells"));
+        let e = PlacerError::NumericalFailure {
+            iteration: 7,
+            detail: "non-finite objective".into(),
+        };
+        assert!(e.to_string().contains("iteration 7"));
+        let e: PlacerError = NetlistError::Parse {
+            file: "nets",
+            line: 3,
+            message: "bad NetDegree".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PlacerError>();
+    }
+}

@@ -11,7 +11,20 @@
 //! until the overflow reaches the target (ISPD-style 0.07 default) or the
 //! iteration cap. Optionally records the `(HPWL, φ)` trajectory that
 //! regenerates Fig. 3.
+//!
+//! The loop runs under a numerical-health guard (see [`crate::guard`]):
+//! each iteration's value/overflow/coordinates are checked for NaN/Inf,
+//! divergence, and stagnation, a best-so-far snapshot is kept, and a
+//! tripped guard rolls back + backs off the steplength, escalating after
+//! repeated strikes down a degradation ladder (Moreau → WA → LSE model,
+//! then the unplanned density transform) before giving up. On a clean run
+//! the guard is pure observation and the result is bit-identical to the
+//! unguarded loop.
 
+use crate::error::PlacerError;
+use crate::guard::{
+    Fault, GuardConfig, HealthMonitor, RecoveryAction, RecoveryEvent, RecoveryLog, Termination,
+};
 use crate::objective::PlacementProblem;
 use mep_netlist::bookshelf::BookshelfCircuit;
 use mep_netlist::Placement;
@@ -20,6 +33,7 @@ use mep_optim::{Optimizer, Problem};
 use mep_wirelength::engine::{EngineStats, EvalEngine};
 use mep_wirelength::{EplaceGammaSchedule, ModelKind, SmoothingSchedule, TangentTSchedule};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Which schedule drives the Moreau smoothing parameter `t` (ablation of
 /// the paper's Eq. (14) design choice; exponential models always use the
@@ -81,6 +95,16 @@ pub struct GlobalConfig {
     pub alpha: (f64, f64),
     /// `β` of Eq. (15).
     pub beta: f64,
+    /// Numerical-health guard (rollback, backoff, degradation ladder).
+    pub guard: GuardConfig,
+    /// Optional wall-clock budget; on expiry the best snapshot so far is
+    /// returned as a partial result with [`Termination::WallClock`].
+    pub time_budget: Option<Duration>,
+    /// Test hook: `(after, count)` poisons `count` consecutive objective
+    /// evaluations with NaN once `after` main-loop evaluations have run,
+    /// exercising the recovery guard. `None` (the default) in all
+    /// production flows.
+    pub fault_injection: Option<(u64, u64)>,
 }
 
 impl Default for GlobalConfig {
@@ -99,6 +123,9 @@ impl Default for GlobalConfig {
             gamma0: 0.5,
             alpha: (1.01, 1.02),
             beta: 2000.0,
+            guard: GuardConfig::default(),
+            time_budget: None,
+            fault_injection: None,
         }
     }
 }
@@ -133,11 +160,54 @@ pub struct GlobalResult {
     pub trajectory: Vec<TrajectoryPoint>,
     /// Evaluation-engine instrumentation (spawns, eval counts, stage times).
     pub engine_stats: EngineStats,
+    /// Every recovery the guard performed (empty on a clean run).
+    pub recovery: RecoveryLog,
+    /// Why the loop stopped.
+    pub termination: Termination,
+}
+
+/// Rejects inputs the loop cannot meaningfully run on: nothing to place,
+/// a degenerate die, or non-finite starting coordinates.
+pub(crate) fn validate_circuit(circuit: &BookshelfCircuit) -> Result<(), PlacerError> {
+    let design = &circuit.design;
+    if design.netlist.num_movable() == 0 {
+        return Err(PlacerError::DegenerateInput {
+            reason: format!(
+                "netlist '{}' has no movable cells (all {} cells fixed)",
+                design.name,
+                design.netlist.num_cells()
+            ),
+        });
+    }
+    let (w, h) = (design.die.width(), design.die.height());
+    // NaN dimensions fail the positivity test and land in the error arm
+    let positive = |v: f64| v.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+    if !positive(w) || !positive(h) || !w.is_finite() || !h.is_finite() {
+        return Err(PlacerError::DegenerateInput {
+            reason: format!("die has degenerate dimensions {w} × {h}"),
+        });
+    }
+    let bad = circuit
+        .placement
+        .x
+        .iter()
+        .chain(circuit.placement.y.iter())
+        .filter(|v| !v.is_finite())
+        .count();
+    if bad > 0 {
+        return Err(PlacerError::DegenerateInput {
+            reason: format!("initial placement has {bad} non-finite coordinate(s)"),
+        });
+    }
+    Ok(())
 }
 
 /// Runs ePlace-style global placement on a circuit, creating a persistent
 /// evaluation engine with `config.threads` workers for the run.
-pub fn place(circuit: &BookshelfCircuit, config: &GlobalConfig) -> GlobalResult {
+pub fn place(
+    circuit: &BookshelfCircuit,
+    config: &GlobalConfig,
+) -> Result<GlobalResult, PlacerError> {
     place_with_engine(circuit, config, Arc::new(EvalEngine::new(config.threads)))
 }
 
@@ -147,7 +217,9 @@ pub fn place_with_engine(
     circuit: &BookshelfCircuit,
     config: &GlobalConfig,
     engine: Arc<EvalEngine>,
-) -> GlobalResult {
+) -> Result<GlobalResult, PlacerError> {
+    validate_circuit(circuit)?;
+    let start = Instant::now();
     let design = &circuit.design;
     let model = config.model.instantiate(1.0);
     let mut problem = PlacementProblem::new(design, &circuit.placement, model, engine.clone());
@@ -160,8 +232,8 @@ pub fn place_with_engine(
     let (bw, bh) = (grid.bin_w(), grid.bin_h());
     let tangent = TangentTSchedule::new(bw, bh).with_t0(config.t0);
     let decade = EplaceGammaSchedule::new(config.gamma0, bw, bh);
-    let smoothing_for = |phi: f64| -> f64 {
-        match config.model {
+    let smoothing_for = |kind: ModelKind, phi: f64| -> f64 {
+        match kind {
             ModelKind::Moreau => match config.moreau_schedule {
                 MoreauSchedule::Tangent => tangent.value(phi),
                 MoreauSchedule::Decade => decade.value(phi).max(1e-6),
@@ -175,8 +247,17 @@ pub fn place_with_engine(
     let report0 = problem.density_report(&params);
     let mut phi = report0.overflow;
     let d0 = report0.energy.max(1e-30);
+    if !phi.is_finite() || !report0.energy.is_finite() {
+        return Err(PlacerError::NumericalFailure {
+            iteration: 0,
+            detail: format!(
+                "initial density report is non-finite (overflow {phi}, energy {})",
+                report0.energy
+            ),
+        });
+    }
     if config.model != ModelKind::Hpwl {
-        problem.set_smoothing(smoothing_for(phi));
+        problem.set_smoothing(smoothing_for(config.model, phi));
     }
 
     // λ0 per ePlace: ratio of gradient norms (wirelength vs density),
@@ -191,6 +272,15 @@ pub fn place_with_engine(
     let both_norm: f64 = grad.iter().map(|g| g.abs()).sum();
     let density_norm = (both_norm - wl_norm).abs().max(1e-30);
     let lambda0 = (wl_norm / density_norm).max(1e-12);
+    if !lambda0.is_finite() {
+        return Err(PlacerError::NumericalFailure {
+            iteration: 0,
+            detail: format!(
+                "λ₀ bootstrap produced a non-finite weight \
+                 (|∇W| {wl_norm}, |∇W + ∇D| {both_norm})"
+            ),
+        });
+    }
     problem.lambda = lambda0;
     problem.set_preconditioner(config.precondition);
 
@@ -212,35 +302,131 @@ pub fn place_with_engine(
         )),
     };
 
+    // the guard: seed the rollback snapshot with the pre-loop state so a
+    // fault on the very first step has somewhere safe to return to
+    let mut monitor = HealthMonitor::new(config.guard.clone());
+    monitor.seed(&params, phi, problem.lambda, problem.smoothing());
+    if let Some((after, count)) = config.fault_injection {
+        problem.inject_nan(after, count);
+    }
+
     let mut trajectory = Vec::new();
     let mut iterations = 0;
+    let mut termination = Termination::IterationCap;
     for iter in 0..config.max_iters {
         iterations = iter + 1;
         optimizer.step(&mut problem, &mut params);
         let stats = problem.last_stats();
-        phi = stats.overflow;
+        let value = stats.wirelength + problem.lambda * stats.density_energy;
 
-        // schedules
-        if config.model != ModelKind::Hpwl {
-            problem.set_smoothing(smoothing_for(phi));
+        match monitor.check(value, 0.0, 0.0, stats.overflow, &params) {
+            Ok(()) => {
+                phi = stats.overflow;
+                monitor.observe_healthy(
+                    iter,
+                    value,
+                    phi,
+                    &params,
+                    problem.lambda,
+                    problem.smoothing(),
+                );
+
+                // schedules
+                if problem.model_kind() != ModelKind::Hpwl {
+                    problem.set_smoothing(smoothing_for(problem.model_kind(), phi));
+                }
+                let dk = stats.density_energy.max(0.0);
+                let mult =
+                    alpha_h - (alpha_h - alpha_l) / (1.0 + (1.0 + config.beta * dk / d0).ln());
+                alpha_k *= mult;
+                problem.lambda += alpha_k;
+
+                if config.record_trajectory {
+                    trajectory.push(TrajectoryPoint {
+                        iter,
+                        hpwl: problem.exact_hpwl(&params),
+                        overflow: phi,
+                        lambda: problem.lambda,
+                        smoothing: problem.smoothing(),
+                    });
+                }
+
+                if phi <= config.target_overflow && iter + 1 >= config.min_iters {
+                    termination = Termination::Converged;
+                    break;
+                }
+            }
+            Err(fault) => {
+                if matches!(fault, Fault::Stagnation { .. }) {
+                    // no amount of retrying fixes a flat-lined optimizer:
+                    // return the best snapshot as a partial result
+                    restore_best(&monitor, &mut params, &mut problem, &mut phi);
+                    monitor.record(RecoveryEvent {
+                        iteration: iter,
+                        fault,
+                        action: RecoveryAction::Halt,
+                    });
+                    termination = Termination::Stagnated;
+                    break;
+                }
+
+                // escalate the degradation ladder after repeated strikes
+                let mut action = RecoveryAction::RollbackBackoff;
+                if monitor.strike() >= config.guard.max_strikes {
+                    let from = problem.model_kind();
+                    let to = match from {
+                        ModelKind::Moreau | ModelKind::BigChks | ModelKind::BigWa => {
+                            Some(ModelKind::Wa)
+                        }
+                        ModelKind::Wa => Some(ModelKind::Lse),
+                        _ => None,
+                    };
+                    if let Some(to) = to {
+                        problem.set_model(to.instantiate(1.0));
+                        action = RecoveryAction::DegradeModel { from, to };
+                        monitor.clear_strikes();
+                    } else if !problem.density_solver_degraded() {
+                        problem.degrade_density_solver();
+                        action = RecoveryAction::DegradeDensitySolver;
+                        monitor.clear_strikes();
+                    } else {
+                        restore_best(&monitor, &mut params, &mut problem, &mut phi);
+                        monitor.record(RecoveryEvent {
+                            iteration: iter,
+                            fault,
+                            action: RecoveryAction::Halt,
+                        });
+                        termination = Termination::GuardExhausted;
+                        break;
+                    }
+                }
+
+                // roll back to the best snapshot, re-derive the smoothing
+                // for the (possibly new) model, and shrink the steplength;
+                // the λ ramp and schedules are skipped for this iteration
+                restore_best(&monitor, &mut params, &mut problem, &mut phi);
+                if problem.model_kind() != ModelKind::Hpwl {
+                    problem.set_smoothing(smoothing_for(problem.model_kind(), phi));
+                }
+                optimizer.backoff(config.guard.backoff);
+                monitor.record(RecoveryEvent {
+                    iteration: iter,
+                    fault,
+                    action,
+                });
+                if monitor.exhausted() {
+                    termination = Termination::GuardExhausted;
+                    break;
+                }
+            }
         }
-        let dk = stats.density_energy.max(0.0);
-        let mult = alpha_h - (alpha_h - alpha_l) / (1.0 + (1.0 + config.beta * dk / d0).ln());
-        alpha_k *= mult;
-        problem.lambda += alpha_k;
 
-        if config.record_trajectory {
-            trajectory.push(TrajectoryPoint {
-                iter,
-                hpwl: problem.exact_hpwl(&params),
-                overflow: phi,
-                lambda: problem.lambda,
-                smoothing: problem.smoothing(),
-            });
-        }
-
-        if phi <= config.target_overflow && iter + 1 >= config.min_iters {
-            break;
+        if let Some(budget) = config.time_budget {
+            if start.elapsed() >= budget {
+                restore_best(&monitor, &mut params, &mut problem, &mut phi);
+                termination = Termination::WallClock;
+                break;
+            }
         }
     }
 
@@ -248,13 +434,31 @@ pub fn place_with_engine(
     problem.unpack_params(&params, &mut placement);
     let hpwl = mep_netlist::total_hpwl(&design.netlist, &placement);
     let overflow = problem.density_report(&params).overflow;
-    GlobalResult {
+    Ok(GlobalResult {
         placement,
         hpwl,
         overflow,
         iterations,
         trajectory,
         engine_stats: engine.stats(),
+        recovery: monitor.into_log(),
+        termination,
+    })
+}
+
+/// Restores the monitor's best snapshot into the live loop state (params,
+/// `λ`, overflow). No-op when no healthy iterate has been seen and the
+/// snapshot was never seeded (disabled guard).
+fn restore_best(
+    monitor: &HealthMonitor,
+    params: &mut [f64],
+    problem: &mut PlacementProblem<'_>,
+    phi: &mut f64,
+) {
+    if let Some(best) = monitor.best() {
+        params.copy_from_slice(&best.params);
+        problem.lambda = best.lambda;
+        *phi = best.phi;
     }
 }
 
@@ -277,7 +481,7 @@ mod tests {
     #[test]
     fn overflow_decreases_substantially() {
         let c = synth::generate(&synth::smoke_spec());
-        let r = place(&c, &smoke_config(ModelKind::Moreau));
+        let r = place(&c, &smoke_config(ModelKind::Moreau)).unwrap();
         let first = r.trajectory.first().unwrap().overflow;
         assert!(
             r.overflow < 0.5 * first,
@@ -285,12 +489,13 @@ mod tests {
             r.overflow,
             r.iterations
         );
+        assert!(r.recovery.is_empty(), "clean run must not trip the guard");
     }
 
     #[test]
     fn cells_spread_from_center() {
         let c = synth::generate(&synth::smoke_spec());
-        let r = place(&c, &smoke_config(ModelKind::Moreau));
+        let r = place(&c, &smoke_config(ModelKind::Moreau)).unwrap();
         let nl = &c.design.netlist;
         let die = c.design.die;
         // cells must no longer be piled in the middle 10% of the die
@@ -321,7 +526,7 @@ mod tests {
             let mut cfg = smoke_config(kind);
             cfg.max_iters = 120;
             cfg.record_trajectory = false;
-            let r = place(&c, &cfg);
+            let r = place(&c, &cfg).unwrap();
             assert!(r.hpwl.is_finite(), "{kind}");
             assert!(r.overflow < 0.9, "{kind}: overflow {}", r.overflow);
         }
@@ -333,7 +538,7 @@ mod tests {
         let mut cfg = smoke_config(ModelKind::Moreau);
         cfg.max_iters = 40;
         cfg.record_trajectory = false;
-        let r = place(&c, &cfg);
+        let r = place(&c, &cfg).unwrap();
         let s = r.engine_stats;
         // one wirelength-gradient eval per optimizer eval, plus the λ0 probes
         assert!(s.wl_grad.count >= r.iterations as u64, "{s:?}");
@@ -346,11 +551,40 @@ mod tests {
     #[test]
     fn trajectory_is_recorded_per_iteration() {
         let c = synth::generate(&synth::smoke_spec());
-        let r = place(&c, &smoke_config(ModelKind::Wa));
+        let r = place(&c, &smoke_config(ModelKind::Wa)).unwrap();
         assert_eq!(r.trajectory.len(), r.iterations);
         // λ increases monotonically per Eq. (15)
         for w in r.trajectory.windows(2) {
             assert!(w[1].lambda >= w[0].lambda);
         }
+    }
+
+    #[test]
+    fn termination_reports_cap_and_convergence() {
+        let c = synth::generate(&synth::smoke_spec());
+        let mut cfg = smoke_config(ModelKind::Moreau);
+        cfg.max_iters = 5;
+        cfg.record_trajectory = false;
+        let r = place(&c, &cfg).unwrap();
+        assert_eq!(r.termination, Termination::IterationCap);
+        assert!(!r.termination.is_partial());
+        let mut cfg = smoke_config(ModelKind::Moreau);
+        cfg.record_trajectory = false;
+        cfg.target_overflow = 0.25; // generous: reached well inside the cap
+        let r = place(&c, &cfg).unwrap();
+        assert_eq!(r.termination, Termination::Converged);
+    }
+
+    #[test]
+    fn wall_clock_budget_returns_a_partial_result() {
+        let c = synth::generate(&synth::smoke_spec());
+        let mut cfg = smoke_config(ModelKind::Moreau);
+        cfg.record_trajectory = false;
+        cfg.time_budget = Some(Duration::ZERO);
+        let r = place(&c, &cfg).unwrap();
+        assert_eq!(r.termination, Termination::WallClock);
+        assert!(r.termination.is_partial());
+        assert_eq!(r.iterations, 1, "budget expires after the first step");
+        assert!(r.hpwl.is_finite());
     }
 }

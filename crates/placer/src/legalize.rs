@@ -512,7 +512,7 @@ mod tests {
             threads: 1,
             ..GlobalConfig::default()
         };
-        let gp = place(&c, &cfg);
+        let gp = place(&c, &cfg).expect("placement flow");
         let (legal, report) = legalize(&c.design, &gp.placement);
         (c, legal, report)
     }
@@ -553,7 +553,7 @@ mod tests {
             threads: 1,
             ..GlobalConfig::default()
         };
-        let gp = place(&c, &cfg);
+        let gp = place(&c, &cfg).expect("placement flow");
         let (legal, _) = legalize(&c.design, &gp.placement);
         let before = mep_netlist::total_hpwl(&c.design.netlist, &gp.placement);
         let after = mep_netlist::total_hpwl(&c.design.netlist, &legal);
@@ -583,7 +583,7 @@ mod tests {
             threads: 1,
             ..GlobalConfig::default()
         };
-        let gp = place(&c, &cfg);
+        let gp = place(&c, &cfg).expect("placement flow");
         let (legal, report) = legalize(&c.design, &gp.placement);
         assert_eq!(report.macros, 10);
         let violations = check_legal(&c.design, &legal);

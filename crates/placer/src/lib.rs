@@ -11,7 +11,10 @@
 //! * [`legalize`](mod@legalize) — macro legalization + Abacus row legalization;
 //! * [`detail`] — local reordering, global swap, independent-set matching;
 //! * [`pipeline`] — GP → LG → DP with the LGWL / DPWL / RT metrics of
-//!   Tables II and III.
+//!   Tables II and III;
+//! * [`guard`] + [`error`] — numerical-health monitoring with
+//!   best-snapshot rollback and typed, fault-tolerant errors for the whole
+//!   flow.
 //!
 //! # Example
 //!
@@ -20,7 +23,7 @@
 //! use mep_placer::pipeline::{run, PipelineConfig};
 //!
 //! let circuit = synth::generate(&synth::smoke_spec());
-//! let result = run(&circuit, &PipelineConfig::default());
+//! let result = run(&circuit, &PipelineConfig::default()).expect("placeable input");
 //! println!("DPWL = {:.3e}, RT = {:.1}s", result.dpwl, result.rt_total());
 //! ```
 
@@ -31,15 +34,21 @@
 
 pub mod assignment;
 pub mod detail;
+pub mod error;
 pub mod global;
+pub mod guard;
 pub mod legalize;
 pub mod objective;
 pub mod pipeline;
 pub mod quadratic;
 
 pub use detail::{DetailConfig, DetailReport};
+pub use error::PlacerError;
 pub use global::{
     place_with_engine, GlobalConfig, GlobalResult, MoreauSchedule, OptimizerKind, TrajectoryPoint,
+};
+pub use guard::{
+    Fault, GuardConfig, HealthMonitor, RecoveryAction, RecoveryEvent, RecoveryLog, Termination,
 };
 pub use legalize::{check_legal, legalize, LegalizeReport, Violation};
 pub use pipeline::{run, PipelineConfig, PipelineResult};

@@ -10,7 +10,7 @@ use mep_density::exec::ParallelExec;
 use mep_netlist::{CellId, Design, Placement};
 use mep_optim::Problem;
 use mep_wirelength::engine::{EvalEngine, Stage};
-use mep_wirelength::{AnyModel, NetModel, NetlistEvaluator, WirelengthGrad};
+use mep_wirelength::{AnyModel, ModelKind, NetModel, NetlistEvaluator, WirelengthGrad};
 use std::sync::Arc;
 
 /// Adapter exposing the wirelength crate's [`EvalEngine`] to the density
@@ -55,6 +55,10 @@ pub struct PlacementProblem<'a> {
     /// Spectral-transform stats already forwarded to the engine; new
     /// samples are synced as deltas after each density stage.
     tf_synced: mep_density::TransformStats,
+    /// Fault-injection hook (tests): skip `nan_after` more evals, then
+    /// poison the next `nan_remaining` evaluations with NaN.
+    nan_after: u64,
+    nan_remaining: u64,
 }
 
 impl<'a> std::fmt::Debug for PlacementProblem<'a> {
@@ -101,6 +105,8 @@ impl<'a> PlacementProblem<'a> {
             design,
             last: EvalStats::default(),
             tf_synced: mep_density::TransformStats::default(),
+            nan_after: 0,
+            nan_remaining: 0,
         }
     }
 
@@ -157,6 +163,37 @@ impl<'a> PlacementProblem<'a> {
     /// The electrostatic system (e.g. for its bin grid).
     pub fn electrostatics(&self) -> &Electrostatics {
         &self.es
+    }
+
+    /// Replaces the wirelength model in place (the recovery guard's
+    /// degradation ladder). The evaluator keeps its workspace; only the
+    /// model clones are swapped.
+    pub fn set_model(&mut self, model: AnyModel) {
+        self.evaluator.set_model(model);
+    }
+
+    /// Kind of the active wirelength model.
+    pub fn model_kind(&self) -> ModelKind {
+        self.evaluator.model().kind()
+    }
+
+    /// Degrades the density solver to the unplanned transform baseline
+    /// (the recovery guard's last ladder rung before halting).
+    pub fn degrade_density_solver(&mut self) {
+        self.es.degrade_solver();
+    }
+
+    /// Whether the density solver has been degraded.
+    pub fn density_solver_degraded(&self) -> bool {
+        self.es.solver_degraded()
+    }
+
+    /// Test hook: after `after` more evaluations, poison the following
+    /// `count` evaluations with NaN (value, gradient, and stats). Used to
+    /// exercise the recovery guard; never active in production flows.
+    pub fn inject_nan(&mut self, after: u64, count: u64) {
+        self.nan_after = after;
+        self.nan_remaining = count;
     }
 
     /// Packs the movable-cell centers of `placement` into a parameter
@@ -257,6 +294,23 @@ impl<'a> Problem for PlacementProblem<'a> {
             density_energy: report.energy,
             overflow: report.overflow,
         };
+        // fault-injection countdown (test hook, see `inject_nan`)
+        if self.nan_remaining > 0 {
+            if self.nan_after > 0 {
+                self.nan_after -= 1;
+            } else {
+                self.nan_remaining -= 1;
+                for g in grad.iter_mut() {
+                    *g = f64::NAN;
+                }
+                self.last = EvalStats {
+                    wirelength: f64::NAN,
+                    density_energy: f64::NAN,
+                    overflow: f64::NAN,
+                };
+                return f64::NAN;
+            }
+        }
         self.wl.value + self.lambda * report.energy
     }
 

@@ -3,7 +3,9 @@
 //! Tables II/III report (LGWL, DPWL, RT).
 
 use crate::detail::{refine, DetailConfig, DetailReport};
+use crate::error::PlacerError;
 use crate::global::{place_with_engine, GlobalConfig, GlobalResult, TrajectoryPoint};
+use crate::guard::{RecoveryLog, Termination};
 use crate::legalize::{check_legal, legalize, LegalizeReport};
 use mep_netlist::bookshelf::BookshelfCircuit;
 use mep_netlist::{total_hpwl, Placement};
@@ -51,6 +53,11 @@ pub struct PipelineResult {
     pub violations: usize,
     /// Evaluation-engine instrumentation for the global-placement stage.
     pub engine_stats: EngineStats,
+    /// Every recovery the numerical guard performed during GP (empty on a
+    /// clean run).
+    pub recovery: RecoveryLog,
+    /// Why the global-placement loop stopped.
+    pub termination: Termination,
 }
 
 impl PipelineResult {
@@ -65,12 +72,21 @@ impl PipelineResult {
 /// The persistent evaluation engine is created once here and lives for the
 /// whole flow; its worker pool and workspaces are reused across every
 /// global-placement iteration.
-pub fn run(circuit: &BookshelfCircuit, config: &PipelineConfig) -> PipelineResult {
+///
+/// Degenerate inputs (no movable cells, zero-area die, non-finite starting
+/// coordinates) and unrecoverable numerical faults surface as
+/// [`PlacerError`] instead of panicking; recoverable faults are handled by
+/// the guard inside global placement and reported in
+/// [`PipelineResult::recovery`].
+pub fn run(
+    circuit: &BookshelfCircuit,
+    config: &PipelineConfig,
+) -> Result<PipelineResult, PlacerError> {
     let design = &circuit.design;
     let engine = Arc::new(EvalEngine::new(config.global.threads));
 
     let t0 = Instant::now();
-    let gp: GlobalResult = place_with_engine(circuit, &config.global, engine);
+    let gp: GlobalResult = place_with_engine(circuit, &config.global, engine)?;
     let rt_gp = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
@@ -86,7 +102,7 @@ pub fn run(circuit: &BookshelfCircuit, config: &PipelineConfig) -> PipelineResul
 
     let violations = check_legal(design, &refined).len();
 
-    PipelineResult {
+    Ok(PipelineResult {
         gpwl: gp.hpwl,
         lgwl,
         dpwl,
@@ -101,7 +117,9 @@ pub fn run(circuit: &BookshelfCircuit, config: &PipelineConfig) -> PipelineResul
         placement: refined,
         violations,
         engine_stats: gp.engine_stats,
-    }
+        recovery: gp.recovery,
+        termination: gp.termination,
+    })
 }
 
 #[cfg(test)]
@@ -122,8 +140,9 @@ mod tests {
             },
             ..PipelineConfig::default()
         };
-        let r = run(&c, &config);
+        let r = run(&c, &config).unwrap();
         assert_eq!(r.violations, 0);
+        assert!(r.recovery.is_empty(), "clean run must not trip the guard");
         // DP never worsens the legal placement
         assert!(
             r.dpwl <= r.lgwl + 1e-9,
@@ -152,7 +171,7 @@ mod tests {
                 },
                 ..PipelineConfig::default()
             };
-            results.push(run(&c, &config).dpwl);
+            results.push(run(&c, &config).unwrap().dpwl);
         }
         let (wa, ours) = (results[0], results[1]);
         assert!(

@@ -494,7 +494,7 @@ mod tests {
             threads: 1,
             ..GlobalConfig::default()
         };
-        let r = place(&warm, &cfg);
+        let r = place(&warm, &cfg).expect("placement flow");
         assert!(r.overflow < 0.6);
         assert!(r.hpwl.is_finite());
     }

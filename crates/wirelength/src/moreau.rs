@@ -218,14 +218,13 @@ fn eval_sorted_scratch(
 ) -> EnvelopeEval {
     assert!(!x.is_empty(), "net must have at least one pin");
     assert!(t > 0.0, "smoothing parameter must be positive, got {t}");
+    // NaN coordinates are tolerated rather than asserted away: a poisoned
+    // iterate must propagate NaN through value/gradient (the placer's
+    // health guard detects and rolls it back) instead of panicking here.
     if scratch.len() <= 8 {
-        debug_assert!(
-            scratch.iter().all(|v| !v.is_nan()),
-            "coordinates must not be NaN"
-        );
         sort_small(scratch);
     } else {
-        scratch.sort_unstable_by(|a, b| a.partial_cmp(b).expect("coordinates must not be NaN"));
+        scratch.sort_unstable_by(f64::total_cmp);
     }
     let pair = TauPair::solve(scratch, t);
     let n = x.len() as f64;

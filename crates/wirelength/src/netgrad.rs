@@ -268,6 +268,20 @@ impl NetlistEvaluator {
         &self.model
     }
 
+    /// Replaces the wirelength model in place (the placer's degradation
+    /// ladder: Moreau → WA → LSE). The workspace topology is kept — only
+    /// the per-part model clones are swapped, so no workspace reallocation
+    /// is recorded and the next evaluation is bit-identical to a fresh
+    /// evaluator built on the new model.
+    pub fn set_model(&mut self, model: AnyModel) {
+        self.model = model;
+        if let Some(ws) = &self.ws {
+            for arena in &ws.arenas {
+                arena.lock().expect("part arena lock").model = self.model.clone();
+            }
+        }
+    }
+
     /// Ensures the workspace matches this netlist's topology and the
     /// engine's part count, then syncs the per-part model smoothing.
     fn prepare(&mut self, netlist: &Netlist) -> &Workspace {
@@ -535,6 +549,33 @@ mod tests {
         let mut expect = WirelengthGrad::zeros(nl.num_cells());
         fresh.evaluate(nl, &c.placement, &mut expect);
         assert_eq!(tightened.value.to_bits(), expect.value.to_bits());
+    }
+
+    #[test]
+    fn set_model_swaps_part_models_without_workspace_rebuild() {
+        let c = synth::generate(&synth::smoke_spec());
+        let nl = &c.design.netlist;
+        let mut eval = parallel_eval(ModelKind::Moreau.instantiate(2.0), 2);
+        let mut out = WirelengthGrad::zeros(nl.num_cells());
+        eval.evaluate(nl, &c.placement, &mut out);
+        eval.set_model(ModelKind::Wa.instantiate(2.0));
+        let mut degraded = WirelengthGrad::zeros(nl.num_cells());
+        eval.evaluate(nl, &c.placement, &mut degraded);
+        assert_eq!(eval.model().kind(), ModelKind::Wa);
+        assert_eq!(
+            eval.engine().stats().workspace_allocs,
+            1,
+            "model swap must not rebuild the workspace"
+        );
+        // must agree bitwise with a fresh evaluator on the new model
+        let mut fresh = NetlistEvaluator::serial(ModelKind::Wa.instantiate(2.0));
+        let mut expect = WirelengthGrad::zeros(nl.num_cells());
+        fresh.evaluate(nl, &c.placement, &mut expect);
+        assert_eq!(degraded.value.to_bits(), expect.value.to_bits());
+        for i in 0..nl.num_cells() {
+            assert_eq!(degraded.grad_x[i].to_bits(), expect.grad_x[i].to_bits());
+            assert_eq!(degraded.grad_y[i].to_bits(), expect.grad_y[i].to_bits());
+        }
     }
 
     #[test]

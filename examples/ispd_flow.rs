@@ -27,7 +27,7 @@ fn main() {
     );
     let circuit = synth::generate(&spec);
 
-    let result = run(&circuit, &PipelineConfig::default());
+    let result = run(&circuit, &PipelineConfig::default()).expect("placement flow");
     println!(
         "{}: GPWL {:.4e} → LGWL {:.4e} → DPWL {:.4e} in {:.1}s ({} violations)",
         spec.name,

@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         circuit.design.rows.len()
     );
 
-    let result = run(&circuit, &PipelineConfig::default());
+    let result = run(&circuit, &PipelineConfig::default()).expect("placement flow");
     println!(
         "placed: GPWL {:.4e} → LGWL {:.4e} → DPWL {:.4e} in {:.2}s ({} violations)",
         result.gpwl,

@@ -39,7 +39,7 @@ fn main() {
             },
             ..PipelineConfig::default()
         };
-        let r = run(&circuit, &config);
+        let r = run(&circuit, &config).expect("placement flow");
         println!(
             "{:<10} {:>12.4e} {:>12.4e} {:>12.4e} {:>8.2} {:>7}",
             model.label(),

@@ -29,7 +29,7 @@ fn main() {
 
     // 2. run the full flow: global placement -> legalization -> detailed
     //    placement, all with default (paper) settings
-    let result = run(&circuit, &PipelineConfig::default());
+    let result = run(&circuit, &PipelineConfig::default()).expect("placement flow");
 
     // 3. report
     println!(

@@ -33,7 +33,7 @@ fn main() {
         );
     }
 
-    let result = run(&circuit, &PipelineConfig::default());
+    let result = run(&circuit, &PipelineConfig::default()).expect("placement flow");
     println!(
         "\nGPWL {:.4e} → LGWL {:.4e} → DPWL {:.4e} in {:.1}s",
         result.gpwl,

@@ -216,13 +216,19 @@ fn main() -> ExitCode {
                 model.label(),
                 circuit.design.netlist.num_movable()
             );
-            let result = run(
+            let result = match run(
                 &circuit,
                 &PipelineConfig {
                     global,
                     ..PipelineConfig::default()
                 },
-            );
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             println!("GPWL  {:.6e}", result.gpwl);
             println!("LGWL  {:.6e}", result.lgwl);
             println!("DPWL  {:.6e}", result.dpwl);
@@ -234,9 +240,15 @@ fn main() -> ExitCode {
                 result.rt_dp
             );
             println!(
-                "iters {}  overflow {:.4}  violations {}",
-                result.iterations, result.overflow, result.violations
+                "iters {}  overflow {:.4}  violations {}  stop {}",
+                result.iterations, result.overflow, result.violations, result.termination
             );
+            if !result.recovery.is_empty() {
+                println!("recoveries ({}):", result.recovery.len());
+                for event in result.recovery.events() {
+                    println!("  {event}");
+                }
+            }
             let es = &result.engine_stats;
             println!(
                 "engine threads {}  spawned {}  runs {} par / {} serial  workspace allocs {}",

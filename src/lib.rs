@@ -27,7 +27,7 @@
 //! use moreau_placer::placer::pipeline::{run, PipelineConfig};
 //!
 //! let circuit = synth::generate(&synth::smoke_spec());
-//! let result = run(&circuit, &PipelineConfig::default());
+//! let result = run(&circuit, &PipelineConfig::default()).expect("placeable input");
 //! println!("final HPWL {:.4e} in {:.1}s", result.dpwl, result.rt_total());
 //! ```
 

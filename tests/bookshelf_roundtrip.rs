@@ -20,7 +20,7 @@ fn placed_circuit_round_trips_through_bookshelf_files() {
         },
         ..PipelineConfig::default()
     };
-    let result = run(&circuit, &config);
+    let result = run(&circuit, &config).expect("placement flow");
 
     let placed = BookshelfCircuit {
         design: circuit.design.clone(),
@@ -78,7 +78,7 @@ fn imported_circuit_can_be_placed() {
         },
         ..PipelineConfig::default()
     };
-    let r = run(&imported, &config);
+    let r = run(&imported, &config).expect("placement flow");
     assert_eq!(r.violations, 0);
     assert!(r.dpwl.is_finite() && r.dpwl > 0.0);
 }

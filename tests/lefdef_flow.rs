@@ -40,7 +40,7 @@ fn lefdef_circuit_places_legally() {
         },
         ..PipelineConfig::default()
     };
-    let r = run(&circuit, &config);
+    let r = run(&circuit, &config).expect("placement flow");
     assert_eq!(r.violations, 0);
     assert!(r.dpwl.is_finite() && r.dpwl > 0.0);
     // a 60-cell chain between opposite corners: placement should order

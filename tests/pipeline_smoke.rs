@@ -23,7 +23,7 @@ fn every_model_produces_a_legal_improving_placement() {
     let circuit = synth::generate(&synth::smoke_spec());
     let nl = &circuit.design.netlist;
     for model in ModelKind::contestants() {
-        let r = run(&circuit, &config(model));
+        let r = run(&circuit, &config(model)).expect("placement flow");
         assert_eq!(r.violations, 0, "{model}: illegal placement");
         assert!(r.dpwl <= r.lgwl + 1e-9, "{model}: DP worsened HPWL");
         assert!(r.overflow < 0.15, "{model}: overflow {}", r.overflow);
@@ -41,7 +41,10 @@ fn moreau_is_competitive_with_every_baseline() {
     let circuit = synth::generate(&synth::smoke_spec());
     let mut dpwl = std::collections::HashMap::new();
     for model in ModelKind::contestants() {
-        dpwl.insert(model, run(&circuit, &config(model)).dpwl);
+        dpwl.insert(
+            model,
+            run(&circuit, &config(model)).expect("placement flow").dpwl,
+        );
     }
     let ours = dpwl[&ModelKind::Moreau];
     let best_baseline = dpwl
@@ -58,8 +61,8 @@ fn moreau_is_competitive_with_every_baseline() {
 #[test]
 fn pipeline_is_deterministic() {
     let circuit = synth::generate(&synth::smoke_spec());
-    let a = run(&circuit, &config(ModelKind::Moreau));
-    let b = run(&circuit, &config(ModelKind::Moreau));
+    let a = run(&circuit, &config(ModelKind::Moreau)).expect("placement flow");
+    let b = run(&circuit, &config(ModelKind::Moreau)).expect("placement flow");
     assert_eq!(a.dpwl, b.dpwl);
     assert_eq!(a.lgwl, b.lgwl);
     assert_eq!(a.iterations, b.iterations);

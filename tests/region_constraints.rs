@@ -41,7 +41,7 @@ fn region_spec_generates_constrained_circuit() {
 fn full_pipeline_keeps_cells_in_their_fences() {
     let c = synth::generate(&synth::smoke_regions_spec());
     for model in [ModelKind::Moreau, ModelKind::Wa] {
-        let r = run(&c, &config(model));
+        let r = run(&c, &config(model)).expect("placement flow");
         let violations = check_legal(&c.design, &r.placement);
         let region_violations: Vec<_> = violations
             .iter()
@@ -67,7 +67,7 @@ fn unconstrained_cells_stay_out_of_fences_after_legalization() {
     // fences are exclusive (DEF FENCE): the legalizer must not put free
     // cells inside them
     let c = synth::generate(&synth::smoke_regions_spec());
-    let r = run(&c, &config(ModelKind::Moreau));
+    let r = run(&c, &config(ModelKind::Moreau)).expect("placement flow");
     let nl = &c.design.netlist;
     let row_h = c.design.rows[0].height;
     for cell in nl.movable_cells() {
@@ -94,8 +94,12 @@ fn region_constraint_costs_some_wirelength() {
     // should not beat the unconstrained one materially
     let free = synth::generate(&synth::smoke_spec());
     let fenced = synth::generate(&synth::smoke_regions_spec());
-    let dpwl_free = run(&free, &config(ModelKind::Moreau)).dpwl;
-    let dpwl_fenced = run(&fenced, &config(ModelKind::Moreau)).dpwl;
+    let dpwl_free = run(&free, &config(ModelKind::Moreau))
+        .expect("placement flow")
+        .dpwl;
+    let dpwl_fenced = run(&fenced, &config(ModelKind::Moreau))
+        .expect("placement flow")
+        .dpwl;
     assert!(
         dpwl_fenced > 0.9 * dpwl_free,
         "fenced {dpwl_fenced} vs free {dpwl_free}"

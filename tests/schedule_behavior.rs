@@ -14,7 +14,7 @@ fn trajectory(model: ModelKind) -> Vec<moreau_placer::placer::TrajectoryPoint> {
         record_trajectory: true,
         ..GlobalConfig::default()
     };
-    place(&c, &cfg).trajectory
+    place(&c, &cfg).expect("placement flow").trajectory
 }
 
 #[test]

@@ -63,7 +63,7 @@ fn heavier_net_ends_shorter() {
         threads: 1,
         ..GlobalConfig::default()
     };
-    let r = place(&circuit, &cfg);
+    let r = place(&circuit, &cfg).expect("placement flow");
     let xa = r.placement.x[a.index()];
     let xc = r.placement.x[c.index()];
     // cell c balances its two unit nets near the middle; cell a is yanked
