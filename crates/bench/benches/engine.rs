@@ -9,6 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mep_netlist::synth::{self, SynthSpec};
+use mep_obs::{IterationRecord, NoopSink, TraceSink};
 use mep_wirelength::{EvalEngine, ModelKind, NetlistEvaluator, WirelengthGrad};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -65,6 +66,38 @@ fn bench_engine(c: &mut Criterion) {
     );
     assert!(stats.parallel_runs > 0, "evaluations must use the pool");
 
+    // Telemetry overhead contract (DESIGN.md §10): the global loop guards
+    // every record behind `sink.enabled()`, and the default [`NoopSink`]
+    // answers `false` from a constant — so the traced-but-disabled path is
+    // one perfectly predicted virtual call per iteration, with no record
+    // construction and no allocation. Benched side by side with the bare
+    // persistent path; the two bars must be indistinguishable.
+    let sink: Arc<dyn TraceSink> = Arc::new(NoopSink);
+    assert!(!sink.enabled(), "NoopSink must report disabled");
+    group.bench_function("persistent_engine_noop_trace", |b| {
+        b.iter(|| {
+            eval.evaluate(nl, black_box(&circuit.placement), &mut grad);
+            if sink.enabled() {
+                // never taken: mirrors the hot loop in `global.rs`, which
+                // skips building the record (and the exact-HPWL pass that
+                // feeds it) when tracing is off
+                sink.record(&IterationRecord {
+                    iter: 0,
+                    objective: 0.0,
+                    hpwl: 0.0,
+                    overflow: 0.0,
+                    lambda: 0.0,
+                    smoothing: 0.0,
+                    step: 0.0,
+                    grad_norm: 0.0,
+                    guard: None,
+                    elapsed_secs: 0.0,
+                });
+            }
+            black_box(grad.grad_x[0])
+        })
+    });
+
     // Baseline: a fresh pool and fresh workspaces for every evaluation —
     // the spawn-per-eval pattern the engine replaces.
     group.bench_function("spawn_per_eval", |b| {
@@ -102,6 +135,35 @@ fn bench_engine(c: &mut Criterion) {
         persistent,
         spawn,
         std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    // Hard assert on the no-op-sink budget: compare best-of-k evaluation
+    // times with and without the disabled-sink check. Minima are robust to
+    // scheduler noise; the guarded path must stay within 1%.
+    let mut best_of = |with_sink: bool| -> f64 {
+        (0..15)
+            .map(|_| {
+                let t = Instant::now();
+                eval.evaluate(nl, &circuit.placement, &mut grad);
+                if with_sink && sink.enabled() {
+                    unreachable!("NoopSink is disabled");
+                }
+                black_box(grad.grad_x[0]);
+                t.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let bare = best_of(false);
+    let traced = best_of(true);
+    println!(
+        "noop-sink overhead: {:+.3}% (bare {:.6}s vs traced {:.6}s per eval)",
+        100.0 * (traced / bare - 1.0),
+        bare,
+        traced
+    );
+    assert!(
+        traced <= bare * 1.01,
+        "disabled trace sink must cost < 1% per evaluation (bare {bare:.6}s, traced {traced:.6}s)"
     );
 }
 

@@ -13,7 +13,7 @@
 //! Writes `results/table2_ispd2006.csv`.
 
 use mep_bench::table::avg_ratio;
-use mep_bench::{run_benchmark, BenchmarkRow, FlowOptions, Table};
+use mep_bench::{run_benchmark, write_reports_jsonl, BenchmarkRow, FlowOptions, Table};
 use mep_netlist::synth;
 use mep_wirelength::ModelKind;
 
@@ -82,5 +82,12 @@ fn main() {
         eprintln!("could not write CSV: {e}");
     } else {
         println!("\nwrote results/table2_ispd2006.csv");
+    }
+    match write_reports_jsonl(
+        "results/table2_ispd2006_reports.jsonl",
+        rows.iter().flatten(),
+    ) {
+        Ok(()) => println!("wrote results/table2_ispd2006_reports.jsonl"),
+        Err(e) => eprintln!("could not write run reports: {e}"),
     }
 }

@@ -8,7 +8,7 @@
 //! Writes `results/table3_ispd2019.csv`.
 
 use mep_bench::table::avg_ratio;
-use mep_bench::{run_benchmark, BenchmarkRow, FlowOptions, Table};
+use mep_bench::{run_benchmark, write_reports_jsonl, BenchmarkRow, FlowOptions, Table};
 use mep_netlist::synth;
 use mep_wirelength::ModelKind;
 
@@ -75,5 +75,12 @@ fn main() {
         eprintln!("could not write CSV: {e}");
     } else {
         println!("\nwrote results/table3_ispd2019.csv");
+    }
+    match write_reports_jsonl(
+        "results/table3_ispd2019_reports.jsonl",
+        rows.iter().flatten(),
+    ) {
+        Ok(()) => println!("wrote results/table3_ispd2019_reports.jsonl"),
+        Err(e) => eprintln!("could not write run reports: {e}"),
     }
 }

@@ -1,9 +1,13 @@
 //! The run-one-benchmark flow shared by the Table II / Table III binaries.
 
 use mep_netlist::synth::SynthSpec;
+use mep_obs::json::JsonObject;
+use mep_obs::RunReport;
 use mep_placer::pipeline::{run, PipelineConfig};
 use mep_placer::GlobalConfig;
 use mep_wirelength::ModelKind;
+use std::io::Write as _;
+use std::path::Path;
 
 /// Options controlling a table run.
 #[derive(Debug, Clone)]
@@ -83,6 +87,35 @@ pub struct BenchmarkRow {
     pub overflow: f64,
     /// Legality violations (must be 0).
     pub violations: usize,
+    /// Full machine-readable telemetry of the run (DESIGN.md §10).
+    pub report: RunReport,
+}
+
+/// Writes one JSON line per benchmark × model run:
+/// `{"bench":…,"model":…,"report":{…}}`, so table binaries leave a
+/// machine-readable record next to their CSVs.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if `path` cannot be written.
+pub fn write_reports_jsonl(
+    path: impl AsRef<Path>,
+    rows: impl IntoIterator<Item = impl std::borrow::Borrow<BenchmarkRow>>,
+) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for row in rows {
+        let row = row.borrow();
+        let mut o = JsonObject::new();
+        o.field_str("bench", &row.bench)
+            .field_str("model", row.model.label())
+            .field_raw("report", &row.report.to_json());
+        writeln!(out, "{}", o.finish())?;
+    }
+    out.flush()
 }
 
 /// Runs the full pipeline for one spec × model.
@@ -108,6 +141,7 @@ pub fn run_benchmark(spec: &SynthSpec, model: ModelKind, opts: &FlowOptions) -> 
         iterations: r.iterations,
         overflow: r.overflow,
         violations: r.violations,
+        report: r.report,
     }
 }
 
@@ -140,5 +174,14 @@ mod tests {
         assert_eq!(row.violations, 0);
         assert!(row.dpwl <= row.lgwl + 1e-9);
         assert!(row.rt > 0.0);
+        // the run's telemetry rides along and serializes
+        assert_eq!(row.report.gauge("dp.hpwl"), Some(row.dpwl));
+
+        let path = std::env::temp_dir().join(format!("mep_reports_{}.jsonl", std::process::id()));
+        write_reports_jsonl(&path, [&row]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.starts_with("{\"bench\":\"smoke\",\"model\":\"Ours\",\"report\":{"));
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -7,5 +7,5 @@ pub mod flow;
 pub mod svg;
 pub mod table;
 
-pub use flow::{run_benchmark, BenchmarkRow, FlowOptions};
+pub use flow::{run_benchmark, write_reports_jsonl, BenchmarkRow, FlowOptions};
 pub use table::Table;

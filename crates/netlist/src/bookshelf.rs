@@ -194,12 +194,7 @@ pub fn read_files_with_weights(
         });
     }
 
-    let mut builder = NetlistBuilder::with_capacity(decls.len(), 0, 0);
-    for d in &decls {
-        builder.add_cell(d.name.clone(), d.w, d.h, !d.terminal)?;
-    }
-
-    // --- .pl (read early: FIXED flags may override movability) ------------
+    // --- .pl (read early: FIXED flags override movability) ----------------
     let mut positions: HashMap<String, (f64, f64, bool)> = HashMap::new();
     for (lineno, line) in content_lines(pl_text) {
         let mut tok = line.split_whitespace();
@@ -216,6 +211,15 @@ pub fn read_files_with_weights(
             .ok_or_else(|| parse_err("pl", lineno, "bad y"))?;
         let fixed = line.contains("/FIXED");
         positions.insert(name.to_string(), (x, y, fixed));
+    }
+
+    let mut builder = NetlistBuilder::with_capacity(decls.len(), 0, 0);
+    for d in &decls {
+        // a cell is fixed if the .nodes file says `terminal` OR its .pl
+        // line carries `/FIXED` — ISPD flows use either marker alone, and
+        // dropping the .pl-only one silently un-fixes cells on re-import
+        let fixed_in_pl = positions.get(&d.name).is_some_and(|&(_, _, f)| f);
+        builder.add_cell(d.name.clone(), d.w, d.h, !(d.terminal || fixed_in_pl))?;
     }
 
     // --- .nets -------------------------------------------------------------
@@ -589,6 +593,41 @@ mod tests {
         let h1 = crate::placement::total_hpwl(nl, &c.placement);
         let h2 = crate::placement::total_hpwl(nl2, &c2.placement);
         assert!((h1 - h2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pl_only_fixed_marker_fixes_the_cell() {
+        // o1 carries /FIXED in .pl but no `terminal` in .nodes — ISPD
+        // flows use either marker alone, and fixedness must survive a
+        // write→parse cycle (regression: the flag was parsed then dropped)
+        let pl = "UCLA pl 1.0\no0 1 2 : N\no1 5 2 : N /FIXED\np0 0 0 : N /FIXED\n";
+        let c = read_files("t".into(), NODES, NETS, pl, SCL, 0.9).unwrap();
+        let nl = &c.design.netlist;
+        assert!(!nl.is_movable(nl.cell_by_name("o1").unwrap()));
+        assert!(nl.is_movable(nl.cell_by_name("o0").unwrap()));
+
+        let files = to_strings(&c);
+        assert!(
+            files
+                .pl
+                .lines()
+                .any(|l| l.starts_with("o1") && l.contains("/FIXED")),
+            "writer must keep the /FIXED suffix:\n{}",
+            files.pl
+        );
+        let c2 = read_files(
+            "t".into(),
+            &files.nodes,
+            &files.nets,
+            &files.pl,
+            &files.scl,
+            0.9,
+        )
+        .unwrap();
+        let nl2 = &c2.design.netlist;
+        assert!(!nl2.is_movable(nl2.cell_by_name("o1").unwrap()));
+        assert_eq!(nl2.num_fixed(), 2);
+        assert_eq!(c.placement, c2.placement);
     }
 
     #[test]

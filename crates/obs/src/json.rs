@@ -1,0 +1,194 @@
+//! A minimal JSON writer.
+//!
+//! The telemetry crate is intentionally dependency-free, so records and
+//! reports are serialized with this small builder instead of serde. Only
+//! what the flow needs is supported: objects, arrays of numbers, strings,
+//! and the JSON scalar types. Non-finite floats have no JSON
+//! representation and are emitted as `null`.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` into `out` as the body of a JSON string (no surrounding
+/// quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Writes `v` into `out` as a JSON number, or `null` when non-finite.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Incremental JSON object builder.
+///
+/// ```
+/// use mep_obs::json::JsonObject;
+/// let mut o = JsonObject::new();
+/// o.field_u64("iter", 3).field_f64("hpwl", 1.5).field_str("model", "moreau");
+/// assert_eq!(o.finish(), r#"{"iter":3,"hpwl":1.5,"model":"moreau"}"#);
+/// ```
+#[derive(Debug)]
+pub struct JsonObject {
+    buf: String,
+    first: bool,
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, name: &str) -> &mut String {
+        if self.first {
+            self.first = false;
+        } else {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        escape_into(&mut self.buf, name);
+        self.buf.push_str("\":");
+        &mut self.buf
+    }
+
+    /// Adds a float field (`null` when non-finite).
+    pub fn field_f64(&mut self, name: &str, v: f64) -> &mut Self {
+        let buf = self.key(name);
+        push_f64(buf, v);
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(&mut self, name: &str, v: u64) -> &mut Self {
+        let _ = write!(self.key(name), "{v}");
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn field_bool(&mut self, name: &str, v: bool) -> &mut Self {
+        let _ = write!(self.key(name), "{v}");
+        self
+    }
+
+    /// Adds a string field.
+    pub fn field_str(&mut self, name: &str, v: &str) -> &mut Self {
+        let buf = self.key(name);
+        buf.push('"');
+        escape_into(buf, v);
+        buf.push('"');
+        self
+    }
+
+    /// Adds a string-or-null field.
+    pub fn field_opt_str(&mut self, name: &str, v: Option<&str>) -> &mut Self {
+        match v {
+            Some(s) => self.field_str(name, s),
+            None => {
+                self.key(name).push_str("null");
+                self
+            }
+        }
+    }
+
+    /// Adds an array of floats (non-finite entries become `null`).
+    pub fn field_f64_array(&mut self, name: &str, vs: &[f64]) -> &mut Self {
+        let buf = self.key(name);
+        buf.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            push_f64(buf, *v);
+        }
+        buf.push(']');
+        self
+    }
+
+    /// Adds an array of unsigned integers.
+    pub fn field_u64_array(&mut self, name: &str, vs: &[u64]) -> &mut Self {
+        let buf = self.key(name);
+        buf.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            let _ = write!(buf, "{v}");
+        }
+        buf.push(']');
+        self
+    }
+
+    /// Adds a pre-serialized JSON value verbatim. The caller is
+    /// responsible for `raw` being valid JSON.
+    pub fn field_raw(&mut self, name: &str, raw: &str) -> &mut Self {
+        self.key(name).push_str(raw);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials_and_control_chars() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut o = JsonObject::new();
+        o.field_f64("a", f64::NAN)
+            .field_f64("b", f64::INFINITY)
+            .field_f64("c", 2.0);
+        assert_eq!(o.finish(), r#"{"a":null,"b":null,"c":2}"#);
+    }
+
+    #[test]
+    fn arrays_and_raw_fields() {
+        let mut o = JsonObject::new();
+        o.field_f64_array("xs", &[1.0, f64::NAN])
+            .field_u64_array("ns", &[1, 2])
+            .field_raw("inner", r#"{"k":1}"#)
+            .field_opt_str("none", None)
+            .field_opt_str("some", Some("v"))
+            .field_bool("ok", true);
+        assert_eq!(
+            o.finish(),
+            r#"{"xs":[1,null],"ns":[1,2],"inner":{"k":1},"none":null,"some":"v","ok":true}"#
+        );
+    }
+}

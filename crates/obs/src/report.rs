@@ -1,0 +1,186 @@
+//! [`RunReport`]: an owned end-of-run snapshot of a [`Registry`].
+//!
+//! The placement pipeline aggregates everything the flow used to scatter
+//! across `EngineStats`, `RecoveryLog`, and the stage reports into one
+//! registry, then freezes it into a `RunReport` that bench binaries can
+//! serialize next to their tables and the CLI can render as a summary.
+
+use crate::json::{push_f64, JsonObject};
+use crate::metrics::{MetricValue, Registry};
+
+/// A frozen, owned snapshot of every metric in a registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    metrics: Vec<(String, MetricValue)>,
+}
+
+impl RunReport {
+    /// Freezes the current state of `registry`.
+    pub fn from_registry(registry: &Registry) -> Self {
+        Self {
+            metrics: registry.snapshot(),
+        }
+    }
+
+    /// All metrics, sorted by name.
+    pub fn metrics(&self) -> &[(String, MetricValue)] {
+        &self.metrics
+    }
+
+    /// Looks up one metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.metrics[i].1)
+    }
+
+    /// Counter value, if `name` is a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value, if `name` is a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name)? {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Label value, if `name` is a label.
+    pub fn label(&self, name: &str) -> Option<&str> {
+        match self.get(name)? {
+            MetricValue::Label(v) => Some(v.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Renders the report as one JSON object keyed by metric name.
+    ///
+    /// Counters become integers, gauges floats (non-finite → `null`),
+    /// labels strings, histograms objects with `bounds`/`counts`/`count`/
+    /// `sum`.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        for (name, value) in &self.metrics {
+            match value {
+                MetricValue::Counter(v) => {
+                    o.field_u64(name, *v);
+                }
+                MetricValue::Gauge(v) => {
+                    o.field_f64(name, *v);
+                }
+                MetricValue::Label(v) => {
+                    o.field_str(name, v);
+                }
+                MetricValue::Histogram {
+                    bounds,
+                    counts,
+                    count,
+                    sum,
+                } => {
+                    let mut h = JsonObject::new();
+                    h.field_f64_array("bounds", bounds)
+                        .field_u64_array("counts", counts)
+                        .field_u64("count", *count)
+                        .field_f64("sum", *sum);
+                    o.field_raw(name, &h.finish());
+                }
+            }
+        }
+        o.finish()
+    }
+
+    /// Renders the report as an aligned two-column text table.
+    pub fn summary_table(&self) -> String {
+        let width = self.metrics.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, value) in &self.metrics {
+            out.push_str(&format!("{name:<width$}  "));
+            match value {
+                MetricValue::Counter(v) => out.push_str(&v.to_string()),
+                MetricValue::Gauge(v) => push_f64(&mut out, *v),
+                MetricValue::Label(v) => out.push_str(v),
+                MetricValue::Histogram {
+                    bounds,
+                    counts,
+                    count,
+                    sum,
+                } => {
+                    let mean = if *count > 0 { sum / *count as f64 } else { 0.0 };
+                    out.push_str(&format!("n={count} mean={mean:.4} ["));
+                    for (i, c) in counts.iter().enumerate() {
+                        if i > 0 {
+                            out.push(' ');
+                        }
+                        match bounds.get(i) {
+                            Some(b) => out.push_str(&format!("≤{b}:{c}")),
+                            None => out.push_str(&format!(">{}:{c}", bounds[bounds.len() - 1])),
+                        }
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        let r = Registry::new();
+        r.counter("gp.iterations").add(42);
+        r.gauge("gp.hpwl").set(123.5);
+        r.label("flow.termination").set("converged");
+        let h = r.histogram("lg.displacement", &[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        RunReport::from_registry(&r)
+    }
+
+    #[test]
+    fn lookup_by_name_and_kind() {
+        let rep = sample();
+        assert_eq!(rep.counter("gp.iterations"), Some(42));
+        assert_eq!(rep.gauge("gp.hpwl"), Some(123.5));
+        assert_eq!(rep.label("flow.termination"), Some("converged"));
+        assert_eq!(rep.counter("gp.hpwl"), None, "kind mismatch is None");
+        assert_eq!(rep.gauge("missing"), None);
+        assert!(matches!(
+            rep.get("lg.displacement"),
+            Some(MetricValue::Histogram { count: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn json_round_trips_every_kind() {
+        let json = sample().to_json();
+        assert!(json.contains("\"gp.iterations\":42"));
+        assert!(json.contains("\"gp.hpwl\":123.5"));
+        assert!(json.contains("\"flow.termination\":\"converged\""));
+        assert!(json.contains("\"lg.displacement\":{\"bounds\":[1,2],\"counts\":[1,0,1]"));
+    }
+
+    #[test]
+    fn summary_table_lists_every_metric() {
+        let rep = sample();
+        let table = rep.summary_table();
+        for name in [
+            "gp.iterations",
+            "gp.hpwl",
+            "flow.termination",
+            "lg.displacement",
+        ] {
+            assert!(table.contains(name), "missing {name} in:\n{table}");
+        }
+        assert!(table.contains("n=2"));
+    }
+}

@@ -51,12 +51,45 @@ pub struct DetailReport {
     pub hpwl_after: f64,
     /// Accepted local-reorder moves.
     pub reorders: usize,
+    /// Local-reorder windows evaluated (permutations tried).
+    pub reorders_attempted: usize,
     /// Accepted global swaps.
     pub swaps: usize,
+    /// Trial global swaps evaluated.
+    pub swaps_attempted: usize,
     /// Accepted independent-set reassignments.
     pub matchings: usize,
+    /// Independent sets solved.
+    pub matchings_attempted: usize,
     /// Passes actually executed.
     pub passes: usize,
+}
+
+impl DetailReport {
+    /// `accepted / attempted` for one move class, `0.0` when nothing was
+    /// attempted.
+    fn ratio(accepted: usize, attempted: usize) -> f64 {
+        if attempted == 0 {
+            0.0
+        } else {
+            accepted as f64 / attempted as f64
+        }
+    }
+
+    /// Acceptance ratio of local reorders.
+    pub fn reorder_acceptance(&self) -> f64 {
+        Self::ratio(self.reorders, self.reorders_attempted)
+    }
+
+    /// Acceptance ratio of global swaps.
+    pub fn swap_acceptance(&self) -> f64 {
+        Self::ratio(self.swaps, self.swaps_attempted)
+    }
+
+    /// Acceptance ratio of independent-set reassignments.
+    pub fn matching_acceptance(&self) -> f64 {
+        Self::ratio(self.matchings, self.matchings_attempted)
+    }
 }
 
 /// Sum of HPWL over a set of nets.
@@ -87,8 +120,11 @@ pub fn refine(design: &Design, placement: &mut Placement, config: &DetailConfig)
         hpwl_before,
         hpwl_after: hpwl_before,
         reorders: 0,
+        reorders_attempted: 0,
         swaps: 0,
+        swaps_attempted: 0,
         matchings: 0,
+        matchings_attempted: 0,
         passes: 0,
     };
     // region context: padded per-cell assignment + fence rectangles
@@ -103,7 +139,7 @@ pub fn refine(design: &Design, placement: &mut Placement, config: &DetailConfig)
         report.passes += 1;
         let mut rows = build_rows(design, placement, row_h);
         let obstacles = row_obstacles(design, placement, row_h);
-        report.reorders += local_reorder(
+        let (acc, att) = local_reorder(
             netlist,
             placement,
             &mut rows,
@@ -112,9 +148,15 @@ pub fn refine(design: &Design, placement: &mut Placement, config: &DetailConfig)
             &fences,
             config.window,
         );
-        report.swaps += global_swap(netlist, placement, &rows, &cell_region, row_h);
-        report.matchings +=
+        report.reorders += acc;
+        report.reorders_attempted += att;
+        let (acc, att) = global_swap(netlist, placement, &rows, &cell_region, row_h);
+        report.swaps += acc;
+        report.swaps_attempted += att;
+        let (acc, att) =
             independent_set_matching(netlist, placement, &rows, &cell_region, config.ism_set);
+        report.matchings += acc;
+        report.matchings_attempted += att;
         let now = total_hpwl(netlist, placement);
         let gain = (current - now) / current.max(1e-30);
         current = now;
@@ -166,17 +208,15 @@ fn row_obstacles(design: &Design, placement: &Placement, row_h: f64) -> Vec<Vec<
         if r.area() == 0.0 {
             continue;
         }
-        let lo = (((r.yl - die.yl) / row_h).floor().max(0.0)) as usize;
-        let hi = ((((r.yh - die.yl) / row_h).ceil()) as usize).min(nrows);
-        for row in lo..hi {
+        for row in crate::legalize::row_window(r.yl, r.yh, die.yl, row_h, nrows) {
             per_row[row].push((r.xl, r.xh));
         }
     }
     per_row
 }
 
-/// Permutes windows of consecutive cells (left-packed). Returns accepted
-/// move count.
+/// Permutes windows of consecutive cells (left-packed). Returns
+/// `(accepted, attempted)` move counts.
 fn local_reorder(
     netlist: &Netlist,
     placement: &mut Placement,
@@ -185,9 +225,10 @@ fn local_reorder(
     cell_region: &[Option<u16>],
     fences: &[mep_netlist::Rect],
     window: usize,
-) -> usize {
+) -> (usize, usize) {
     let window = window.clamp(2, 4);
     let mut accepted = 0;
+    let mut attempted = 0;
     let mut nets = Vec::new();
     for (row_idx, row) in rows.iter_mut().enumerate() {
         if row.len() < window {
@@ -214,6 +255,7 @@ fn local_reorder(
             if region.is_none() && fences.iter().any(|f| f.xl < left + span_w && left < f.xh) {
                 continue;
             }
+            attempted += 1;
             nets_of(netlist, cells, &mut nets);
             let before = hpwl_over(netlist, placement, &nets);
             let orig: Vec<(f64, f64)> = cells
@@ -254,7 +296,7 @@ fn local_reorder(
             }
         }
     }
-    accepted
+    (accepted, attempted)
 }
 
 fn permute(perm: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
@@ -270,20 +312,21 @@ fn permute(perm: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
 }
 
 /// Swaps equal-width cell pairs toward their nets' medians. Returns
-/// accepted swap count.
+/// `(accepted, attempted)` swap counts.
 fn global_swap(
     netlist: &Netlist,
     placement: &mut Placement,
     rows: &[Vec<CellId>],
     cell_region: &[Option<u16>],
     row_h: f64,
-) -> usize {
+) -> (usize, usize) {
     // spatial hash of std cells by coarse bins, keyed by width
     let all: Vec<CellId> = rows.iter().flatten().copied().collect();
     if all.is_empty() {
-        return 0;
+        return (0, 0);
     }
     let mut accepted = 0;
+    let mut attempted = 0;
     let mut nets = Vec::new();
     // spatial hash: (width key, coarse bucket) → cells, so the peer search
     // is O(1) per cell instead of scanning the whole width class
@@ -340,6 +383,7 @@ fn global_swap(
         }
         let Some((_, peer)) = best_peer else { continue };
         // trial swap
+        attempted += 1;
         nets_of(netlist, &[cell, peer], &mut nets);
         let before = hpwl_over(netlist, placement, &nets);
         swap_positions(placement, cell, peer);
@@ -350,7 +394,7 @@ fn global_swap(
             swap_positions(placement, cell, peer);
         }
     }
-    accepted
+    (accepted, attempted)
 }
 
 fn swap_positions(placement: &mut Placement, a: CellId, b: CellId) {
@@ -396,16 +440,18 @@ fn optimal_position(netlist: &Netlist, placement: &Placement, cell: CellId) -> (
 }
 
 /// Independent-set matching: finds sets of equal-width, net-disjoint cells
-/// and solves the slot assignment exactly. Returns accepted set count.
+/// and solves the slot assignment exactly. Returns `(accepted, attempted)`
+/// set counts.
 fn independent_set_matching(
     netlist: &Netlist,
     placement: &mut Placement,
     rows: &[Vec<CellId>],
     cell_region: &[Option<u16>],
     set_size: usize,
-) -> usize {
+) -> (usize, usize) {
     let set_size = set_size.clamp(2, 12);
     let mut accepted = 0;
+    let mut attempted = 0;
     // group by (width, region): slot exchanges stay inside one fence
     let mut by_width: std::collections::HashMap<(i64, i32), Vec<CellId>> = Default::default();
     for &c in rows.iter().flatten() {
@@ -447,12 +493,13 @@ fn independent_set_matching(
             if set.len() < 2 {
                 continue;
             }
+            attempted += 1;
             if reassign_set(netlist, placement, &set) {
                 accepted += 1;
             }
         }
     }
-    accepted
+    (accepted, attempted)
 }
 
 /// Exactly reassigns an independent set over its own slots. Returns whether

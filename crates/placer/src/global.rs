@@ -28,6 +28,7 @@ use crate::guard::{
 use crate::objective::PlacementProblem;
 use mep_netlist::bookshelf::BookshelfCircuit;
 use mep_netlist::Placement;
+use mep_obs::{IterationRecord, NoopSink, TraceSink};
 use mep_optim::nesterov::Nesterov;
 use mep_optim::{Optimizer, Problem};
 use mep_wirelength::engine::{EngineStats, EvalEngine};
@@ -105,6 +106,10 @@ pub struct GlobalConfig {
     /// exercising the recovery guard. `None` (the default) in all
     /// production flows.
     pub fault_injection: Option<(u64, u64)>,
+    /// Per-iteration trace sink. The default [`NoopSink`] reports
+    /// `enabled() == false`, so the loop skips building records (and the
+    /// exact-HPWL evaluation feeding them) entirely.
+    pub trace: Arc<dyn TraceSink>,
 }
 
 impl Default for GlobalConfig {
@@ -126,6 +131,7 @@ impl Default for GlobalConfig {
             guard: GuardConfig::default(),
             time_budget: None,
             fault_injection: None,
+            trace: Arc::new(NoopSink),
         }
     }
 }
@@ -310,16 +316,27 @@ pub fn place_with_engine(
         problem.inject_nan(after, count);
     }
 
+    let trace = config.trace.as_ref();
+    let tracing = trace.enabled();
     let mut trajectory = Vec::new();
     let mut iterations = 0;
     let mut termination = Termination::IterationCap;
     for iter in 0..config.max_iters {
         iterations = iter + 1;
-        optimizer.step(&mut problem, &mut params);
+        let step_report = optimizer.step(&mut problem, &mut params);
         let stats = problem.last_stats();
         let value = stats.wirelength + problem.lambda * stats.density_energy;
+        // `None` on a healthy step, `Some("fault -> action")` otherwise.
+        let mut guard_verdict: Option<String> = None;
+        let mut stop = false;
 
-        match monitor.check(value, 0.0, 0.0, stats.overflow, &params) {
+        match monitor.check(
+            value,
+            step_report.grad_norm,
+            step_report.step,
+            stats.overflow,
+            &params,
+        ) {
             Ok(()) => {
                 phi = stats.overflow;
                 monitor.observe_healthy(
@@ -353,7 +370,7 @@ pub fn place_with_engine(
 
                 if phi <= config.target_overflow && iter + 1 >= config.min_iters {
                     termination = Termination::Converged;
-                    break;
+                    stop = true;
                 }
             }
             Err(fault) => {
@@ -366,59 +383,86 @@ pub fn place_with_engine(
                         fault,
                         action: RecoveryAction::Halt,
                     });
+                    guard_verdict = Some(format!("{fault} -> {}", RecoveryAction::Halt));
                     termination = Termination::Stagnated;
-                    break;
-                }
-
-                // escalate the degradation ladder after repeated strikes
-                let mut action = RecoveryAction::RollbackBackoff;
-                if monitor.strike() >= config.guard.max_strikes {
-                    let from = problem.model_kind();
-                    let to = match from {
-                        ModelKind::Moreau | ModelKind::BigChks | ModelKind::BigWa => {
-                            Some(ModelKind::Wa)
+                    stop = true;
+                } else {
+                    // escalate the degradation ladder after repeated strikes
+                    let mut action = RecoveryAction::RollbackBackoff;
+                    let mut halted = false;
+                    if monitor.strike() >= config.guard.max_strikes {
+                        let from = problem.model_kind();
+                        let to = match from {
+                            ModelKind::Moreau | ModelKind::BigChks | ModelKind::BigWa => {
+                                Some(ModelKind::Wa)
+                            }
+                            ModelKind::Wa => Some(ModelKind::Lse),
+                            _ => None,
+                        };
+                        if let Some(to) = to {
+                            problem.set_model(to.instantiate(1.0));
+                            action = RecoveryAction::DegradeModel { from, to };
+                            monitor.clear_strikes();
+                        } else if !problem.density_solver_degraded() {
+                            problem.degrade_density_solver();
+                            action = RecoveryAction::DegradeDensitySolver;
+                            monitor.clear_strikes();
+                        } else {
+                            action = RecoveryAction::Halt;
+                            halted = true;
                         }
-                        ModelKind::Wa => Some(ModelKind::Lse),
-                        _ => None,
-                    };
-                    if let Some(to) = to {
-                        problem.set_model(to.instantiate(1.0));
-                        action = RecoveryAction::DegradeModel { from, to };
-                        monitor.clear_strikes();
-                    } else if !problem.density_solver_degraded() {
-                        problem.degrade_density_solver();
-                        action = RecoveryAction::DegradeDensitySolver;
-                        monitor.clear_strikes();
-                    } else {
+                    }
+
+                    if halted {
                         restore_best(&monitor, &mut params, &mut problem, &mut phi);
                         monitor.record(RecoveryEvent {
                             iteration: iter,
                             fault,
-                            action: RecoveryAction::Halt,
+                            action,
                         });
                         termination = Termination::GuardExhausted;
-                        break;
+                        stop = true;
+                    } else {
+                        // roll back to the best snapshot, re-derive the
+                        // smoothing for the (possibly new) model, and shrink
+                        // the steplength; the λ ramp and schedules are
+                        // skipped for this iteration
+                        restore_best(&monitor, &mut params, &mut problem, &mut phi);
+                        if problem.model_kind() != ModelKind::Hpwl {
+                            problem.set_smoothing(smoothing_for(problem.model_kind(), phi));
+                        }
+                        optimizer.backoff(config.guard.backoff);
+                        monitor.record(RecoveryEvent {
+                            iteration: iter,
+                            fault,
+                            action,
+                        });
+                        if monitor.exhausted() {
+                            termination = Termination::GuardExhausted;
+                            stop = true;
+                        }
                     }
-                }
-
-                // roll back to the best snapshot, re-derive the smoothing
-                // for the (possibly new) model, and shrink the steplength;
-                // the λ ramp and schedules are skipped for this iteration
-                restore_best(&monitor, &mut params, &mut problem, &mut phi);
-                if problem.model_kind() != ModelKind::Hpwl {
-                    problem.set_smoothing(smoothing_for(problem.model_kind(), phi));
-                }
-                optimizer.backoff(config.guard.backoff);
-                monitor.record(RecoveryEvent {
-                    iteration: iter,
-                    fault,
-                    action,
-                });
-                if monitor.exhausted() {
-                    termination = Termination::GuardExhausted;
-                    break;
+                    guard_verdict = Some(format!("{fault} -> {action}"));
                 }
             }
+        }
+
+        if tracing {
+            trace.record(&IterationRecord {
+                iter: iter as u64,
+                objective: value,
+                hpwl: problem.exact_hpwl(&params),
+                overflow: phi,
+                lambda: problem.lambda,
+                smoothing: problem.smoothing(),
+                step: step_report.step,
+                grad_norm: step_report.grad_norm,
+                guard: guard_verdict,
+                elapsed_secs: start.elapsed().as_secs_f64(),
+            });
+        }
+        if stop {
+            break;
         }
 
         if let Some(budget) = config.time_budget {
@@ -428,6 +472,11 @@ pub fn place_with_engine(
                 break;
             }
         }
+    }
+    if tracing {
+        // best-effort: a sink I/O failure must not fail the placement run;
+        // the CLI surfaces flush errors at its own explicit flush
+        let _ = trace.flush();
     }
 
     let mut placement = circuit.placement.clone();
@@ -573,6 +622,55 @@ mod tests {
         cfg.target_overflow = 0.25; // generous: reached well inside the cap
         let r = place(&c, &cfg).unwrap();
         assert_eq!(r.termination, Termination::Converged);
+    }
+
+    #[test]
+    fn trace_sink_gets_one_record_per_iteration() {
+        use mep_obs::RingSink;
+        let c = synth::generate(&synth::smoke_spec());
+        let sink = Arc::new(RingSink::new(4096));
+        let mut cfg = smoke_config(ModelKind::Moreau);
+        cfg.max_iters = 30;
+        cfg.record_trajectory = false;
+        cfg.trace = sink.clone();
+        let r = place(&c, &cfg).unwrap();
+        let recs = sink.records();
+        assert_eq!(recs.len(), r.iterations, "one record per Nesterov step");
+        for (i, rec) in recs.iter().enumerate() {
+            assert_eq!(rec.iter, i as u64);
+            assert!(rec.objective.is_finite());
+            assert!(rec.hpwl.is_finite() && rec.hpwl > 0.0);
+            assert!(rec.overflow.is_finite() && rec.overflow >= 0.0);
+            assert!(rec.lambda > 0.0);
+            assert!(rec.smoothing > 0.0, "Moreau t-schedule is positive");
+            assert!(rec.step > 0.0);
+            assert!(rec.grad_norm >= 0.0);
+            assert!(rec.guard.is_none(), "clean run has no guard verdicts");
+            assert!(rec.elapsed_secs >= 0.0);
+        }
+    }
+
+    #[test]
+    fn trace_records_guard_verdicts_on_faults() {
+        use mep_obs::RingSink;
+        let c = synth::generate(&synth::smoke_spec());
+        let sink = Arc::new(RingSink::new(4096));
+        let mut cfg = smoke_config(ModelKind::Moreau);
+        cfg.max_iters = 40;
+        cfg.record_trajectory = false;
+        cfg.fault_injection = Some((10, 2));
+        cfg.trace = sink.clone();
+        place(&c, &cfg).unwrap();
+        let recs = sink.records();
+        let faults: Vec<&IterationRecord> = recs.iter().filter(|r| r.guard.is_some()).collect();
+        assert!(
+            !faults.is_empty(),
+            "injected NaNs must show up in the trace"
+        );
+        for rec in faults {
+            let verdict = rec.guard.as_deref().unwrap();
+            assert!(verdict.contains("->"), "verdict {verdict:?}");
+        }
     }
 
     #[test]

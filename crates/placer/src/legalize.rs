@@ -13,6 +13,7 @@
 //!    cell merges clusters until no overlap remains (the classic dynamic
 //!    clustering recurrence).
 
+use crate::telemetry::DispHistogram;
 use mep_netlist::{CellId, Design, Placement, Rect};
 
 /// Report of one legalization run.
@@ -27,6 +28,66 @@ pub struct LegalizeReport {
     /// Cells that could not be placed in their best rows and were spilled
     /// to any free segment (0 on healthy runs).
     pub spills: usize,
+    /// Histogram of per-cell displacement in row-height multiples.
+    pub disp_hist: DispHistogram,
+}
+
+/// The half-open range of row indices whose interior a rect `[yl, yh)`
+/// overlaps, where row `r` spans `[die_yl + r·row_h, die_yl + (r+1)·row_h)`.
+///
+/// Written with explicit clamping instead of relying on `as usize`
+/// saturation: a zero-height rect, a rect entirely below the bottom row,
+/// or one entirely above the top row maps to an empty range, and a rect
+/// whose `yh` lands exactly on a row boundary does **not** include the row
+/// above it (touching is not overlapping, matching
+/// [`Rect::intersects`]). The floor/ceil candidates are tightened by
+/// direct boundary comparisons so float noise in the division cannot add
+/// a spurious edge row.
+pub(crate) fn row_window(
+    yl: f64,
+    yh: f64,
+    die_yl: f64,
+    row_h: f64,
+    nrows: usize,
+) -> std::ops::Range<usize> {
+    if row_h <= 0.0
+        || row_h.is_nan()
+        || nrows == 0
+        || !yl.is_finite()
+        || !yh.is_finite()
+        || yh <= yl
+    {
+        return 0..0;
+    }
+    // clamp in f64 *before* the usize cast — huge or negative relative
+    // coordinates must not depend on cast saturation semantics
+    let clamp_idx = |v: f64| -> usize {
+        if v <= 0.0 {
+            0
+        } else if v >= nrows as f64 {
+            nrows
+        } else {
+            v as usize
+        }
+    };
+    let mut lo = clamp_idx(((yl - die_yl) / row_h).floor());
+    let mut hi = clamp_idx(((yh - die_yl) / row_h).ceil());
+    // tighten against the actual row boundaries: row r is overlapped iff
+    // yl < bottom(r + 1) and yh > bottom(r), up to the codebase-standard
+    // relative tolerance — an "overlap" thinner than 1e-9 row heights is
+    // float noise from the division, not geometry
+    let eps = 1e-9 * row_h;
+    let bottom = |r: usize| die_yl + r as f64 * row_h;
+    while lo < hi && yl >= bottom(lo + 1) - eps {
+        lo += 1;
+    }
+    while hi > lo && yh <= bottom(hi - 1) + eps {
+        hi -= 1;
+    }
+    if lo >= hi {
+        return 0..0;
+    }
+    lo..hi
 }
 
 /// A free interval of one row. Segments inside a fence region are tagged
@@ -394,12 +455,14 @@ pub fn legalize(design: &Design, gp: &Placement) -> (Placement, LegalizeReport) 
     let mut total_disp = 0.0;
     let mut max_disp = 0.0_f64;
     let mut count = 0usize;
+    let mut disp_hist = DispHistogram::default();
     for cell in netlist.movable_cells() {
         let d = (legal.x[cell.index()] - gp.x[cell.index()]).abs()
             + (legal.y[cell.index()] - gp.y[cell.index()]).abs();
         total_disp += d;
         max_disp = max_disp.max(d);
         count += 1;
+        disp_hist.observe(d / row_h);
     }
     (
         legal,
@@ -412,6 +475,7 @@ pub fn legalize(design: &Design, gp: &Placement) -> (Placement, LegalizeReport) 
             max_displacement: max_disp,
             macros: n_macros,
             spills,
+            disp_hist,
         },
     )
 }
@@ -466,9 +530,7 @@ pub fn check_legal(design: &Design, placement: &Placement) -> Vec<Violation> {
         if r.area() == 0.0 {
             continue;
         }
-        let lo = (((r.yl - die.yl) / row_h).floor().max(0.0)) as usize;
-        let hi = ((((r.yh - die.yl) / row_h).ceil()) as usize).min(nrows);
-        for row in lo..hi.max(lo + 1).min(nrows) {
+        for row in row_window(r.yl, r.yh, die.yl, row_h, nrows) {
             by_row[row].push(cell);
         }
     }
@@ -592,6 +654,114 @@ mod tests {
             "{} violations: {:?}",
             violations.len(),
             &violations[..violations.len().min(5)]
+        );
+    }
+
+    #[test]
+    fn row_window_handles_die_edges_exactly() {
+        // 10 rows of height 1 starting at die.yl = 0
+        let (die_yl, row_h, nrows) = (0.0, 1.0, 10);
+        let win = |yl, yh| row_window(yl, yh, die_yl, row_h, nrows);
+
+        // interior rect spanning rows 2..5
+        assert_eq!(win(2.25, 4.75), 2..5);
+        // cell touching the top row: yh lands exactly on the die top
+        assert_eq!(win(9.0, 10.0), 9..10);
+        // yh exactly on an interior row boundary: no spurious extra row
+        assert_eq!(win(0.5, 2.0), 0..2);
+        // yl exactly on a row boundary belongs to that row only
+        assert_eq!(win(3.0, 4.0), 3..4);
+        // zero-height rect overlaps nothing
+        assert_eq!(win(5.0, 5.0), 0..0);
+        assert_eq!(win(5.5, 5.5), 0..0);
+        // rect fully above the die: empty, no saturation artifacts
+        assert_eq!(win(15.0, 16.0), 0..0);
+        // rect fully below the die: empty (the old code forced row 0)
+        assert_eq!(win(-5.0, -1.0), 0..0);
+        // rect straddling the die bottom / top is clamped, not dropped
+        assert_eq!(win(-3.0, 1.5), 0..2);
+        assert_eq!(win(8.5, 13.0), 8..10);
+        // inverted rect is empty
+        assert_eq!(win(4.0, 3.0), 0..0);
+        // degenerate grids
+        assert_eq!(row_window(0.0, 1.0, 0.0, 0.0, 10), 0..0);
+        assert_eq!(row_window(0.0, 1.0, 0.0, 1.0, 0), 0..0);
+        assert_eq!(row_window(f64::NAN, 1.0, 0.0, 1.0, 10), 0..0);
+    }
+
+    #[test]
+    fn row_window_survives_offset_float_noise() {
+        // a die origin and row height whose multiples are not exactly
+        // representable: boundary-aligned rects must still map to exactly
+        // the rows they overlap
+        let (die_yl, row_h, nrows) = (0.3, 0.1, 30);
+        for r in 0..nrows {
+            let yl = die_yl + r as f64 * row_h;
+            let yh = yl + row_h;
+            let win = row_window(yl, yh, die_yl, row_h, nrows);
+            assert_eq!(win.len(), 1, "row {r}: got {win:?}");
+        }
+    }
+
+    #[test]
+    fn below_die_obstacle_does_not_mask_a_real_overlap() {
+        // Regression: the old row bucketing forced every rect into at
+        // least one row, so a fixed cell below the die landed in row 0,
+        // sat between two genuinely overlapping cells in the x-sweep, and
+        // masked their overlap from the adjacent-pair check.
+        let mut b = mep_netlist::NetlistBuilder::new();
+        let a = b.add_cell("a", 2.0, 1.0, true).unwrap();
+        let c = b.add_cell("c", 2.0, 1.0, true).unwrap();
+        let f = b.add_cell("f", 1.0, 1.0, false).unwrap();
+        let nl = b.build();
+        let design = mep_netlist::Design::with_uniform_rows(
+            "t",
+            nl,
+            Rect::new(0.0, 0.0, 10.0, 2.0),
+            1.0,
+            1.0,
+            1.0,
+        )
+        .unwrap();
+        let mut pl = Placement::zeros(3);
+        pl.x[a.index()] = 0.0;
+        pl.y[a.index()] = 0.0;
+        pl.x[c.index()] = 1.0; // overlaps `a` on [1, 2)
+        pl.y[c.index()] = 0.0;
+        pl.x[f.index()] = 0.5; // sorts between `a` and `c` …
+        pl.y[f.index()] = -5.0; // … but lies entirely below the die
+        let violations = check_legal(&design, &pl);
+        assert!(
+            violations.contains(&Violation::Overlap(a.min(c), a.max(c))),
+            "overlap of a/c must be reported, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn top_row_cell_is_checked_in_the_top_row() {
+        // two overlapping cells whose tops touch the die top edge
+        let mut b = mep_netlist::NetlistBuilder::new();
+        let a = b.add_cell("a", 2.0, 1.0, true).unwrap();
+        let c = b.add_cell("c", 2.0, 1.0, true).unwrap();
+        let nl = b.build();
+        let design = mep_netlist::Design::with_uniform_rows(
+            "t",
+            nl,
+            Rect::new(0.0, 0.0, 10.0, 3.0),
+            1.0,
+            1.0,
+            1.0,
+        )
+        .unwrap();
+        let mut pl = Placement::zeros(2);
+        pl.x[a.index()] = 4.0;
+        pl.y[a.index()] = 2.0; // top row: [2, 3) with die top at 3
+        pl.x[c.index()] = 5.0;
+        pl.y[c.index()] = 2.0;
+        let violations = check_legal(&design, &pl);
+        assert!(
+            violations.contains(&Violation::Overlap(a.min(c), a.max(c))),
+            "top-row overlap must be reported, got {violations:?}"
         );
     }
 

@@ -41,6 +41,7 @@ pub mod legalize;
 pub mod objective;
 pub mod pipeline;
 pub mod quadratic;
+pub mod telemetry;
 
 pub use detail::{DetailConfig, DetailReport};
 pub use error::PlacerError;
@@ -52,3 +53,4 @@ pub use guard::{
 };
 pub use legalize::{check_legal, legalize, LegalizeReport, Violation};
 pub use pipeline::{run, PipelineConfig, PipelineResult};
+pub use telemetry::DispHistogram;

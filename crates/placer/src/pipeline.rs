@@ -7,8 +7,10 @@ use crate::error::PlacerError;
 use crate::global::{place_with_engine, GlobalConfig, GlobalResult, TrajectoryPoint};
 use crate::guard::{RecoveryLog, Termination};
 use crate::legalize::{check_legal, legalize, LegalizeReport};
+use crate::telemetry::{build_run_report, DispHistogram, ReportInputs};
 use mep_netlist::bookshelf::BookshelfCircuit;
 use mep_netlist::{total_hpwl, Placement};
+use mep_obs::RunReport;
 use mep_wirelength::engine::{EngineStats, EvalEngine};
 use std::sync::Arc;
 use std::time::Instant;
@@ -58,6 +60,12 @@ pub struct PipelineResult {
     pub recovery: RecoveryLog,
     /// Why the global-placement loop stopped.
     pub termination: Termination,
+    /// Owned end-of-run telemetry snapshot: every quality metric, stage
+    /// timing, engine counter, guard event count, and displacement /
+    /// acceptance histogram of this run, serializable via
+    /// [`RunReport::to_json`] and renderable via
+    /// [`RunReport::summary_table`].
+    pub report: RunReport,
 }
 
 impl PipelineResult {
@@ -95,12 +103,33 @@ pub fn run(
     let lgwl = total_hpwl(&design.netlist, &legal);
 
     let t2 = Instant::now();
+    let legal_snapshot = legal.clone();
     let mut refined = legal;
     let dp_report = refine(design, &mut refined, &config.detail);
     let rt_dp = t2.elapsed().as_secs_f64();
     let dpwl = total_hpwl(&design.netlist, &refined);
 
     let violations = check_legal(design, &refined).len();
+
+    let report = build_run_report(&ReportInputs {
+        model: &config.global.model.to_string(),
+        gpwl: gp.hpwl,
+        lgwl,
+        dpwl,
+        rt_gp,
+        rt_lg,
+        rt_dp,
+        iterations: gp.iterations,
+        overflow: gp.overflow,
+        violations,
+        termination: gp.termination,
+        engine: &gp.engine_stats,
+        recovery: &gp.recovery,
+        legalize: &lg_report,
+        detail: &dp_report,
+        lg_disp: lg_report.disp_hist,
+        dp_disp: DispHistogram::between(design, &legal_snapshot, &refined),
+    });
 
     Ok(PipelineResult {
         gpwl: gp.hpwl,
@@ -119,6 +148,7 @@ pub fn run(
         engine_stats: gp.engine_stats,
         recovery: gp.recovery,
         termination: gp.termination,
+        report,
     })
 }
 
@@ -154,6 +184,43 @@ mod tests {
         assert!(r.lgwl < 1.3 * r.gpwl, "lgwl {} vs gpwl {}", r.lgwl, r.gpwl);
         assert!(r.rt_total() > 0.0);
         assert!(r.overflow < 0.15);
+
+        // the owned RunReport mirrors the flow metrics
+        let rep = &r.report;
+        assert_eq!(
+            rep.label("flow.model"),
+            Some(ModelKind::Moreau.label()),
+            "flow.model carries the paper-table label"
+        );
+        assert_eq!(rep.counter("gp.iterations"), Some(r.iterations as u64));
+        assert_eq!(rep.gauge("dp.hpwl"), Some(r.dpwl));
+        assert_eq!(rep.counter("flow.violations"), Some(0));
+        assert_eq!(rep.counter("guard.recoveries"), Some(0));
+        assert!(rep.gauge("gp.rt_seconds").unwrap() > 0.0);
+        assert!(
+            rep.counter("engine.wl_grad.count").unwrap() >= r.iterations as u64,
+            "engine stage counters re-exported into the registry"
+        );
+        // displacement histograms cover every movable cell
+        let movable = c.design.netlist.num_movable() as u64;
+        for name in ["lg.displacement_rows", "dp.displacement_rows"] {
+            match rep.get(name) {
+                Some(mep_obs::MetricValue::Histogram { count, .. }) => {
+                    assert_eq!(*count, movable, "{name}");
+                }
+                other => panic!("{name} missing or wrong kind: {other:?}"),
+            }
+        }
+        // acceptance counters are consistent
+        assert!(r.detail.reorders <= r.detail.reorders_attempted);
+        assert!(r.detail.swaps <= r.detail.swaps_attempted);
+        assert!(r.detail.matchings <= r.detail.matchings_attempted);
+        assert!(r.detail.swap_acceptance() <= 1.0);
+        // and the report serializes
+        let json = rep.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"flow.termination\""));
+        assert!(!rep.summary_table().is_empty());
     }
 
     #[test]

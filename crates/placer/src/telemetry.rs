@@ -1,0 +1,232 @@
+//! Flow-level telemetry helpers: the `Copy`-able displacement histogram
+//! embedded in stage reports, and the registry aggregation that turns one
+//! pipeline run into an owned [`mep_obs::RunReport`].
+
+use crate::detail::DetailReport;
+use crate::guard::{RecoveryLog, Termination};
+use crate::legalize::LegalizeReport;
+use mep_netlist::{Design, Placement};
+use mep_obs::{Registry, RunReport};
+use mep_wirelength::engine::EngineStats;
+
+/// Displacement histogram bucket upper bounds, in row-height multiples.
+pub const DISP_BOUNDS: [f64; 8] = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+
+/// A fixed-bucket histogram of per-cell displacement, in row heights.
+///
+/// Kept as a plain `Copy` struct (not an [`mep_obs::Histogram`] handle) so
+/// stage reports stay `Copy` and stages don't need a registry; the
+/// pipeline re-exports it into the run's registry afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DispHistogram {
+    /// Bucket counts: one per [`DISP_BOUNDS`] entry, then overflow.
+    pub counts: [u64; DISP_BOUNDS.len() + 1],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed displacements (row heights).
+    pub sum: f64,
+}
+
+impl DispHistogram {
+    /// Records one displacement of `rows` row heights.
+    pub fn observe(&mut self, rows: f64) {
+        let idx = DISP_BOUNDS
+            .iter()
+            .position(|&b| rows <= b)
+            .unwrap_or(DISP_BOUNDS.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        if rows.is_finite() {
+            self.sum += rows;
+        }
+    }
+
+    /// Mean displacement in row heights (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Builds the histogram of Manhattan displacements between two
+    /// placements of the same design, normalized by row height.
+    pub fn between(design: &Design, from: &Placement, to: &Placement) -> Self {
+        let row_h = design.rows.first().map(|r| r.height).unwrap_or(1.0);
+        let mut h = Self::default();
+        for cell in design.netlist.movable_cells() {
+            let i = cell.index();
+            let d = (to.x[i] - from.x[i]).abs() + (to.y[i] - from.y[i]).abs();
+            h.observe(d / row_h);
+        }
+        h
+    }
+
+    /// Copies this histogram into `registry` under `name`.
+    pub fn export(&self, registry: &Registry, name: &str) {
+        let h = registry.histogram(name, &DISP_BOUNDS);
+        for (i, &c) in self.counts.iter().enumerate() {
+            // replay bucket midpoints so counts land in the right buckets;
+            // the sum is restored exactly afterwards via the mean
+            let v = if i < DISP_BOUNDS.len() {
+                DISP_BOUNDS[i]
+            } else {
+                DISP_BOUNDS[DISP_BOUNDS.len() - 1] * 2.0
+            };
+            for _ in 0..c {
+                h.observe(v);
+            }
+        }
+    }
+}
+
+/// Everything the pipeline knows at the end of one run, funneled into a
+/// single registry and frozen as a [`RunReport`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) struct ReportInputs<'a> {
+    pub model: &'a str,
+    pub gpwl: f64,
+    pub lgwl: f64,
+    pub dpwl: f64,
+    pub rt_gp: f64,
+    pub rt_lg: f64,
+    pub rt_dp: f64,
+    pub iterations: usize,
+    pub overflow: f64,
+    pub violations: usize,
+    pub termination: Termination,
+    pub engine: &'a EngineStats,
+    pub recovery: &'a RecoveryLog,
+    pub legalize: &'a LegalizeReport,
+    pub detail: &'a DetailReport,
+    pub lg_disp: DispHistogram,
+    pub dp_disp: DispHistogram,
+}
+
+/// Builds the end-of-run [`RunReport`] from one pipeline run's stage
+/// outputs. Metric names are stable — they are the JSONL/report schema
+/// documented in DESIGN.md §10.
+pub(crate) fn build_run_report(inputs: &ReportInputs<'_>) -> RunReport {
+    let r = Registry::new();
+
+    r.label("flow.model").set(inputs.model);
+    r.label("flow.termination")
+        .set(&inputs.termination.to_string());
+    r.gauge("gp.hpwl").set(inputs.gpwl);
+    r.gauge("lg.hpwl").set(inputs.lgwl);
+    r.gauge("dp.hpwl").set(inputs.dpwl);
+    r.gauge("gp.rt_seconds").set(inputs.rt_gp);
+    r.gauge("lg.rt_seconds").set(inputs.rt_lg);
+    r.gauge("dp.rt_seconds").set(inputs.rt_dp);
+    r.gauge("flow.rt_seconds")
+        .set(inputs.rt_gp + inputs.rt_lg + inputs.rt_dp);
+    r.counter("gp.iterations").add(inputs.iterations as u64);
+    r.gauge("gp.overflow").set(inputs.overflow);
+    r.counter("flow.violations").add(inputs.violations as u64);
+
+    // evaluation-engine stage timings (formerly only on EngineStats)
+    let e = inputs.engine;
+    for (name, stage) in [
+        ("engine.wl_grad", &e.wl_grad),
+        ("engine.wl_value", &e.wl_value),
+        ("engine.density", &e.density),
+        ("engine.density_transform", &e.density_transform),
+    ] {
+        r.counter(&format!("{name}.count")).add(stage.count);
+        r.gauge(&format!("{name}.seconds"))
+            .set(stage.nanos as f64 * 1e-9);
+    }
+    r.counter("engine.spawned_threads").add(e.spawned_threads);
+    r.counter("engine.workspace_allocs").add(e.workspace_allocs);
+    r.counter("engine.parallel_runs").add(e.parallel_runs);
+    r.counter("engine.serial_runs").add(e.serial_runs);
+
+    // guard events (formerly only on RecoveryLog)
+    r.counter("guard.recoveries")
+        .add(inputs.recovery.len() as u64);
+    if !inputs.recovery.is_empty() {
+        r.label("guard.last_event").set(
+            &inputs
+                .recovery
+                .events()
+                .last()
+                .expect("non-empty")
+                .to_string(),
+        );
+    }
+
+    // legalization
+    r.gauge("lg.avg_displacement_rows")
+        .set(inputs.lg_disp.mean());
+    r.gauge("lg.avg_displacement")
+        .set(inputs.legalize.avg_displacement);
+    r.gauge("lg.max_displacement")
+        .set(inputs.legalize.max_displacement);
+    r.counter("lg.macros").add(inputs.legalize.macros as u64);
+    r.counter("lg.spills").add(inputs.legalize.spills as u64);
+    inputs.lg_disp.export(&r, "lg.displacement_rows");
+
+    // detailed placement
+    let d = inputs.detail;
+    r.counter("dp.passes").add(d.passes as u64);
+    for (name, accepted, attempted) in [
+        ("dp.reorders", d.reorders, d.reorders_attempted),
+        ("dp.swaps", d.swaps, d.swaps_attempted),
+        ("dp.matchings", d.matchings, d.matchings_attempted),
+    ] {
+        r.counter(&format!("{name}.accepted")).add(accepted as u64);
+        r.counter(&format!("{name}.attempted"))
+            .add(attempted as u64);
+        let pct = if attempted > 0 {
+            100.0 * accepted as f64 / attempted as f64
+        } else {
+            0.0
+        };
+        r.histogram(
+            "dp.acceptance_pct",
+            &[10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0],
+        )
+        .observe(pct);
+        r.gauge(&format!("{name}.acceptance_pct")).set(pct);
+    }
+    r.gauge("dp.hpwl_gain").set(d.hpwl_before - d.hpwl_after);
+    inputs.dp_disp.export(&r, "dp.displacement_rows");
+
+    RunReport::from_registry(&r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disp_histogram_buckets_by_row_multiples() {
+        let mut h = DispHistogram::default();
+        for d in [0.25, 0.5, 0.75, 3.0, 100.0] {
+            h.observe(d);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.counts[0], 2, "0.25 and 0.5 land in ≤0.5");
+        assert_eq!(h.counts[1], 1, "0.75 lands in ≤1");
+        assert_eq!(h.counts[3], 1, "3.0 lands in ≤4");
+        assert_eq!(h.counts[DISP_BOUNDS.len()], 1, "100 overflows");
+        assert!((h.mean() - (0.25 + 0.5 + 0.75 + 3.0 + 100.0) / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn export_preserves_bucket_counts() {
+        let mut h = DispHistogram::default();
+        h.observe(0.3);
+        h.observe(5.0);
+        h.observe(1e9);
+        let r = Registry::new();
+        h.export(&r, "t.disp");
+        let exported = r.histogram("t.disp", &DISP_BOUNDS);
+        assert_eq!(exported.count(), 3);
+        let counts = exported.bucket_counts();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[4], 1, "5.0 lands in ≤8");
+        assert_eq!(counts[DISP_BOUNDS.len()], 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the §III-C smoothing schedules: over the whole
+//! overflow range φ ∈ [0, 1] and randomized parameters, both schedules
+//! must return finite, strictly positive values and be monotone
+//! non-decreasing in φ — including the tangent schedule's clamped region
+//! below φ = 2δ/π where the raw formula goes negative.
+
+use mep_wirelength::schedule::{EplaceGammaSchedule, SmoothingSchedule, TangentTSchedule};
+use proptest::prelude::*;
+
+fn gamma0() -> impl Strategy<Value = f64> {
+    0.01f64..100.0
+}
+
+fn bin_size() -> impl Strategy<Value = f64> {
+    // bin widths from sub-micron sites to huge macro grids
+    1e-3f64..1e4
+}
+
+fn t0() -> impl Strategy<Value = f64> {
+    0.1f64..64.0
+}
+
+/// A dense sweep of φ including the exact interval endpoints.
+fn phis() -> Vec<f64> {
+    let mut v: Vec<f64> = (0..=200).map(|i| i as f64 / 200.0).collect();
+    v.extend([0.0, 1e-9, 1e-6, 1e-4, 0.999_999, 1.0]);
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v
+}
+
+proptest! {
+    /// γ(φ) = γ0 (w_x + w_y) 10^{kφ+b}: finite, positive, monotone.
+    #[test]
+    fn gamma_schedule_finite_positive_monotone(
+        g0 in gamma0(),
+        bin_w in bin_size(),
+        bin_h in bin_size(),
+    ) {
+        let s = EplaceGammaSchedule::new(g0, bin_w, bin_h);
+        let mut prev = f64::NEG_INFINITY;
+        for phi in phis() {
+            let v = s.value(phi);
+            prop_assert!(v.is_finite(), "γ({phi}) = {v} not finite");
+            prop_assert!(v > 0.0, "γ({phi}) = {v} not positive");
+            prop_assert!(
+                v >= prev,
+                "γ not monotone: γ({phi}) = {v} < previous {prev}"
+            );
+            prev = v;
+        }
+    }
+
+    /// t(φ) = t0/2 (w_x + w_y) tan(π/2 φ − δ): finite, positive, monotone,
+    /// with the clamp taking over below φ = 2δ/π and at the φ → 1 blowup.
+    #[test]
+    fn tangent_schedule_finite_positive_monotone(
+        t0 in t0(),
+        bin_w in bin_size(),
+        bin_h in bin_size(),
+    ) {
+        let s = TangentTSchedule::new(bin_w, bin_h).with_t0(t0);
+        let mut prev = f64::NEG_INFINITY;
+        for phi in phis() {
+            let v = s.value(phi);
+            prop_assert!(v.is_finite(), "t({phi}) = {v} not finite");
+            prop_assert!(v > 0.0, "t({phi}) = {v} not positive");
+            prop_assert!(v >= s.floor && v <= s.ceil, "t({phi}) = {v} outside clamp");
+            prop_assert!(
+                v >= prev,
+                "t not monotone: t({phi}) = {v} < previous {prev}"
+            );
+            prev = v;
+        }
+    }
+
+    /// In the clamped region φ < 2δ/π the raw tangent is negative, and the
+    /// schedule must pin the result to exactly `floor`.
+    #[test]
+    fn tangent_schedule_clamps_below_two_delta_over_pi(
+        t0 in t0(),
+        bin_w in bin_size(),
+        bin_h in bin_size(),
+        frac in 0.0f64..1.0,
+    ) {
+        let s = TangentTSchedule::new(bin_w, bin_h).with_t0(t0);
+        let zero_cross = 2.0 * s.delta / std::f64::consts::PI;
+        let phi = frac * zero_cross;
+        prop_assert_eq!(
+            s.value(phi),
+            s.floor,
+            "φ = {} below the zero crossing {} must clamp to floor",
+            phi,
+            zero_cross
+        );
+    }
+
+    /// Out-of-range overflow is clamped to the unit interval, never
+    /// extrapolated.
+    #[test]
+    fn schedules_clamp_phi_outside_unit_interval(
+        g0 in gamma0(),
+        t0 in t0(),
+        bin_w in bin_size(),
+        bin_h in bin_size(),
+        phi in -10.0f64..10.0,
+    ) {
+        let g = EplaceGammaSchedule::new(g0, bin_w, bin_h);
+        let t = TangentTSchedule::new(bin_w, bin_h).with_t0(t0);
+        let clamped = phi.clamp(0.0, 1.0);
+        prop_assert_eq!(g.value(phi), g.value(clamped));
+        prop_assert_eq!(t.value(phi), t.value(clamped));
+    }
+}

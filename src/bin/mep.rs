@@ -3,6 +3,7 @@
 //! ```text
 //! mep place  <circuit> [--model ours|wa|lse|big|hpwl] [--out DIR]
 //!            [--iters N] [--threads N] [--lef FILE] [--quadratic-init]
+//!            [--trace-out FILE.jsonl] [--metrics]
 //! mep stats  <circuit> [--lef FILE]
 //! mep gen    <benchmark> <out-dir>
 //! mep bench-list
@@ -12,8 +13,10 @@
 //! with `--lef`), or the name of a built-in synthetic benchmark
 //! (`newblue1`, `ispd19_test5`, `smoke`, …).
 
+use mep_obs::{JsonlSink, TraceSink};
 use moreau_placer::netlist::bookshelf::{self, BookshelfCircuit};
 use moreau_placer::netlist::synth;
+use moreau_placer::placer::guard::Termination;
 use moreau_placer::placer::pipeline::{run, PipelineConfig};
 use moreau_placer::placer::quadratic::{place_b2b, B2bConfig};
 use moreau_placer::placer::GlobalConfig;
@@ -23,10 +26,13 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  mep place <circuit> [--model ours|wa|lse|big|hpwl] [--out DIR]\n            \
-         [--iters N] [--threads N] [--density F] [--lef FILE] [--quadratic-init]\n  \
+         [--iters N] [--threads N] [--density F] [--lef FILE] [--quadratic-init]\n            \
+         [--trace-out FILE.jsonl] [--metrics]\n  \
          mep stats <circuit> [--lef FILE]\n  mep gen <benchmark> <out-dir>\n  mep bench-list\n\n\
          <circuit> = a Bookshelf .aux path, a DEF path (with --lef), or a\n\
-         built-in synthetic benchmark name (see `mep bench-list`)."
+         built-in synthetic benchmark name (see `mep bench-list`).\n\
+         --trace-out streams one JSON line per global iteration; --metrics\n\
+         prints the end-of-run telemetry report (DESIGN.md \u{a7}10)."
     );
     ExitCode::from(2)
 }
@@ -148,6 +154,8 @@ fn main() -> ExitCode {
             let mut density = 1.0f64;
             let mut quad_init = false;
             let mut lef: Option<String> = None;
+            let mut trace_out: Option<String> = None;
+            let mut metrics = false;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -182,6 +190,14 @@ fn main() -> ExitCode {
                         i += 1;
                         lef = args.get(i).cloned();
                     }
+                    "--trace-out" => {
+                        i += 1;
+                        match args.get(i) {
+                            Some(p) => trace_out = Some(p.clone()),
+                            None => return usage(),
+                        }
+                    }
+                    "--metrics" => metrics = true,
                     _ => return usage(),
                 }
                 i += 1;
@@ -210,6 +226,20 @@ fn main() -> ExitCode {
             if threads > 0 {
                 global.threads = threads;
             }
+            let mut trace_sink: Option<std::sync::Arc<JsonlSink>> = None;
+            if let Some(path) = &trace_out {
+                match JsonlSink::create(std::path::Path::new(path)) {
+                    Ok(sink) => {
+                        let sink = std::sync::Arc::new(sink);
+                        global.trace = sink.clone();
+                        trace_sink = Some(sink);
+                    }
+                    Err(e) => {
+                        eprintln!("error: cannot open trace output `{path}`: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             eprintln!(
                 "[mep] placing `{}` with model {} ({} movable cells) …",
                 circuit.design.name,
@@ -229,6 +259,17 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            if let Some(sink) = &trace_sink {
+                if let Err(e) = sink.flush() {
+                    eprintln!("error: writing trace `{}`: {e}", sink.path().display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!(
+                    "[mep] wrote {} trace records to {}",
+                    result.iterations,
+                    sink.path().display()
+                );
+            }
             println!("GPWL  {:.6e}", result.gpwl);
             println!("LGWL  {:.6e}", result.lgwl);
             println!("DPWL  {:.6e}", result.dpwl);
@@ -270,6 +311,10 @@ fn main() -> ExitCode {
                 es.density_transform.count,
                 es.density_transform.seconds()
             );
+            if metrics {
+                println!("\n-- run metrics (DESIGN.md \u{a7}10) --");
+                print!("{}", result.report.summary_table());
+            }
             if let Some(dir) = out {
                 let placed = BookshelfCircuit {
                     design: circuit.design.clone(),
@@ -283,7 +328,19 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            if result.termination == Termination::GuardExhausted {
+                eprintln!(
+                    "error: guard exhausted after {} recoveries — best snapshot returned, \
+                     placement quality is not trustworthy",
+                    result.recovery.len()
+                );
+                return ExitCode::FAILURE;
+            }
             if result.violations > 0 {
+                eprintln!(
+                    "error: {} legality violations remain after detailed placement",
+                    result.violations
+                );
                 return ExitCode::FAILURE;
             }
             ExitCode::SUCCESS

@@ -18,7 +18,9 @@
 //! * [`optim`] — Nesterov (ePlace variant), Adam, GD, PRP conjugate
 //!   subgradient;
 //! * [`placer`] — global placement, legalization, detailed placement, and
-//!   the full pipeline.
+//!   the full pipeline;
+//! * [`obs`] — flow telemetry: metric registry, per-iteration trace
+//!   sinks, and the end-of-run [`obs::RunReport`].
 //!
 //! # Quickstart
 //!
@@ -33,6 +35,7 @@
 
 pub use mep_density as density;
 pub use mep_netlist as netlist;
+pub use mep_obs as obs;
 pub use mep_optim as optim;
 pub use mep_placer as placer;
 pub use mep_wirelength as wirelength;

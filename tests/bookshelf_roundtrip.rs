@@ -55,6 +55,66 @@ fn placed_circuit_round_trips_through_bookshelf_files() {
 }
 
 #[test]
+fn two_round_trips_are_bit_identical_including_fixedness() {
+    // synth circuits carry fixed terminals; push one through two full
+    // write→parse cycles and demand bit-identical coordinates and
+    // unchanged fixed/movable status for every cell (regression: the
+    // `/FIXED` suffix used to be parsed, then dropped on re-import)
+    let circuit = synth::generate(&synth::smoke_spec());
+    let nl0 = &circuit.design.netlist;
+    assert!(nl0.num_fixed() > 0, "smoke spec must contain fixed cells");
+
+    let trip = |c: &BookshelfCircuit| -> BookshelfCircuit {
+        let files = bookshelf::to_strings(c);
+        bookshelf::read_files(
+            c.design.name.clone(),
+            &files.nodes,
+            &files.nets,
+            &files.pl,
+            &files.scl,
+            c.design.target_density,
+        )
+        .expect("round trip parses")
+    };
+    let once = trip(&circuit);
+    let twice = trip(&once);
+
+    for (label, back) in [("first", &once), ("second", &twice)] {
+        let nl = &back.design.netlist;
+        assert_eq!(nl.num_cells(), nl0.num_cells(), "{label} trip");
+        assert_eq!(nl.num_fixed(), nl0.num_fixed(), "{label} trip");
+        for cell in nl0.cells() {
+            let name = nl0.cell_name(cell);
+            let there = nl.cell_by_name(name).expect("cell survives");
+            assert_eq!(
+                nl.is_movable(there),
+                nl0.is_movable(cell),
+                "{label} trip: fixedness of `{name}`"
+            );
+            // bit-identical, not approximately equal: f64 Display/parse
+            // must round-trip exactly
+            assert_eq!(
+                back.placement.x[there.index()].to_bits(),
+                circuit.placement.x[cell.index()].to_bits(),
+                "{label} trip: x of `{name}`"
+            );
+            assert_eq!(
+                back.placement.y[there.index()].to_bits(),
+                circuit.placement.y[cell.index()].to_bits(),
+                "{label} trip: y of `{name}`"
+            );
+        }
+    }
+
+    // the serialized bytes themselves reach a fixed point after one trip
+    let f1 = bookshelf::to_strings(&once);
+    let f2 = bookshelf::to_strings(&twice);
+    assert_eq!(f1.pl, f2.pl, ".pl stabilizes after one round trip");
+    assert_eq!(f1.nodes, f2.nodes);
+    assert_eq!(f1.nets, f2.nets);
+}
+
+#[test]
 fn imported_circuit_can_be_placed() {
     // export the *unplaced* circuit, re-import, then run the flow on the
     // imported copy — exercises parser → placer composition

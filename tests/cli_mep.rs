@@ -1,0 +1,174 @@
+//! Integration tests driving the `mep` binary end to end: exit status
+//! discipline (nonzero + one-line stderr reason on failure) and the
+//! telemetry surface (`--trace-out`, `--metrics`).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn mep() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mep"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mep_cli_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A syntactically valid Bookshelf benchmark whose cells are all fixed —
+/// the pipeline must reject it with a typed error, not a panic.
+fn write_degenerate_circuit(dir: &Path) -> PathBuf {
+    let aux = dir.join("dead.aux");
+    std::fs::write(
+        &aux,
+        "RowBasedPlacement : dead.nodes dead.nets dead.pl dead.scl\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("dead.nodes"),
+        "UCLA nodes 1.0\nNumNodes : 2\nNumTerminals : 2\n  a 1 1 terminal\n  b 1 1 terminal\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("dead.nets"),
+        "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\nNetDegree : 2 n0\n  a I : 0 0\n  b I : 0 0\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("dead.pl"),
+        "UCLA pl 1.0\na 0 0 : N /FIXED\nb 3 0 : N /FIXED\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("dead.scl"),
+        "UCLA scl 1.0\nNumRows : 1\nCoreRow Horizontal\n Coordinate : 0\n Height : 1\n \
+         Sitewidth : 1 Sitespacing : 1\n SubrowOrigin : 0 NumSites : 10\nEnd\n",
+    )
+    .unwrap();
+    aux
+}
+
+#[test]
+fn degenerate_input_exits_nonzero_with_reason_on_stderr() {
+    let dir = temp_dir("degenerate");
+    let aux = write_degenerate_circuit(&dir);
+    let out = mep()
+        .args(["place", aux.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        !out.status.success(),
+        "all-fixed input must fail, stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let reason: Vec<&str> = stderr.lines().filter(|l| l.starts_with("error:")).collect();
+    assert_eq!(
+        reason.len(),
+        1,
+        "exactly one one-line reason on stderr, got:\n{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_circuit_exits_nonzero() {
+    let out = mep()
+        .args(["place", "no_such_benchmark"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+}
+
+#[test]
+fn unparseable_bookshelf_exits_nonzero_with_line_context() {
+    let dir = temp_dir("corrupt");
+    let aux = write_degenerate_circuit(&dir);
+    // corrupt the .nets file mid-net
+    std::fs::write(
+        dir.join("dead.nets"),
+        "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\nNetDegree : 2 n0\n  a I : 0 0\n",
+    )
+    .unwrap();
+    let out = mep()
+        .args(["place", aux.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_out_and_metrics_on_a_synthetic_circuit() {
+    let dir = temp_dir("trace");
+    let trace = dir.join("run.jsonl");
+    let out = mep()
+        .args([
+            "place",
+            "smoke",
+            "--iters",
+            "300",
+            "--threads",
+            "1",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--metrics",
+        ])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "smoke run failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+
+    // one JSONL record per global iteration, carrying the schema fields
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let iters: usize = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("iters "))
+        .and_then(|l| l.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .expect("stdout reports iteration count");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), iters, "one record per iteration");
+    for (i, line) in lines.iter().enumerate() {
+        assert!(
+            line.starts_with(&format!("{{\"iter\":{i},")),
+            "line {i}: {line}"
+        );
+        for field in [
+            "\"objective\":",
+            "\"hpwl\":",
+            "\"overflow\":",
+            "\"lambda\":",
+            "\"smoothing\":",
+            "\"step\":",
+            "\"grad_norm\":",
+            "\"guard\":",
+            "\"elapsed_secs\":",
+        ] {
+            assert!(line.contains(field), "line {i} missing {field}: {line}");
+        }
+    }
+
+    // --metrics prints the end-of-run report with stage timings
+    for name in [
+        "flow.model",
+        "gp.hpwl",
+        "gp.rt_seconds",
+        "engine.wl_grad.count",
+        "lg.displacement_rows",
+        "dp.swaps.accepted",
+        "flow.termination",
+    ] {
+        assert!(
+            stdout.contains(name),
+            "missing metric `{name}` in:\n{stdout}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
