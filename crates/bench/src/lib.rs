@@ -1,6 +1,7 @@
 //! Shared experiment-harness utilities: table formatting, CSV export, and
 //! the run-one-benchmark flow used by the Table II/III binaries.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod flow;

@@ -238,6 +238,7 @@ fn xml_escape(s: &str) -> String {
 
 /// ~3-significant-digit tick label (Rust has no `%g` formatter).
 fn fmt_sig(v: f64) -> String {
+    // lint:allow(float-eq): exact-zero sentinel (skip empty value), not a tolerance check
     if v == 0.0 {
         return "0".to_string();
     }
@@ -281,6 +282,7 @@ pub fn placement_svg(design: &Design, placement: &Placement) -> String {
     let nl = &design.netlist;
     for cell in nl.cells() {
         let r = placement.cell_rect(nl, cell);
+        // lint:allow(float-eq): zero-area rects are exactly zero by construction
         if r.area() == 0.0 {
             continue;
         }

@@ -28,6 +28,7 @@
 //! assert!(report.overflow > 0.0); // cells start piled at the die center
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 // Numeric kernels index several parallel arrays with one counter; the
 // iterator rewrites clippy suggests obscure those loops.

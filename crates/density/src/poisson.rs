@@ -107,6 +107,7 @@ impl PoissonSolver {
     /// One 2-D sweep through whichever transform path is active.
     fn sweep(&mut self, data: &mut [f64], kind_x: Kind, kind_y: Kind) {
         if self.unplanned {
+            // lint:allow(determinism): TransformStats timing telemetry; durations never feed back into results
             let t0 = Instant::now();
             transform_2d(data, self.ny, self.nx, kind_x, kind_y, &mut self.fb_scratch);
             self.fb_calls += 1;

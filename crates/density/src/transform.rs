@@ -546,6 +546,7 @@ impl Spectral2d {
     /// Panics if `data.len() != rows · cols`.
     pub fn execute(&mut self, data: &mut [f64], kind_x: Kind, kind_y: Kind) {
         assert_eq!(data.len(), self.rows * self.cols, "grid shape mismatch");
+        // lint:allow(determinism): TransformStats timing telemetry; durations never feed back into results
         let t0 = Instant::now();
         self.sweep(&self.row_plan, kind_x, data);
         let mut tbuf = std::mem::take(&mut self.tbuf);

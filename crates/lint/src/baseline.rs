@@ -1,0 +1,149 @@
+//! The committed violation baseline: a ratchet, not an amnesty.
+//!
+//! `lint.baseline` (workspace root) records, per `(rule, file)`, how many
+//! violations existed when the baseline was last regenerated. A check run
+//! fails only when a file *exceeds* its allowance for a rule — so
+//! pre-existing debt does not block unrelated work, but any new violation
+//! (or a file sprouting its first) fails immediately. Deleting violations
+//! and regenerating shrinks the allowance permanently.
+//!
+//! Counts are keyed by `(rule, path)` rather than `(rule, path, line)` so
+//! ordinary edits that shift line numbers do not invalidate the baseline.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Default baseline filename at the workspace root.
+pub const BASELINE_FILE: &str = "lint.baseline";
+
+/// Per-`(rule, path)` violation allowances.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String), usize>,
+}
+
+impl Baseline {
+    /// An empty baseline (everything counts as new).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Allowance for `(rule, path)`; zero when absent.
+    pub fn allowance(&self, rule: &str, path: &str) -> usize {
+        self.entries
+            .get(&(rule.to_string(), path.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sets an allowance (used by `baseline` regeneration and tests).
+    pub fn set(&mut self, rule: &str, path: &str, count: usize) {
+        if count == 0 {
+            self.entries.remove(&(rule.to_string(), path.to_string()));
+        } else {
+            self.entries
+                .insert((rule.to_string(), path.to_string()), count);
+        }
+    }
+
+    /// Total allowance across all entries.
+    pub fn total(&self) -> usize {
+        self.entries.values().sum()
+    }
+
+    /// Number of `(rule, path)` entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Parses the baseline format. Unknown or malformed lines are errors:
+    /// a silently ignored baseline line would un-baseline violations and
+    /// fail CI confusingly far from the cause.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = BTreeMap::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            let (Some(rule), Some(path), Some(count), None) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "{BASELINE_FILE}:{}: expected `rule<TAB>path<TAB>count`, got {line:?}",
+                    idx + 1
+                ));
+            };
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("{BASELINE_FILE}:{}: bad count {count:?}", idx + 1))?;
+            entries.insert((rule.to_string(), path.to_string()), count);
+        }
+        Ok(Self { entries })
+    }
+
+    /// Renders the baseline, sorted, with a regeneration hint.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# mep-lint baseline — pre-existing violations allowed per (rule, file).\n\
+             # Regenerate with `cargo run -p mep-lint -- baseline` after paying down debt.\n\
+             # Format: rule<TAB>path<TAB>count\n",
+        );
+        for ((rule, path), count) in &self.entries {
+            let _ = writeln!(out, "{rule}\t{path}\t{count}");
+        }
+        out
+    }
+
+    /// Loads from `root/lint.baseline`; a missing file is an empty
+    /// baseline.
+    pub fn load(root: &Path) -> Result<Self, String> {
+        match std::fs::read_to_string(root.join(BASELINE_FILE)) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Self::empty()),
+            Err(e) => Err(format!("reading {BASELINE_FILE}: {e}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut b = Baseline::empty();
+        b.set("no-panic-lib", "crates/x/src/a.rs", 3);
+        b.set("determinism", "crates/y/src/b.rs", 1);
+        let text = b.render();
+        let b2 = Baseline::parse(&text).unwrap();
+        assert_eq!(b2.allowance("no-panic-lib", "crates/x/src/a.rs"), 3);
+        assert_eq!(b2.allowance("determinism", "crates/y/src/b.rs"), 1);
+        assert_eq!(b2.allowance("determinism", "crates/x/src/a.rs"), 0);
+        assert_eq!(b2.total(), 4);
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(Baseline::parse("rule only-two-fields").is_err());
+        assert!(Baseline::parse("r\tp\tnot-a-number").is_err());
+        assert!(Baseline::parse("r\tp\t1\textra").is_err());
+        assert!(Baseline::parse("# comment\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn zero_count_removes_entry() {
+        let mut b = Baseline::empty();
+        b.set("r", "p", 2);
+        b.set("r", "p", 0);
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,72 @@
+//! Per-rule configuration: which crates must be deterministic, which
+//! modules are hot, and where wall-clock reads are sanctioned.
+//!
+//! The defaults encode this workspace's invariants; tests construct
+//! custom configs to exercise rules in isolation.
+
+/// Rule configuration consulted by [`crate::rules`].
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Crates whose outputs must be bit-identical run to run (the
+    /// determinism rule only fires inside these). Crate names as in
+    /// [`crate::workspace::SourceFile::crate_name`].
+    pub result_affecting: Vec<String>,
+    /// Workspace-relative paths of hot-loop modules where the no-alloc
+    /// rule applies.
+    pub hot_paths: Vec<String>,
+    /// Workspace-relative path prefixes where `Instant::now` /
+    /// `SystemTime` are sanctioned (the telemetry layer).
+    pub clock_whitelist: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            result_affecting: [
+                "netlist",
+                "wirelength",
+                "density",
+                "optim",
+                "placer",
+                "moreau-placer",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            hot_paths: [
+                // the Moreau prox / water-filling / evaluation-engine hot
+                // loops (paper Alg. 1–2) and the spectral density solver
+                "crates/wirelength/src/moreau.rs",
+                "crates/wirelength/src/waterfill.rs",
+                "crates/wirelength/src/engine.rs",
+                "crates/density/src/transform.rs",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            clock_whitelist: ["crates/obs/", "crates/placer/src/telemetry.rs"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        }
+    }
+}
+
+impl Config {
+    /// True when `crate_name` must produce bit-identical results.
+    pub fn is_result_affecting(&self, crate_name: &str) -> bool {
+        self.result_affecting.iter().any(|c| c == crate_name)
+    }
+
+    /// True when `rel_path` is a declared hot-loop module.
+    pub fn is_hot(&self, rel_path: &str) -> bool {
+        self.hot_paths.iter().any(|p| p == rel_path)
+    }
+
+    /// True when `rel_path` may read wall clocks.
+    pub fn clock_allowed(&self, rel_path: &str) -> bool {
+        self.clock_whitelist
+            .iter()
+            .any(|p| rel_path.starts_with(p.as_str()))
+    }
+}

@@ -1,0 +1,30 @@
+//! Diagnostics: what a rule reports and how it renders.
+
+use std::fmt;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule identifier (e.g. `no-panic-lib`).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based byte column.
+    pub col: usize,
+    /// What is wrong and what to do instead.
+    pub message: String,
+    /// The trimmed source line, shown under the diagnostic.
+    pub snippet: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{} {} {}\n    {}",
+            self.path, self.line, self.col, self.rule, self.message, self.snippet
+        )
+    }
+}

@@ -1,0 +1,196 @@
+//! The check engine: runs every rule over every file, applies
+//! suppressions, masks against the baseline, and aggregates the outcome.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::baseline::Baseline;
+use crate::config::Config;
+use crate::context::FileCtx;
+use crate::diag::Violation;
+use crate::lexer::{self, LineIndex};
+use crate::rules::{self, Rule};
+use crate::suppress::{self, SuppressError, Suppression};
+use crate::workspace::{self, SourceFile};
+
+/// A suppression that fired, with what it suppressed.
+#[derive(Debug, Clone)]
+pub struct SuppressedViolation {
+    /// The violation that was silenced.
+    pub violation: Violation,
+    /// The justification from the `lint:allow` comment.
+    pub reason: String,
+}
+
+/// Aggregate result of a check run.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Violations that fail the run, in (path, line) order.
+    pub new: Vec<Violation>,
+    /// Violations masked by the committed baseline.
+    pub baselined: Vec<Violation>,
+    /// Violations silenced by inline suppressions (with reasons).
+    pub suppressed: Vec<SuppressedViolation>,
+    /// Malformed / unknown-rule suppression comments (always fail).
+    pub suppress_errors: Vec<(String, SuppressError)>,
+    /// Well-formed suppressions that silenced nothing (reported as
+    /// warnings so stale allowances get cleaned up, but non-fatal: a
+    /// suppression may guard a pattern the rule only sometimes catches).
+    pub unused: Vec<(String, Suppression)>,
+    /// Number of files checked.
+    pub files: usize,
+}
+
+impl Outcome {
+    /// True when the run should exit nonzero.
+    pub fn failed(&self) -> bool {
+        !self.new.is_empty() || !self.suppress_errors.is_empty()
+    }
+
+    /// Per-rule `(new, baselined, suppressed)` counts, sorted by rule.
+    pub fn per_rule(&self) -> BTreeMap<&'static str, (usize, usize, usize)> {
+        let mut map: BTreeMap<&'static str, (usize, usize, usize)> = BTreeMap::new();
+        for v in &self.new {
+            map.entry(v.rule).or_default().0 += 1;
+        }
+        for v in &self.baselined {
+            map.entry(v.rule).or_default().1 += 1;
+        }
+        for s in &self.suppressed {
+            map.entry(s.violation.rule).or_default().2 += 1;
+        }
+        map
+    }
+}
+
+/// The engine: rule set + configuration + baseline.
+pub struct Engine {
+    /// Rule configuration.
+    pub config: Config,
+    /// Violation allowances.
+    pub baseline: Baseline,
+    rules: Vec<Box<dyn Rule>>,
+    rule_names: Vec<&'static str>,
+}
+
+impl Engine {
+    /// Builds an engine with the full rule set.
+    pub fn new(config: Config, baseline: Baseline) -> Self {
+        let rules = rules::all_rules();
+        let rule_names = rules.iter().map(|r| r.name()).collect();
+        Self {
+            config,
+            baseline,
+            rules,
+            rule_names,
+        }
+    }
+
+    /// Checks one in-memory file, folding results into `outcome`.
+    pub fn check_source(&self, file: &SourceFile, src: &str, outcome: &mut Outcome) {
+        let tokens = lexer::lex(src);
+        let lines = LineIndex::new(src);
+        let ctx = FileCtx::new(file, src, &tokens, &lines);
+
+        let mut raw = Vec::new();
+        for rule in &self.rules {
+            rule.check(&ctx, &self.config, &mut raw);
+        }
+
+        let (suppressions, errors) = suppress::parse(src, &tokens, &lines, &self.rule_names);
+        for e in errors {
+            outcome.suppress_errors.push((file.rel_path.clone(), e));
+        }
+
+        // suppression pass: a violation is silenced by a suppression with
+        // the same rule whose target line matches
+        let mut used = vec![false; suppressions.len()];
+        let mut remaining: Vec<Violation> = Vec::new();
+        for v in raw {
+            let hit = suppressions
+                .iter()
+                .position(|s| s.rule == v.rule && s.target_line == v.line);
+            match hit {
+                Some(i) => {
+                    used[i] = true;
+                    outcome.suppressed.push(SuppressedViolation {
+                        reason: suppressions[i].reason.clone(),
+                        violation: v,
+                    });
+                }
+                None => remaining.push(v),
+            }
+        }
+        for (i, s) in suppressions.into_iter().enumerate() {
+            if !used[i] {
+                outcome.unused.push((file.rel_path.clone(), s));
+            }
+        }
+
+        // baseline pass: per rule, a file within its allowance is fully
+        // masked; exceeding it reports every instance (the offender is
+        // not identifiable once line numbers shift, so show all)
+        let mut by_rule: BTreeMap<&'static str, Vec<Violation>> = BTreeMap::new();
+        for v in remaining {
+            by_rule.entry(v.rule).or_default().push(v);
+        }
+        for (rule, vs) in by_rule {
+            let allowed = self.baseline.allowance(rule, &file.rel_path);
+            if vs.len() <= allowed {
+                outcome.baselined.extend(vs);
+            } else {
+                outcome.new.extend(vs.into_iter().map(|mut v| {
+                    if allowed > 0 {
+                        v.message = format!(
+                            "{} [file exceeds its baseline allowance of {allowed} for {rule}]",
+                            v.message
+                        );
+                    }
+                    v
+                }));
+            }
+        }
+        outcome.files += 1;
+    }
+
+    /// Checks every discovered file under `root`.
+    pub fn check_workspace(&self, root: &Path) -> Result<Outcome, String> {
+        let files = workspace::discover(root)
+            .map_err(|e| format!("discovering sources under {}: {e}", root.display()))?;
+        let mut outcome = Outcome::default();
+        for file in &files {
+            let src = std::fs::read_to_string(root.join(&file.rel_path))
+                .map_err(|e| format!("reading {}: {e}", file.rel_path))?;
+            self.check_source(file, &src, &mut outcome);
+        }
+        outcome.new.sort_by(|a, b| {
+            (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
+        });
+        Ok(outcome)
+    }
+
+    /// Regenerates a baseline that exactly covers the current violations
+    /// (suppressed ones stay suppressed, not baselined).
+    pub fn regenerate_baseline(&self, root: &Path) -> Result<Baseline, String> {
+        // run against an empty baseline so every unsuppressed violation
+        // is visible
+        let fresh = Engine::new(self.config.clone(), Baseline::empty());
+        let outcome = fresh.check_workspace(root)?;
+        let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for v in &outcome.new {
+            *counts
+                .entry((v.rule.to_string(), v.path.clone()))
+                .or_default() += 1;
+        }
+        let mut baseline = Baseline::empty();
+        for ((rule, path), count) in counts {
+            baseline.set(&rule, &path, count);
+        }
+        Ok(baseline)
+    }
+
+    /// Rule list for `mep-lint rules`.
+    pub fn describe_rules(&self) -> Vec<(&'static str, &'static str)> {
+        self.rules.iter().map(|r| (r.name(), r.summary())).collect()
+    }
+}

@@ -1,0 +1,581 @@
+//! A span-tracking lexer for Rust source.
+//!
+//! The lint pass must never misread a string literal or a comment as code
+//! (the classic grep failure mode: `// don't .unwrap() here` flagging a
+//! comment), so this module tokenizes properly: line comments, nested
+//! block comments, string/char/byte literals with escapes, raw strings
+//! with arbitrary `#` fences, raw identifiers, lifetimes, numbers with
+//! exponents and type suffixes, and max-munch multi-character operators.
+//!
+//! It is deliberately *not* a full Rust lexer — the lint rules only need
+//! token kinds and byte spans — but it is total: every input produces a
+//! token stream whose spans tile the source (gaps are whitespace only),
+//! and unterminated literals or comments extend to end of input instead
+//! of failing. The `lexer property test` in `tests/lexer_props.rs` checks
+//! the tiling invariant over generated adversarial snippets.
+
+/// A half-open byte range into the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First byte of the token.
+    pub start: usize,
+    /// One past the last byte of the token.
+    pub end: usize,
+}
+
+impl Span {
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// True when `offset` lies inside the span.
+    pub fn contains(&self, offset: usize) -> bool {
+        self.start <= offset && offset < self.end
+    }
+}
+
+/// Token classification, as coarse as the rules allow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword, including raw identifiers (`r#type`).
+    Ident,
+    /// A lifetime (`'a`), as distinguished from a char literal.
+    Lifetime,
+    /// Integer or float literal, including suffixes (`1_000u64`, `1.5e-3`).
+    Number,
+    /// String or byte-string literal (`"…"`, `b"…"`), escapes handled.
+    Str,
+    /// Raw (byte) string literal (`r"…"`, `br##"…"##`).
+    RawStr,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Line comment `// …` (newline not included).
+    LineComment,
+    /// Block comment `/* … */`, nesting-aware.
+    BlockComment,
+    /// Operator or delimiter, max-munched up to three characters.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Byte range in the source.
+    pub span: Span,
+}
+
+impl Token {
+    /// The token's text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.span.start..self.span.end]
+    }
+}
+
+/// Maps byte offsets to 1-based line/column positions.
+#[derive(Debug, Clone)]
+pub struct LineIndex {
+    /// Byte offset of the start of each line (line 1 starts at 0).
+    starts: Vec<usize>,
+}
+
+impl LineIndex {
+    /// Builds the index for `src`.
+    pub fn new(src: &str) -> Self {
+        let mut starts = vec![0];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        Self { starts }
+    }
+
+    /// 1-based line number containing `offset`.
+    pub fn line(&self, offset: usize) -> usize {
+        self.starts.partition_point(|&s| s <= offset)
+    }
+
+    /// 1-based (line, column) of `offset`; the column counts bytes.
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        let line = self.line(offset);
+        (line, offset - self.starts[line - 1] + 1)
+    }
+
+    /// Byte offset where 1-based `line` starts, or `None` past the end.
+    pub fn line_start(&self, line: usize) -> Option<usize> {
+        self.starts.get(line.checked_sub(1)?).copied()
+    }
+
+    /// Number of lines (a trailing newline does not open a new line).
+    pub fn line_count(&self) -> usize {
+        self.starts.len()
+    }
+}
+
+/// Multi-character operators, longest first within each leading byte so a
+/// linear scan max-munches correctly.
+const PUNCTS3: &[&str] = &["..=", "<<=", ">>=", "..."];
+const PUNCTS2: &[&str] = &[
+    "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=", "-=", "*=", "/=", "%=", "^=",
+    "&=", "|=", "<<", ">>",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenizes `src`. Total: never panics, never loses bytes — the returned
+/// tokens are strictly ordered, non-overlapping, and every inter-token gap
+/// is whitespace.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        out: Vec::new(),
+        stash: None,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    out: Vec<Token>,
+    /// Kind recorded by `try_raw_or_byte_prefix`, which both recognizes
+    /// and consumes its token from inside a match guard.
+    stash: Option<TokenKind>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let c = self.cur_char();
+            if c.is_whitespace() {
+                self.pos += c.len_utf8();
+                continue;
+            }
+            let kind = self.next_token(c);
+            debug_assert!(self.pos > start, "lexer must always advance");
+            self.out.push(Token {
+                kind,
+                span: Span {
+                    start,
+                    end: self.pos,
+                },
+            });
+        }
+        self.out
+    }
+
+    fn cur_char(&self) -> char {
+        // `pos` is always on a char boundary: every advance steps by a
+        // whole char or past complete ASCII sequences.
+        self.src[self.pos..].chars().next().unwrap_or('\0')
+    }
+
+    fn peek_byte(&self, ahead: usize) -> u8 {
+        self.bytes.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    fn next_token(&mut self, c: char) -> TokenKind {
+        match c {
+            '/' if self.peek_byte(1) == b'/' => {
+                self.consume_line_comment();
+                TokenKind::LineComment
+            }
+            '/' if self.peek_byte(1) == b'*' => {
+                self.consume_block_comment();
+                TokenKind::BlockComment
+            }
+            '"' => {
+                self.consume_string(b'"');
+                TokenKind::Str
+            }
+            '\'' => self.consume_char_or_lifetime(),
+            'r' | 'b' if self.try_raw_or_byte_prefix() => {
+                // token fully consumed by the helper; kind recorded there
+                self.pending_kind()
+            }
+            c if is_ident_start(c) => {
+                self.consume_ident();
+                TokenKind::Ident
+            }
+            c if c.is_ascii_digit() => {
+                self.consume_number();
+                TokenKind::Number
+            }
+            _ => {
+                self.consume_punct(c);
+                TokenKind::Punct
+            }
+        }
+    }
+
+    // --- prefixed literals (r"…", r#"…"#, b"…", b'…', br"…", r#ident) ---
+
+    /// When the source at `pos` begins a raw-string / byte-string /
+    /// byte-char / raw-ident token, consumes it, stashes its kind, and
+    /// returns true. Otherwise leaves `pos` untouched.
+    fn try_raw_or_byte_prefix(&mut self) -> bool {
+        let rest = &self.bytes[self.pos..];
+        let kind = if rest.starts_with(b"r\"") || Self::raw_fence(rest, 1).is_some() {
+            self.pos += 1; // past 'r'
+            self.consume_raw_string();
+            TokenKind::RawStr
+        } else if rest.starts_with(b"br\"") || Self::raw_fence(rest, 2).is_some() {
+            self.pos += 2; // past "br"
+            self.consume_raw_string();
+            TokenKind::RawStr
+        } else if rest.starts_with(b"b\"") {
+            self.pos += 1;
+            self.consume_string(b'"');
+            TokenKind::Str
+        } else if rest.starts_with(b"b'") {
+            self.pos += 1;
+            self.consume_string(b'\'');
+            TokenKind::Char
+        } else if rest.starts_with(b"r#") && rest.get(2).is_some_and(|&b| b != b'"' && b != b'#') {
+            // raw identifier r#type
+            self.pos += 2;
+            self.consume_ident();
+            TokenKind::Ident
+        } else {
+            return false;
+        };
+        self.stash = Some(kind);
+        true
+    }
+
+    fn pending_kind(&mut self) -> TokenKind {
+        // the guard arm only fires after `try_raw_or_byte_prefix` stashed a
+        // kind; Punct is an unreachable fallback kept for panic-freedom
+        self.stash.take().unwrap_or(TokenKind::Punct)
+    }
+
+    /// `r####"` fence check: at `rest[skip..]`, one-or-more `#` then `"`.
+    fn raw_fence(rest: &[u8], skip: usize) -> Option<usize> {
+        if skip == 2 && !rest.starts_with(b"br") {
+            return None;
+        }
+        if skip == 1 && !rest.starts_with(b"r") {
+            return None;
+        }
+        let mut n = 0;
+        while rest.get(skip + n) == Some(&b'#') {
+            n += 1;
+        }
+        (n > 0 && rest.get(skip + n) == Some(&b'"')).then_some(n)
+    }
+
+    /// At a `#*"` fence (pos on the first `#` or the quote). Consumes
+    /// through the matching `"#*` closer, or to EOF when unterminated.
+    fn consume_raw_string(&mut self) {
+        let mut hashes = 0;
+        while self.peek_byte(0) == b'#' {
+            hashes += 1;
+            self.pos += 1;
+        }
+        debug_assert_eq!(self.peek_byte(0), b'"');
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'"' {
+                let close = &self.bytes[self.pos + 1..];
+                if close.len() >= hashes && close[..hashes].iter().all(|&b| b == b'#') {
+                    self.pos += 1 + hashes;
+                    return;
+                }
+            }
+            self.advance_char();
+        }
+    }
+
+    /// Consumes a quoted literal with `\`-escapes, starting at the opening
+    /// quote; an unterminated literal runs to EOF (it is already a compile
+    /// error in real Rust, so totality matters more than recovery).
+    fn consume_string(&mut self, quote: u8) {
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    self.pos += 1; // the backslash
+                    if self.pos < self.bytes.len() {
+                        self.advance_char(); // whatever it escapes
+                    }
+                }
+                b if b == quote => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => self.advance_char(),
+            }
+        }
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'x'` / `'\n'` (char literal).
+    fn consume_char_or_lifetime(&mut self) -> TokenKind {
+        let after = &self.src[self.pos + 1..];
+        let mut chars = after.chars();
+        let first = chars.next();
+        let second = chars.next();
+        match first {
+            // `'a` followed by anything but a closing quote is a lifetime
+            // (also `'static`, `'_`).
+            Some(c) if is_ident_start(c) && second != Some('\'') => {
+                self.pos += 1;
+                self.consume_ident();
+                TokenKind::Lifetime
+            }
+            _ => {
+                self.consume_string(b'\'');
+                TokenKind::Char
+            }
+        }
+    }
+
+    fn consume_ident(&mut self) {
+        while self.pos < self.bytes.len() && is_ident_continue(self.cur_char()) {
+            self.advance_char();
+        }
+    }
+
+    /// Number with optional fraction (only when a digit follows the dot,
+    /// so `1..n` stays a range), exponent, and type suffix.
+    fn consume_number(&mut self) {
+        let radix_prefix =
+            matches!(self.peek_byte(1), b'x' | b'o' | b'b') && self.peek_byte(0) == b'0';
+        self.pos += 1;
+        if radix_prefix {
+            self.pos += 1;
+        }
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            match b {
+                b'0'..=b'9' | b'_' => self.pos += 1,
+                b'a'..=b'f' | b'A'..=b'F' if radix_prefix => self.pos += 1,
+                b'.' if !radix_prefix && self.peek_byte(1).is_ascii_digit() => self.pos += 1,
+                b'e' | b'E'
+                    if !radix_prefix
+                        && (self.peek_byte(1).is_ascii_digit()
+                            || (matches!(self.peek_byte(1), b'+' | b'-')
+                                && self.peek_byte(2).is_ascii_digit())) =>
+                {
+                    self.pos += 2; // e and sign-or-digit
+                }
+                // type suffixes: i8…i128, u8…, f32, f64, usize, isize
+                b'a'..=b'z' | b'A'..=b'Z' => {
+                    self.consume_ident();
+                    break;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn consume_line_comment(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.advance_char();
+        }
+    }
+
+    fn consume_block_comment(&mut self) {
+        self.pos += 2; // the `/*`
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos..].starts_with(b"/*") {
+                depth += 1;
+                self.pos += 2;
+            } else if self.bytes[self.pos..].starts_with(b"*/") {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.advance_char();
+            }
+        }
+    }
+
+    fn consume_punct(&mut self, c: char) {
+        let rest = &self.src[self.pos..];
+        for p in PUNCTS3 {
+            if rest.starts_with(p) {
+                self.pos += 3;
+                return;
+            }
+        }
+        for p in PUNCTS2 {
+            if rest.starts_with(p) {
+                self.pos += 2;
+                return;
+            }
+        }
+        self.pos += c.len_utf8();
+    }
+
+    fn advance_char(&mut self) {
+        let c = self.cur_char();
+        self.pos += c.len_utf8().max(1);
+    }
+}
+
+/// Checks the tiling invariant: tokens are strictly ordered and
+/// non-overlapping, every span is in bounds and on char boundaries, and
+/// every gap between consecutive tokens (and before/after the stream) is
+/// whitespace. Returns a description of the first failure.
+pub fn verify_coverage(src: &str, tokens: &[Token]) -> Result<(), String> {
+    let mut cursor = 0usize;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.span.start < cursor {
+            return Err(format!("token {i} overlaps predecessor: {:?}", t.span));
+        }
+        if t.span.end > src.len() || t.span.is_empty() {
+            return Err(format!("token {i} has bad span {:?}", t.span));
+        }
+        if !src.is_char_boundary(t.span.start) || !src.is_char_boundary(t.span.end) {
+            return Err(format!("token {i} span not on char boundary: {:?}", t.span));
+        }
+        let gap = &src[cursor..t.span.start];
+        if !gap.chars().all(char::is_whitespace) {
+            return Err(format!("non-whitespace gap before token {i}: {gap:?}"));
+        }
+        cursor = t.span.end;
+    }
+    let tail = &src[cursor..];
+    if !tail.chars().all(char::is_whitespace) {
+        return Err(format!("non-whitespace tail after last token: {tail:?}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn basic_stream() {
+        use TokenKind::*;
+        let got = kinds("let x = a.unwrap(); // done");
+        let want: Vec<(TokenKind, &str)> = vec![
+            (Ident, "let"),
+            (Ident, "x"),
+            (Punct, "="),
+            (Ident, "a"),
+            (Punct, "."),
+            (Ident, "unwrap"),
+            (Punct, "("),
+            (Punct, ")"),
+            (Punct, ";"),
+            (LineComment, "// done"),
+        ];
+        assert_eq!(
+            got,
+            want.into_iter()
+                .map(|(k, s)| (k, s.to_string()))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn strings_hide_code() {
+        let src = r#"let s = "a.unwrap() // not a comment";"#;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("unwrap")));
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::LineComment));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still */ b";
+        let toks = kinds(src);
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert_eq!(toks[1].1, "/* outer /* inner */ still */");
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r###"let s = r#"has "quotes" and \ backslash"#;"###;
+        let toks = kinds(src);
+        let raw = toks.iter().find(|(k, _)| *k == TokenKind::RawStr).unwrap();
+        assert!(raw.1.contains("quotes"));
+        // raw idents are idents, not raw strings
+        let toks = kinds("let r#type = 1;");
+        assert_eq!(toks[1], (TokenKind::Ident, "r#type".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+        assert_eq!(chars[0].1, "'x'");
+        assert_eq!(chars[1].1, "'\\n'");
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_ranges() {
+        let toks = kinds("1.5e-3 + 0x1f + 1..n + 2.0f64");
+        assert_eq!(toks[0], (TokenKind::Number, "1.5e-3".to_string()));
+        assert_eq!(toks[2], (TokenKind::Number, "0x1f".to_string()));
+        assert_eq!(toks[4], (TokenKind::Number, "1".to_string()));
+        assert_eq!(toks[5], (TokenKind::Punct, "..".to_string()));
+        assert_eq!(toks[8], (TokenKind::Number, "2.0f64".to_string()));
+    }
+
+    #[test]
+    fn multichar_puncts_max_munch() {
+        let toks = kinds("a == b != c :: d ..= e && f");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "::", "..=", "&&"]);
+    }
+
+    #[test]
+    fn unterminated_inputs_are_total() {
+        for src in ["\"never closed", "/* never closed", "r#\"open", "'", "b\""] {
+            let toks = lex(src);
+            verify_coverage(src, &toks).unwrap();
+        }
+    }
+
+    #[test]
+    fn line_index_round_trips() {
+        let src = "a\nbb\n\nccc";
+        let idx = LineIndex::new(src);
+        assert_eq!(idx.line_col(0), (1, 1));
+        assert_eq!(idx.line_col(2), (2, 1));
+        assert_eq!(idx.line_col(3), (2, 2));
+        assert_eq!(idx.line_col(6), (4, 1));
+        assert_eq!(idx.line_count(), 4);
+    }
+}

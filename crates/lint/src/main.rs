@@ -1,0 +1,143 @@
+//! The `mep-lint` command-line driver.
+//!
+//! ```text
+//! mep-lint check [--root DIR] [--report PATH] [--no-report]
+//! mep-lint baseline [--root DIR]
+//! mep-lint rules
+//! ```
+//!
+//! `check` exits 0 when no new violations (and no malformed suppressions)
+//! exist, 1 on findings, 2 on usage or I/O errors. By default it writes
+//! the machine-readable posture to `results/lint_report.json` under the
+//! workspace root.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mep_lint::{baseline::BASELINE_FILE, Baseline, Config, Engine};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("mep-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+struct Options {
+    root: PathBuf,
+    report: Option<PathBuf>,
+    write_report: bool,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut root = None;
+    let mut report = None;
+    let mut write_report = true;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => root = Some(PathBuf::from(it.next().ok_or("--root requires a path")?)),
+            "--report" => {
+                report = Some(PathBuf::from(it.next().ok_or("--report requires a path")?))
+            }
+            "--no-report" => write_report = false,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            mep_lint::workspace::find_root(&cwd).ok_or(
+                "no workspace root found (no Cargo.toml with [workspace] above cwd); pass --root",
+            )?
+        }
+    };
+    Ok(Options {
+        root,
+        report,
+        write_report,
+    })
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let (cmd, rest) = args
+        .split_first()
+        .map(|(c, r)| (c.as_str(), r))
+        .unwrap_or(("check", &[]));
+    match cmd {
+        "check" => check(&parse_options(rest)?),
+        "baseline" => regenerate(&parse_options(rest)?),
+        "rules" => {
+            let engine = Engine::new(Config::default(), Baseline::empty());
+            for (name, summary) in engine.describe_rules() {
+                println!("{name:<16} {summary}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!(
+            "unknown command `{other}` (expected `check`, `baseline`, or `rules`)"
+        )),
+    }
+}
+
+fn check(opts: &Options) -> Result<ExitCode, String> {
+    let baseline = Baseline::load(&opts.root)?;
+    let engine = Engine::new(Config::default(), baseline);
+    let outcome = engine.check_workspace(&opts.root)?;
+
+    for (path, err) in &outcome.suppress_errors {
+        println!("{path}:{} suppression {}", err.line, err.message);
+    }
+    for v in &outcome.new {
+        println!("{v}");
+    }
+    for (path, s) in &outcome.unused {
+        eprintln!(
+            "warning: {path}:{} unused suppression lint:allow({}) — remove it or note why it stays",
+            s.comment_line, s.rule
+        );
+    }
+    print!("{}", mep_lint::report::render_summary(&outcome));
+
+    if opts.write_report {
+        let path = opts
+            .report
+            .clone()
+            .unwrap_or_else(|| opts.root.join("results").join("lint_report.json"));
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+        let json = mep_lint::report::render_json(&outcome);
+        std::fs::write(&path, json + "\n")
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("report: {}", path.display());
+    }
+
+    Ok(if outcome.failed() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn regenerate(opts: &Options) -> Result<ExitCode, String> {
+    let engine = Engine::new(Config::default(), Baseline::empty());
+    let baseline = engine.regenerate_baseline(&opts.root)?;
+    let path = opts.root.join(BASELINE_FILE);
+    std::fs::write(&path, baseline.render())
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!(
+        "baseline: {} entries covering {} violation(s) written to {}",
+        baseline.len(),
+        baseline.total(),
+        path.display()
+    );
+    Ok(ExitCode::SUCCESS)
+}

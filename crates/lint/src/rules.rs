@@ -1,0 +1,477 @@
+//! The rule set: each rule walks one file's token stream and reports
+//! [`Violation`]s. Rules never look at raw text — only at tokens — so
+//! strings and comments can never false-positive.
+//!
+//! | rule            | guards                                              |
+//! |-----------------|-----------------------------------------------------|
+//! | `no-panic-lib`  | no `unwrap`/`expect`/panic macros in library code   |
+//! | `nan-unsafe-cmp`| no `partial_cmp(..).unwrap()` — use `total_cmp`     |
+//! | `determinism`   | no `HashMap`/`HashSet`, clocks, or thread-id logic  |
+//! |                 | in result-affecting crates                          |
+//! | `float-eq`      | no `==`/`!=` against float literals / float consts  |
+//! | `no-alloc-hot`  | no allocation in declared hot-loop modules          |
+//! | `forbid-unsafe` | every crate root carries `#![forbid(unsafe_code)]`  |
+
+use crate::config::Config;
+use crate::context::FileCtx;
+use crate::diag::Violation;
+use crate::lexer::TokenKind;
+use crate::workspace::FileKind;
+
+/// A single lint rule.
+pub trait Rule {
+    /// Stable identifier used in diagnostics, suppressions, and the
+    /// baseline (kebab-case).
+    fn name(&self) -> &'static str;
+    /// One-line description shown by `mep-lint rules`.
+    fn summary(&self) -> &'static str;
+    /// Reports violations in one file.
+    fn check(&self, ctx: &FileCtx, cfg: &Config, out: &mut Vec<Violation>);
+}
+
+/// The full rule set, in reporting order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NoPanicLib),
+        Box::new(NanUnsafeCmp),
+        Box::new(Determinism),
+        Box::new(FloatEq),
+        Box::new(NoAllocHot),
+        Box::new(ForbidUnsafe),
+    ]
+}
+
+/// Names of all rules (for suppression validation).
+pub fn rule_names() -> Vec<&'static str> {
+    all_rules().iter().map(|r| r.name()).collect()
+}
+
+fn violation(ctx: &FileCtx, rule: &'static str, offset: usize, message: String) -> Violation {
+    let (line, col) = ctx.lines.line_col(offset);
+    Violation {
+        rule,
+        path: ctx.file.rel_path.clone(),
+        line,
+        col,
+        message,
+        snippet: ctx.line_text(offset).to_string(),
+    }
+}
+
+/// True for files where panics are an acceptable failure mechanism.
+fn panic_tolerant(ctx: &FileCtx) -> bool {
+    ctx.file.kind != FileKind::Lib
+}
+
+// --- no-panic-lib -----------------------------------------------------------
+
+/// Panic macros caught when followed by `!`.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unreachable", "unimplemented"];
+
+struct NoPanicLib;
+
+impl Rule for NoPanicLib {
+    fn name(&self) -> &'static str {
+        "no-panic-lib"
+    }
+
+    fn summary(&self) -> &'static str {
+        "library code must not unwrap/expect/panic!/todo!/unreachable!/unimplemented! outside tests"
+    }
+
+    fn check(&self, ctx: &FileCtx, _cfg: &Config, out: &mut Vec<Violation>) {
+        if panic_tolerant(ctx) {
+            return;
+        }
+        for (i, tok) in ctx.tokens.iter().enumerate() {
+            if tok.kind != TokenKind::Ident || ctx.in_test_code(tok.span.start) {
+                continue;
+            }
+            let text = ctx.text(tok);
+            // `.unwrap()` / `.expect(` — the leading dot distinguishes the
+            // method call from e.g. a local named `unwrap`
+            if (text == "unwrap" || text == "expect")
+                && ctx.punct_is(i.wrapping_sub(1), ".")
+                && ctx.punct_is(ctx.skip_comments(i + 1), "(")
+            {
+                out.push(violation(
+                    ctx,
+                    self.name(),
+                    tok.span.start,
+                    format!(
+                        "`.{text}()` can panic in library code; return a typed error \
+                         (see crates/placer/src/error.rs) or restructure so the case \
+                         is impossible"
+                    ),
+                ));
+            }
+            if PANIC_MACROS.contains(&text)
+                && ctx.punct_is(i + 1, "!")
+                // `panic::catch_unwind`, `std::panic` paths are fine
+                && !ctx.punct_is(i.wrapping_sub(1), "::")
+            {
+                out.push(violation(
+                    ctx,
+                    self.name(),
+                    tok.span.start,
+                    format!("`{text}!` panics in library code; return a typed error instead"),
+                ));
+            }
+        }
+    }
+}
+
+// --- nan-unsafe-cmp ---------------------------------------------------------
+
+struct NanUnsafeCmp;
+
+impl Rule for NanUnsafeCmp {
+    fn name(&self) -> &'static str {
+        "nan-unsafe-cmp"
+    }
+
+    fn summary(&self) -> &'static str {
+        "`partial_cmp(..).unwrap()` panics on NaN and breaks strict-weak-order; use `total_cmp`"
+    }
+
+    fn check(&self, ctx: &FileCtx, _cfg: &Config, out: &mut Vec<Violation>) {
+        if panic_tolerant(ctx) {
+            return;
+        }
+        for (i, tok) in ctx.tokens.iter().enumerate() {
+            if tok.kind != TokenKind::Ident
+                || ctx.text(tok) != "partial_cmp"
+                || ctx.in_test_code(tok.span.start)
+            {
+                continue;
+            }
+            // skip the argument list `( … )`
+            let Some(open) = ctx
+                .tokens
+                .get(ctx.skip_comments(i + 1))
+                .filter(|t| t.text(ctx.src) == "(")
+                .map(|_| ctx.skip_comments(i + 1))
+            else {
+                continue;
+            };
+            let mut depth = 0usize;
+            let mut j = open;
+            while j < ctx.tokens.len() {
+                match ctx.text(&ctx.tokens[j]) {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            // `.unwrap(` / `.expect(` directly after the call?
+            let dot = ctx.skip_comments(j + 1);
+            let method = ctx.skip_comments(dot + 1);
+            if ctx.punct_is(dot, ".")
+                && (ctx.ident_is(method, "unwrap") || ctx.ident_is(method, "expect"))
+            {
+                out.push(violation(
+                    ctx,
+                    self.name(),
+                    tok.span.start,
+                    "`partial_cmp(..).unwrap()` panics on NaN mid-sort; \
+                     use `f64::total_cmp` (NaN-safe total order)"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+// --- determinism ------------------------------------------------------------
+
+struct Determinism;
+
+impl Rule for Determinism {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn summary(&self) -> &'static str {
+        "result-affecting crates: no HashMap/HashSet (iteration order), wall clocks, or thread-id logic"
+    }
+
+    fn check(&self, ctx: &FileCtx, cfg: &Config, out: &mut Vec<Violation>) {
+        if panic_tolerant(ctx) || !cfg.is_result_affecting(&ctx.file.crate_name) {
+            return;
+        }
+        let clock_ok = cfg.clock_allowed(&ctx.file.rel_path);
+        for (i, tok) in ctx.tokens.iter().enumerate() {
+            if tok.kind != TokenKind::Ident || ctx.in_test_code(tok.span.start) {
+                continue;
+            }
+            match ctx.text(tok) {
+                t @ ("HashMap" | "HashSet") => out.push(violation(
+                    ctx,
+                    self.name(),
+                    tok.span.start,
+                    format!(
+                        "`{t}` iteration order is nondeterministic; use BTreeMap/BTreeSet \
+                         or a sorted Vec, or suppress with a reason if it is provably \
+                         never iterated"
+                    ),
+                )),
+                "Instant"
+                    if !clock_ok && ctx.punct_is(i + 1, "::") && ctx.ident_is(i + 2, "now") =>
+                {
+                    out.push(violation(
+                        ctx,
+                        self.name(),
+                        tok.span.start,
+                        "`Instant::now` outside the telemetry whitelist: wall-clock reads \
+                         in result-affecting code make runs irreproducible"
+                            .to_string(),
+                    ))
+                }
+                "SystemTime" if !clock_ok => out.push(violation(
+                    ctx,
+                    self.name(),
+                    tok.span.start,
+                    "`SystemTime` outside the telemetry whitelist: wall-clock reads \
+                     in result-affecting code make runs irreproducible"
+                        .to_string(),
+                )),
+                "ThreadId" => out.push(violation(
+                    ctx,
+                    self.name(),
+                    tok.span.start,
+                    "thread-id-dependent logic breaks bit-identical results across \
+                     thread counts; partition work by fixed index instead"
+                        .to_string(),
+                )),
+                "thread" if ctx.punct_is(i + 1, "::") && ctx.ident_is(i + 2, "current") => out
+                    .push(violation(
+                        ctx,
+                        self.name(),
+                        tok.span.start,
+                        "`thread::current()` (thread-identity logic) breaks bit-identical \
+                         results across thread counts"
+                            .to_string(),
+                    )),
+                _ => {}
+            }
+        }
+    }
+}
+
+// --- float-eq ---------------------------------------------------------------
+
+struct FloatEq;
+
+/// Float-typed associated constants that make a `==` comparison float-eq
+/// even without a literal.
+const FLOAT_CONSTS: &[&str] = &["NAN", "INFINITY", "NEG_INFINITY", "EPSILON", "MAX", "MIN"];
+
+impl Rule for FloatEq {
+    fn name(&self) -> &'static str {
+        "float-eq"
+    }
+
+    fn summary(&self) -> &'static str {
+        "`==`/`!=` on floats is almost always wrong; compare with a tolerance or use bit patterns"
+    }
+
+    fn check(&self, ctx: &FileCtx, _cfg: &Config, out: &mut Vec<Violation>) {
+        if panic_tolerant(ctx) {
+            return;
+        }
+        for (i, tok) in ctx.tokens.iter().enumerate() {
+            if tok.kind != TokenKind::Punct || ctx.in_test_code(tok.span.start) {
+                continue;
+            }
+            let op = ctx.text(tok);
+            if op != "==" && op != "!=" {
+                continue;
+            }
+            let prev_float = i
+                .checked_sub(1)
+                .and_then(|p| ctx.tokens.get(p))
+                .is_some_and(|t| is_float_literal(ctx.text(t)));
+            // `x == 1.5`, or `x == f64::NAN` (path const)
+            let next = ctx.skip_comments(i + 1);
+            let next_float = ctx
+                .tokens
+                .get(next)
+                .is_some_and(|t| is_float_literal(ctx.text(t)))
+                || ((ctx.ident_is(next, "f64") || ctx.ident_is(next, "f32"))
+                    && ctx.punct_is(next + 1, "::")
+                    && ctx
+                        .tokens
+                        .get(next + 2)
+                        .is_some_and(|t| FLOAT_CONSTS.contains(&ctx.text(t))));
+            if prev_float || next_float {
+                let hint = if op == "==" { "==" } else { "!=" };
+                out.push(violation(
+                    ctx,
+                    self.name(),
+                    tok.span.start,
+                    format!(
+                        "float `{hint}` comparison; use an explicit tolerance, \
+                         `total_cmp`, or `is_nan()`/bit comparison"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// A number token that denotes a float: has a fraction, an exponent, or
+/// an `f32`/`f64` suffix (hex literals excluded).
+fn is_float_literal(text: &str) -> bool {
+    if !text.starts_with(|c: char| c.is_ascii_digit()) {
+        return false;
+    }
+    if text.starts_with("0x") || text.starts_with("0o") || text.starts_with("0b") {
+        return false;
+    }
+    text.contains('.')
+        || text.ends_with("f32")
+        || text.ends_with("f64")
+        || text.contains(['e', 'E'])
+}
+
+// --- no-alloc-hot -----------------------------------------------------------
+
+struct NoAllocHot;
+
+impl Rule for NoAllocHot {
+    fn name(&self) -> &'static str {
+        "no-alloc-hot"
+    }
+
+    fn summary(&self) -> &'static str {
+        "declared hot-loop modules must not allocate (Vec::new/push/collect/format!/to_string/Box::new)"
+    }
+
+    fn check(&self, ctx: &FileCtx, cfg: &Config, out: &mut Vec<Violation>) {
+        if !cfg.is_hot(&ctx.file.rel_path) {
+            return;
+        }
+        for (i, tok) in ctx.tokens.iter().enumerate() {
+            if tok.kind != TokenKind::Ident || ctx.in_test_code(tok.span.start) {
+                continue;
+            }
+            let text = ctx.text(tok);
+            let flagged = match text {
+                // `Vec::new`, `Vec::with_capacity`, `Box::new`, `String::new`
+                "Vec" | "Box" | "String" if ctx.punct_is(i + 1, "::") => {
+                    let m = ctx.skip_comments(i + 2);
+                    ctx.ident_is(m, "new") || ctx.ident_is(m, "with_capacity")
+                }
+                // `vec![…]`, `format!(…)`
+                "vec" | "format" => ctx.punct_is(i + 1, "!"),
+                // `.push(…)`, `.collect(`/`.collect::<`, `.to_string()`, `.to_vec()`, `.to_owned()`
+                "push" | "collect" | "to_string" | "to_vec" | "to_owned" => {
+                    ctx.punct_is(i.wrapping_sub(1), ".")
+                        && (ctx.punct_is(i + 1, "(") || ctx.punct_is(i + 1, "::"))
+                }
+                _ => false,
+            };
+            if flagged {
+                out.push(violation(
+                    ctx,
+                    self.name(),
+                    tok.span.start,
+                    format!(
+                        "`{text}` allocates inside a declared hot module; preallocate in \
+                         the workspace/plan (engine arenas, `_in` variants) or move the \
+                         allocation out of the hot path"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// --- forbid-unsafe ----------------------------------------------------------
+
+struct ForbidUnsafe;
+
+impl Rule for ForbidUnsafe {
+    fn name(&self) -> &'static str {
+        "forbid-unsafe"
+    }
+
+    fn summary(&self) -> &'static str {
+        "every crate root must carry #![forbid(unsafe_code)]"
+    }
+
+    fn check(&self, ctx: &FileCtx, _cfg: &Config, out: &mut Vec<Violation>) {
+        if !ctx.file.is_crate_root {
+            return;
+        }
+        // scan inner attributes `#![…(unsafe_code)]` for forbid/deny
+        let mut lint_level: Option<(&str, usize)> = None;
+        for (i, tok) in ctx.tokens.iter().enumerate() {
+            if tok.kind == TokenKind::Ident && ctx.text(tok) == "unsafe_code" {
+                // walk back over `(` to the level ident
+                let open = i.checked_sub(1);
+                let level = i.checked_sub(2);
+                if let (Some(o), Some(l)) = (open, level) {
+                    if ctx.punct_is(o, "(")
+                        && (ctx.ident_is(l, "forbid") || ctx.ident_is(l, "deny"))
+                    {
+                        lint_level = Some((ctx.text(&ctx.tokens[l]), ctx.tokens[l].span.start));
+                        if ctx.ident_is(l, "forbid") {
+                            break; // forbid wins
+                        }
+                    }
+                }
+            }
+        }
+        match lint_level {
+            Some(("forbid", _)) => {}
+            Some(("deny", offset)) => out.push(violation(
+                ctx,
+                self.name(),
+                offset,
+                "crate root uses `deny(unsafe_code)` instead of `forbid`; `deny` can be \
+                 overridden by inner `#[allow]` — justify with a suppression or upgrade"
+                    .to_string(),
+            )),
+            _ => out.push(violation(
+                ctx,
+                self.name(),
+                0,
+                "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_literal_classification() {
+        for f in ["1.0", "2.5e-3", "1e9", "3f64", "0.5f32", "10.", "1_000.0"] {
+            assert!(is_float_literal(f), "{f} should be float");
+        }
+        for n in ["1", "0x1f", "0b101", "1_000", "42u64", "0o17"] {
+            assert!(!is_float_literal(n), "{n} should not be float");
+        }
+    }
+
+    #[test]
+    fn rule_names_are_unique_and_kebab() {
+        let names = rule_names();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        for n in names {
+            assert!(n.chars().all(|c| c.is_ascii_lowercase() || c == '-'));
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Inline suppressions: `// lint:allow(rule): reason`.
+//!
+//! Grammar (inside a line comment, leading `//` or `///` stripped):
+//!
+//! ```text
+//! lint:allow(<rule-name>): <reason>
+//! ```
+//!
+//! The reason is mandatory — a suppression is a recorded decision, and a
+//! decision without a rationale is what the lint exists to prevent. A
+//! trailing suppression applies to its own line; a standalone comment
+//! line applies to the next code line (the line of the next non-comment
+//! token, so blank lines and further comments may intervene).
+//!
+//! Malformed suppressions (missing reason, unknown rule) are themselves
+//! diagnostics, and are *not* suppressible.
+
+use crate::lexer::{LineIndex, Token, TokenKind};
+
+/// One parsed suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Rule this suppression targets.
+    pub rule: String,
+    /// 1-based line of the comment itself.
+    pub comment_line: usize,
+    /// 1-based line the suppression covers.
+    pub target_line: usize,
+    /// The mandatory justification.
+    pub reason: String,
+}
+
+/// A malformed suppression comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuppressError {
+    /// 1-based line of the offending comment.
+    pub line: usize,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// Scans the token stream for suppression comments. `known_rules` guards
+/// against typos: a suppression naming an unknown rule is an error, not a
+/// silent no-op.
+pub fn parse(
+    src: &str,
+    tokens: &[Token],
+    lines: &LineIndex,
+    known_rules: &[&str],
+) -> (Vec<Suppression>, Vec<SuppressError>) {
+    let mut out = Vec::new();
+    let mut errors = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokenKind::LineComment {
+            continue;
+        }
+        let text = tok.text(src);
+        let body = text.trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("lint:allow") else {
+            continue;
+        };
+        let comment_line = lines.line(tok.span.start);
+        let parsed = parse_body(rest);
+        match parsed {
+            Err(msg) => errors.push(SuppressError {
+                line: comment_line,
+                message: msg,
+            }),
+            Ok((rule, reason)) => {
+                if !known_rules.contains(&rule.as_str()) {
+                    errors.push(SuppressError {
+                        line: comment_line,
+                        message: format!(
+                            "lint:allow names unknown rule `{rule}` (known: {})",
+                            known_rules.join(", ")
+                        ),
+                    });
+                    continue;
+                }
+                let target_line = target_line(tokens, lines, i, comment_line);
+                out.push(Suppression {
+                    rule,
+                    comment_line,
+                    target_line,
+                    reason,
+                });
+            }
+        }
+    }
+    (out, errors)
+}
+
+/// Parses `(<rule>): <reason>` after the `lint:allow` keyword.
+fn parse_body(rest: &str) -> Result<(String, String), String> {
+    const USAGE: &str = "usage: `// lint:allow(rule-name): reason`";
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err(format!("lint:allow is missing `(rule-name)` — {USAGE}"));
+    };
+    let Some((rule, after)) = rest.split_once(')') else {
+        return Err(format!("lint:allow has an unclosed `(` — {USAGE}"));
+    };
+    let rule = rule.trim().to_string();
+    if rule.is_empty() {
+        return Err(format!("lint:allow has an empty rule name — {USAGE}"));
+    }
+    let after = after.trim_start();
+    let Some(reason) = after.strip_prefix(':') else {
+        return Err(format!(
+            "lint:allow({rule}) is missing the mandatory `: reason` — {USAGE}"
+        ));
+    };
+    let reason = reason.trim().to_string();
+    if reason.is_empty() {
+        return Err(format!(
+            "lint:allow({rule}) has an empty reason — every suppression must say why"
+        ));
+    }
+    Ok((rule, reason))
+}
+
+/// A trailing comment covers its own line; a standalone comment covers
+/// the line of the next non-comment token.
+fn target_line(
+    tokens: &[Token],
+    lines: &LineIndex,
+    comment_idx: usize,
+    comment_line: usize,
+) -> usize {
+    let standalone = !tokens[..comment_idx].iter().rev().any(|t| {
+        lines.line(t.span.start) == comment_line
+            && !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    });
+    if !standalone {
+        return comment_line;
+    }
+    tokens[comment_idx + 1..]
+        .iter()
+        .find(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .map(|t| lines.line(t.span.start))
+        .unwrap_or(comment_line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn run(src: &str) -> (Vec<Suppression>, Vec<SuppressError>) {
+        let tokens = lexer::lex(src);
+        let lines = lexer::LineIndex::new(src);
+        parse(src, &tokens, &lines, &["no-panic-lib", "determinism"])
+    }
+
+    #[test]
+    fn trailing_and_standalone_targets() {
+        let src = "\
+let a = x.unwrap(); // lint:allow(no-panic-lib): poisoned mutex is fatal
+// lint:allow(determinism): map is lookup-only
+
+let m = HashMap::new();";
+        let (sups, errs) = run(src);
+        assert!(errs.is_empty(), "{errs:?}");
+        assert_eq!(sups.len(), 2);
+        assert_eq!(sups[0].rule, "no-panic-lib");
+        assert_eq!(sups[0].target_line, 1);
+        assert_eq!(sups[1].rule, "determinism");
+        assert_eq!(sups[1].target_line, 4, "skips the blank line");
+        assert_eq!(sups[1].reason, "map is lookup-only");
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        for bad in [
+            "// lint:allow(no-panic-lib)",
+            "// lint:allow(no-panic-lib):",
+            "// lint:allow(no-panic-lib):   ",
+            "// lint:allow no-panic-lib: reason",
+            "// lint:allow(: reason",
+        ] {
+            let (sups, errs) = run(bad);
+            assert!(sups.is_empty(), "{bad}");
+            assert_eq!(errs.len(), 1, "{bad}");
+        }
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let (sups, errs) = run("// lint:allow(no-such-rule): because");
+        assert!(sups.is_empty());
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn suppressions_inside_strings_are_ignored() {
+        let src = "let s = \"// lint:allow(no-panic-lib): fake\";";
+        let (sups, errs) = run(src);
+        assert!(sups.is_empty() && errs.is_empty());
+    }
+}

@@ -1,0 +1,358 @@
+//! Per-rule fixture tests: for every rule, a positive case (the rule
+//! fires), a negative case (it stays quiet), a suppressed case
+//! (`lint:allow` with a reason silences it), and a baseline-masked case.
+//! Plus the end-to-end acceptance check from the issue: an injected
+//! violation fails the run with a `file:line:col rule message` diagnostic.
+
+use mep_lint::{workspace, Baseline, Config, Engine, Outcome};
+
+/// Lints `src` as if it lived at `rel_path`, against `baseline`.
+fn check_with(rel_path: &str, src: &str, baseline: Baseline) -> Outcome {
+    let file = workspace::classify(rel_path).expect("fixture path must classify");
+    let engine = Engine::new(Config::default(), baseline);
+    let mut outcome = Outcome::default();
+    engine.check_source(&file, src, &mut outcome);
+    outcome
+}
+
+fn check(rel_path: &str, src: &str) -> Outcome {
+    check_with(rel_path, src, Baseline::empty())
+}
+
+/// New violations for one rule only.
+fn new_for<'a>(outcome: &'a Outcome, rule: &str) -> Vec<&'a mep_lint::Violation> {
+    outcome.new.iter().filter(|v| v.rule == rule).collect()
+}
+
+// Fixture paths: a library file in a result-affecting crate, a declared
+// hot module, and a non-result-affecting crate.
+const LIB: &str = "crates/placer/src/fixture.rs";
+const HOT: &str = "crates/wirelength/src/moreau.rs";
+const COLD_CRATE: &str = "crates/obs/src/fixture.rs";
+
+// --- no-panic-lib -----------------------------------------------------------
+
+#[test]
+fn no_panic_lib_positive() {
+    let out = check(
+        LIB,
+        "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    );
+    let vs = new_for(&out, "no-panic-lib");
+    assert_eq!(vs.len(), 1);
+    assert_eq!((vs[0].line, vs[0].col), (2, 7));
+    assert!(vs[0].message.contains("unwrap"));
+    assert!(out.failed());
+
+    let out = check(LIB, "pub fn f() {\n    todo!()\n}\n");
+    assert_eq!(new_for(&out, "no-panic-lib").len(), 1);
+}
+
+#[test]
+fn no_panic_lib_negative() {
+    // strings and comments never fire (token-level checking)
+    let quiet = r#"
+// x.unwrap() in a comment
+pub fn f() -> &'static str {
+    "x.unwrap() and panic!(...) in a string"
+}
+"#;
+    assert!(new_for(&check(LIB, quiet), "no-panic-lib").is_empty());
+
+    // test code inside a library file is exempt
+    let in_test = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+    assert!(new_for(&check(LIB, in_test), "no-panic-lib").is_empty());
+
+    // binaries, integration tests, and benches may panic
+    for path in [
+        "crates/placer/src/bin/tool.rs",
+        "crates/placer/tests/it.rs",
+        "crates/bench/benches/b.rs",
+    ] {
+        let out = check(path, "pub fn f() { panic!(\"boom\"); }\n");
+        assert!(new_for(&out, "no-panic-lib").is_empty(), "{path}");
+    }
+
+    // `std::panic::catch_unwind` is a path, not the macro
+    let path_use = "pub fn f() { let _ = std::panic::catch_unwind(|| 1); }\n";
+    assert!(new_for(&check(LIB, path_use), "no-panic-lib").is_empty());
+}
+
+#[test]
+fn no_panic_lib_suppressed() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    // lint:allow(no-panic-lib): fixture-justified invariant\n    x.unwrap()\n}\n";
+    let out = check(LIB, src);
+    assert!(out.new.is_empty());
+    assert_eq!(out.suppressed.len(), 1);
+    assert_eq!(out.suppressed[0].reason, "fixture-justified invariant");
+    assert!(!out.failed());
+}
+
+#[test]
+fn no_panic_lib_baseline_masked() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    let mut baseline = Baseline::empty();
+    baseline.set("no-panic-lib", LIB, 1);
+    let out = check_with(LIB, src, baseline);
+    assert!(out.new.is_empty());
+    assert_eq!(out.baselined.len(), 1);
+    assert!(!out.failed());
+}
+
+#[test]
+fn exceeding_the_baseline_reports_every_instance() {
+    let src = "pub fn f(x: Option<u32>, y: Option<u32>) -> u32 {\n    x.unwrap() + y.unwrap()\n}\n";
+    let mut baseline = Baseline::empty();
+    baseline.set("no-panic-lib", LIB, 1);
+    let out = check_with(LIB, src, baseline);
+    // the offender is not identifiable, so the whole file surfaces
+    assert_eq!(new_for(&out, "no-panic-lib").len(), 2);
+    assert!(out.new[0].message.contains("baseline allowance of 1"));
+    assert!(out.failed());
+}
+
+// --- nan-unsafe-cmp ---------------------------------------------------------
+
+#[test]
+fn nan_unsafe_cmp_positive() {
+    let src =
+        "pub fn sort(xs: &mut [f64]) {\n    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+    let out = check(LIB, src);
+    let vs = new_for(&out, "nan-unsafe-cmp");
+    assert_eq!(vs.len(), 1);
+    assert!(vs[0].message.contains("total_cmp"));
+
+    // `.expect(...)` after the call is just as NaN-unsafe
+    let src = "pub fn m(xs: &[f64]) -> f64 {\n    *xs.iter().max_by(|a, b| a.partial_cmp(b).expect(\"finite\")).unwrap()\n}\n";
+    assert_eq!(new_for(&check(LIB, src), "nan-unsafe-cmp").len(), 1);
+}
+
+#[test]
+fn nan_unsafe_cmp_negative() {
+    let src = "pub fn sort(xs: &mut [f64]) {\n    xs.sort_by(|a, b| a.total_cmp(b));\n}\n";
+    assert!(new_for(&check(LIB, src), "nan-unsafe-cmp").is_empty());
+
+    // handling the None case is fine
+    let src = "pub fn cmp(a: f64, b: f64) -> std::cmp::Ordering {\n    a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)\n}\n";
+    assert!(new_for(&check(LIB, src), "nan-unsafe-cmp").is_empty());
+}
+
+#[test]
+fn nan_unsafe_cmp_suppressed_and_masked() {
+    let src = "pub fn sort(xs: &mut [f64]) {\n    // lint:allow(nan-unsafe-cmp): inputs validated finite upstream\n    // lint:allow(no-panic-lib): same invariant\n    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+    let out = check(LIB, src);
+    assert!(out.new.is_empty());
+    assert_eq!(out.suppressed.len(), 2);
+    assert!(!out.failed());
+
+    let src =
+        "pub fn sort(xs: &mut [f64]) {\n    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+    let mut baseline = Baseline::empty();
+    baseline.set("nan-unsafe-cmp", LIB, 1);
+    baseline.set("no-panic-lib", LIB, 1);
+    let out = check_with(LIB, src, baseline);
+    assert!(out.new.is_empty());
+    assert_eq!(out.baselined.len(), 2);
+}
+
+// --- determinism ------------------------------------------------------------
+
+#[test]
+fn determinism_positive() {
+    let src = "use std::collections::HashMap;\npub fn f() -> HashMap<u32, u32> {\n    HashMap::new()\n}\n";
+    let out = check(LIB, src);
+    assert!(!new_for(&out, "determinism").is_empty());
+
+    let src = "pub fn f() -> std::time::Instant {\n    std::time::Instant::now()\n}\n";
+    assert_eq!(new_for(&check(LIB, src), "determinism").len(), 1);
+
+    let src = "pub fn f() -> std::thread::ThreadId {\n    std::thread::current().id()\n}\n";
+    assert!(!new_for(&check(LIB, src), "determinism").is_empty());
+}
+
+#[test]
+fn determinism_negative() {
+    // non-result-affecting crates (telemetry) may use clocks and hash maps
+    let src = "use std::collections::HashMap;\npub fn f() {\n    let _ = std::time::Instant::now();\n    let _: HashMap<u32, u32> = HashMap::new();\n}\n";
+    assert!(new_for(&check(COLD_CRATE, src), "determinism").is_empty());
+
+    // the clock whitelist covers placer's telemetry module
+    let src = "pub fn now() -> std::time::Instant {\n    std::time::Instant::now()\n}\n";
+    let out = check("crates/placer/src/telemetry.rs", src);
+    assert!(new_for(&out, "determinism").is_empty());
+
+    // BTreeMap is the sanctioned container
+    let src = "use std::collections::BTreeMap;\npub fn f() -> BTreeMap<u32, u32> {\n    BTreeMap::new()\n}\n";
+    assert!(new_for(&check(LIB, src), "determinism").is_empty());
+}
+
+#[test]
+fn determinism_suppressed() {
+    let src = "use std::collections::HashMap; // lint:allow(determinism): name-keyed lookup, never iterated\npub struct S {\n    // lint:allow(determinism): name-keyed lookup, never iterated\n    pub by_name: HashMap<String, u32>,\n}\n";
+    let out = check(LIB, src);
+    assert!(new_for(&out, "determinism").is_empty());
+    assert_eq!(out.suppressed.len(), 2);
+}
+
+// --- float-eq ---------------------------------------------------------------
+
+#[test]
+fn float_eq_positive() {
+    let src = "pub fn f(x: f64) -> bool {\n    x == 0.0\n}\n";
+    let out = check(LIB, src);
+    let vs = new_for(&out, "float-eq");
+    assert_eq!(vs.len(), 1);
+    assert!(vs[0].message.contains("tolerance"));
+
+    let src = "pub fn f(x: f64) -> bool {\n    x != f64::INFINITY\n}\n";
+    assert_eq!(new_for(&check(LIB, src), "float-eq").len(), 1);
+
+    // literal on the left
+    let src = "pub fn f(x: f64) -> bool {\n    1.5 == x\n}\n";
+    assert_eq!(new_for(&check(LIB, src), "float-eq").len(), 1);
+}
+
+#[test]
+fn float_eq_negative() {
+    for quiet in [
+        "pub fn f(x: f64) -> bool { x < 0.0 }\n",
+        "pub fn f(x: u32) -> bool { x == 0 }\n",
+        "pub fn f(x: f64) -> bool { (x - 1.0).abs() < 1e-12 }\n",
+        "pub fn f(x: f64) -> bool { x.is_nan() }\n",
+    ] {
+        assert!(
+            new_for(&check(LIB, quiet), "float-eq").is_empty(),
+            "{quiet}"
+        );
+    }
+}
+
+#[test]
+fn float_eq_suppressed() {
+    let src = "pub fn f(x: f64) -> bool {\n    // lint:allow(float-eq): exact-zero sentinel set by construction\n    x == 0.0\n}\n";
+    let out = check(LIB, src);
+    assert!(out.new.is_empty());
+    assert_eq!(out.suppressed.len(), 1);
+}
+
+// --- no-alloc-hot -----------------------------------------------------------
+
+#[test]
+fn no_alloc_hot_positive() {
+    let src = "pub fn f() -> Vec<f64> {\n    let mut v = Vec::new();\n    v.push(1.0);\n    v\n}\n";
+    let out = check(HOT, src);
+    assert_eq!(new_for(&out, "no-alloc-hot").len(), 2); // Vec::new + .push
+
+    let src = "pub fn g(n: usize) -> String {\n    format!(\"{n}\")\n}\n";
+    assert_eq!(new_for(&check(HOT, src), "no-alloc-hot").len(), 1);
+}
+
+#[test]
+fn no_alloc_hot_negative() {
+    // the same allocation outside a declared hot module is fine
+    let src = "pub fn f() -> Vec<f64> {\n    let mut v = Vec::new();\n    v.push(1.0);\n    v\n}\n";
+    assert!(new_for(&check(LIB, src), "no-alloc-hot").is_empty());
+
+    // writing into a preallocated slice is the sanctioned pattern
+    let src =
+        "pub fn f(out: &mut [f64]) {\n    for v in out.iter_mut() {\n        *v = 0.0;\n    }\n}\n";
+    assert!(new_for(&check(HOT, src), "no-alloc-hot").is_empty());
+
+    // tests inside a hot module may allocate
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let _ = vec![1.0]; }\n}\n";
+    assert!(new_for(&check(HOT, src), "no-alloc-hot").is_empty());
+}
+
+#[test]
+fn no_alloc_hot_suppressed_and_masked() {
+    let src = "pub fn plan() -> Vec<f64> {\n    // lint:allow(no-alloc-hot): one-time plan construction, not the per-iteration path\n    Vec::new()\n}\n";
+    let out = check(HOT, src);
+    assert!(out.new.is_empty());
+    assert_eq!(out.suppressed.len(), 1);
+
+    let src = "pub fn plan() -> Vec<f64> {\n    Vec::new()\n}\n";
+    let mut baseline = Baseline::empty();
+    baseline.set("no-alloc-hot", HOT, 1);
+    let out = check_with(HOT, src, baseline);
+    assert!(out.new.is_empty());
+    assert_eq!(out.baselined.len(), 1);
+}
+
+// --- forbid-unsafe ----------------------------------------------------------
+
+#[test]
+fn forbid_unsafe_positive() {
+    let root = "crates/placer/src/lib.rs";
+    let out = check(root, "//! A crate.\npub mod fixture;\n");
+    let vs = new_for(&out, "forbid-unsafe");
+    assert_eq!(vs.len(), 1);
+    assert!(vs[0].message.contains("missing"));
+
+    // `deny` is a distinct, weaker finding
+    let out = check(root, "#![deny(unsafe_code)]\npub mod fixture;\n");
+    let vs = new_for(&out, "forbid-unsafe");
+    assert_eq!(vs.len(), 1);
+    assert!(vs[0].message.contains("deny"));
+}
+
+#[test]
+fn forbid_unsafe_negative() {
+    let root = "crates/placer/src/lib.rs";
+    let src = "//! A crate.\n#![forbid(unsafe_code)]\npub mod fixture;\n";
+    assert!(new_for(&check(root, src), "forbid-unsafe").is_empty());
+
+    // non-root files are not checked for the attribute
+    let out = check(LIB, "pub mod fixture;\n");
+    assert!(new_for(&out, "forbid-unsafe").is_empty());
+}
+
+#[test]
+fn forbid_unsafe_deny_suppressible() {
+    let root = "crates/placer/src/lib.rs";
+    let src = "// lint:allow(forbid-unsafe): one audited unsafe block in a child module\n#![deny(unsafe_code)]\npub mod fixture;\n";
+    let out = check(root, src);
+    assert!(out.new.is_empty());
+    assert_eq!(out.suppressed.len(), 1);
+}
+
+// --- suppression grammar ----------------------------------------------------
+
+#[test]
+fn suppression_without_reason_is_an_error() {
+    let src =
+        "pub fn f(x: Option<u32>) -> u32 {\n    // lint:allow(no-panic-lib)\n    x.unwrap()\n}\n";
+    let out = check(LIB, src);
+    assert_eq!(out.suppress_errors.len(), 1);
+    assert!(out.failed());
+}
+
+#[test]
+fn suppression_of_unknown_rule_is_an_error() {
+    let src = "// lint:allow(no-such-rule): whatever\npub fn f() {}\n";
+    let out = check(LIB, src);
+    assert_eq!(out.suppress_errors.len(), 1);
+    assert!(out.suppress_errors[0].1.message.contains("no-such-rule"));
+    assert!(out.failed());
+}
+
+#[test]
+fn unused_suppression_is_reported_but_non_fatal() {
+    let src = "// lint:allow(float-eq): nothing here actually compares floats\npub fn f() {}\n";
+    let out = check(LIB, src);
+    assert_eq!(out.unused.len(), 1);
+    assert!(!out.failed());
+}
+
+// --- acceptance: injected violation fails with file:line diagnostics --------
+
+#[test]
+fn injected_violation_yields_file_line_rule_diagnostic() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    let out = check(LIB, src);
+    assert!(out.failed(), "an injected violation must fail the run");
+    let rendered = out.new[0].to_string();
+    assert!(
+        rendered.starts_with("crates/placer/src/fixture.rs:2:7 no-panic-lib "),
+        "diagnostic must be `file:line:col rule message`, got: {rendered}"
+    );
+}

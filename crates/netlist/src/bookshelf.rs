@@ -14,6 +14,7 @@ use crate::design::{Design, Row};
 use crate::error::NetlistError;
 use crate::netlist::NetlistBuilder;
 use crate::placement::Placement;
+// lint:allow(determinism): name-keyed lookup tables for parsing; never iterated
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::fs;
@@ -195,6 +196,7 @@ pub fn read_files_with_weights(
     }
 
     // --- .pl (read early: FIXED flags override movability) ----------------
+    // lint:allow(determinism): .pl positions are looked up per cell name; never iterated
     let mut positions: HashMap<String, (f64, f64, bool)> = HashMap::new();
     for (lineno, line) in content_lines(pl_text) {
         let mut tok = line.split_whitespace();
@@ -223,6 +225,7 @@ pub fn read_files_with_weights(
     }
 
     // --- .nets -------------------------------------------------------------
+    // lint:allow(determinism): net-name dedup index for .nets parsing; never iterated
     let mut net_index: HashMap<String, crate::ids::NetId> = HashMap::new();
     {
         let mut lines = content_lines(nets_text).peekable();

@@ -23,6 +23,7 @@ use crate::geom::{Point, Rect};
 use crate::netlist::NetlistBuilder;
 use crate::placement::Placement;
 use crate::Row;
+// lint:allow(determinism): LEF library tables are keyed lookups; see field notes below
 use std::collections::HashMap;
 
 /// A macro (cell type) parsed from LEF.
@@ -35,6 +36,7 @@ pub struct LefMacro {
     /// Height in microns.
     pub height: f64,
     /// Pin name → offset from the macro **center**, microns.
+    // lint:allow(determinism): looked up by pin name; the one values_mut() pass applies a uniform scale (order-independent)
     pub pins: HashMap<String, Point>,
 }
 
@@ -42,8 +44,10 @@ pub struct LefMacro {
 #[derive(Debug, Clone, Default)]
 pub struct LefLibrary {
     /// Site name → (width, height) in microns.
+    // lint:allow(determinism): site dimensions looked up by site name; never iterated
     pub sites: HashMap<String, (f64, f64)>,
     /// Macro name → definition.
+    // lint:allow(determinism): macros looked up by name when instantiating components; never iterated
     pub macros: HashMap<String, LefMacro>,
 }
 
@@ -153,6 +157,7 @@ pub fn parse_lef(text: &str) -> Result<LefLibrary, NetlistError> {
                     name: name.clone(),
                     width: 0.0,
                     height: 0.0,
+                    // lint:allow(determinism): lookup-only table (see LefLibrary field notes)
                     pins: HashMap::new(),
                 };
                 loop {
@@ -675,6 +680,7 @@ pub fn parse_def(
     let mut design = Design::new(design_name, netlist, die, rows, target_density)?;
 
     // regions + group membership
+    // lint:allow(determinism): region name to id lookup while parsing DEF REGIONS; never iterated
     let mut region_ids = HashMap::new();
     for (name, rect) in regions {
         let scaled = Rect::new(
@@ -750,6 +756,7 @@ pub fn write_def(
         .collect();
     let pads: Vec<crate::CellId> = nl
         .cells()
+        // lint:allow(float-eq): zero-area pads are exactly zero by construction
         .filter(|&c| nl.cell_area(c) == 0.0 && !nl.is_movable(c))
         .collect();
     let _ = writeln!(out, "COMPONENTS {} ;", comps.len());
@@ -781,6 +788,7 @@ pub fn write_def(
         let _ = write!(out, " - {}", nl.net_name(net));
         for pin in nl.net_pins(net) {
             let cell = nl.pin_cell(pin);
+            // lint:allow(float-eq): zero-area pads are exactly zero by construction
             if nl.cell_area(cell) == 0.0 && !nl.is_movable(cell) {
                 let _ = write!(out, " ( PIN {} )", nl.cell_name(cell));
             } else {

@@ -20,6 +20,7 @@
 //! assert!(hpwl > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bookshelf;

@@ -24,6 +24,7 @@
 
 use crate::error::NetlistError;
 use crate::ids::{CellId, NetId, PinId};
+// lint:allow(determinism): cell-name index is lookup-only (cell_by_name); never iterated
 use std::collections::HashMap;
 
 /// An immutable placement hypergraph.
@@ -51,6 +52,7 @@ pub struct Netlist {
     cell_pin_start: Vec<u32>,
     cell_pin_ids: Vec<PinId>,
     // lookup
+    // lint:allow(determinism): lookup-only via cell_by_name; never iterated
     name_index: HashMap<String, CellId>,
     // process-unique topology token (see `instance_id`)
     instance_id: u64,
@@ -254,6 +256,7 @@ pub struct NetlistBuilder {
     pin_net: Vec<NetId>,
     pin_offset_x: Vec<f64>,
     pin_offset_y: Vec<f64>,
+    // lint:allow(determinism): lookup-only via cell_by_name; never iterated
     name_index: HashMap<String, CellId>,
 }
 

@@ -456,10 +456,12 @@ pub fn generate(spec: &SynthSpec) -> BookshelfCircuit {
                 continue; // keep blockages out of fences
             }
             let ov: f64 = placed_blocks.iter().map(|r| r.overlap_area(&cand)).sum();
+            // lint:allow(float-eq): exact-zero sentinel for a perfect fit; any nonzero overflow takes the other branch
             if ov == 0.0 {
                 best = (0.0, Point::new(x, y));
                 break;
             }
+            // lint:allow(float-eq): best.0 == 0.0 is the explicit unset sentinel, assigned literally
             if best.0 == 0.0 || ov < best.0 {
                 best = (ov, Point::new(x, y));
             }

@@ -19,6 +19,7 @@
 //! call returning a constant `false` (branch-predictable, no allocation);
 //! metric handles touch a single atomic each.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod json;

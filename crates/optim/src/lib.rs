@@ -27,6 +27,7 @@
 //! assert!(x.iter().all(|v| v.abs() < 1e-3));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 // Numeric kernels index several parallel arrays with one counter; the
 // iterator rewrites clippy suggests obscure those loops.

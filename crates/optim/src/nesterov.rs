@@ -140,6 +140,7 @@ impl Optimizer for Nesterov {
             let dg = distance(&self.g_new, &self.g);
             let dv = distance(&self.v_new, &self.v);
             let alpha_hat = if dg > 1e-30 { dv / dg } else { alpha };
+            // lint:allow(float-eq): guards the division below; exactly zero is the only dangerous value
             if alpha_hat >= 0.95 * alpha || dv == 0.0 {
                 accepted = true;
                 break;

@@ -15,6 +15,7 @@
 //! never degrades the legalized result.
 
 use mep_netlist::{net_hpwl, total_hpwl, CellId, Design, NetId, Netlist, Placement};
+// lint:allow(determinism): membership-only net dedup set; never iterated
 use std::collections::HashSet;
 
 /// Configuration for the detailed placer.
@@ -184,11 +185,7 @@ fn build_rows(design: &Design, placement: &Placement, row_h: f64) -> Vec<Vec<Cel
         }
     }
     for row in &mut rows {
-        row.sort_by(|&a, &b| {
-            placement.x[a.index()]
-                .partial_cmp(&placement.x[b.index()])
-                .expect("finite coordinates")
-        });
+        row.sort_by(|&a, &b| placement.x[a.index()].total_cmp(&placement.x[b.index()]));
     }
     rows
 }
@@ -205,6 +202,7 @@ fn row_obstacles(design: &Design, placement: &Placement, row_h: f64) -> Vec<Vec<
             continue;
         }
         let r = placement.cell_rect(netlist, cell);
+        // lint:allow(float-eq): zero-area obstacles are exactly zero by construction
         if r.area() == 0.0 {
             continue;
         }
@@ -340,6 +338,7 @@ fn global_swap(
             (y / bucket).floor() as i64,
         )
     };
+    // lint:allow(determinism): probed by key only; per-bucket Vecs keep deterministic insertion order
     let mut spatial: std::collections::HashMap<(i64, i32, i64, i64), Vec<CellId>> =
         Default::default();
     for &c in &all {
@@ -433,7 +432,7 @@ fn optimal_position(netlist: &Netlist, placement: &Placement, cell: CellId) -> (
         return (placement.x[cell.index()], placement.y[cell.index()]);
     }
     let med = |v: &mut Vec<f64>| -> f64 {
-        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v.sort_by(|a, b| a.total_cmp(b));
         v[v.len() / 2]
     };
     (med(&mut xs), med(&mut ys))
@@ -453,6 +452,7 @@ fn independent_set_matching(
     let mut accepted = 0;
     let mut attempted = 0;
     // group by (width, region): slot exchanges stay inside one fence
+    // lint:allow(determinism): keys are copied out and sorted before iteration (below)
     let mut by_width: std::collections::HashMap<(i64, i32), Vec<CellId>> = Default::default();
     for &c in rows.iter().flatten() {
         let key = (
@@ -461,6 +461,7 @@ fn independent_set_matching(
         );
         by_width.entry(key).or_default().push(c);
     }
+    // lint:allow(determinism): membership-only dedup of shared nets; never iterated
     let mut nets_seen: HashSet<NetId> = HashSet::new();
     let mut keys: Vec<(i64, i32)> = by_width.keys().copied().collect();
     keys.sort_unstable(); // deterministic iteration order

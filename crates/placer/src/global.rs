@@ -225,6 +225,7 @@ pub fn place_with_engine(
     engine: Arc<EvalEngine>,
 ) -> Result<GlobalResult, PlacerError> {
     validate_circuit(circuit)?;
+    // lint:allow(determinism): the wall-clock budget is an explicit opt-in termination criterion (GlobalConfig::time_budget); its nondeterminism is documented
     let start = Instant::now();
     let design = &circuit.design;
     let model = config.model.instantiate(1.0);

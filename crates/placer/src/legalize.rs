@@ -211,12 +211,7 @@ pub fn legalize(design: &Design, gp: &Placement) -> (Placement, LegalizeReport) 
         .movable_cells()
         .filter(|&c| netlist.cell_height(c) > row_h + 1e-9)
         .collect();
-    macros.sort_by(|&a, &b| {
-        netlist
-            .cell_area(b)
-            .partial_cmp(&netlist.cell_area(a))
-            .expect("areas are finite")
-    });
+    macros.sort_by(|&a, &b| netlist.cell_area(b).total_cmp(&netlist.cell_area(a)));
     let n_macros = macros.len();
     for &m in &macros {
         let w = netlist.cell_width(m);
@@ -288,7 +283,7 @@ pub fn legalize(design: &Design, gp: &Placement) -> (Placement, LegalizeReport) 
             .filter(|o| o.intersects(&band))
             .map(|o| (o.xl.max(row.xl), o.xh.min(row.xh)))
             .collect();
-        cuts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        cuts.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut segments = Vec::new();
         let mut cursor = row.xl;
         for (cl, ch) in cuts {
@@ -362,11 +357,7 @@ pub fn legalize(design: &Design, gp: &Placement) -> (Placement, LegalizeReport) 
         .movable_cells()
         .filter(|&c| netlist.cell_height(c) <= row_h + 1e-9)
         .collect();
-    std_cells.sort_by(|&a, &b| {
-        gp.x[a.index()]
-            .partial_cmp(&gp.x[b.index()])
-            .expect("finite")
-    });
+    std_cells.sort_by(|&a, &b| gp.x[a.index()].total_cmp(&gp.x[b.index()]));
 
     let mut spills = 0usize;
     for &cell in &std_cells {
@@ -376,12 +367,7 @@ pub fn legalize(design: &Design, gp: &Placement) -> (Placement, LegalizeReport) 
         let cell_region = design.cell_region.get(cell.index()).copied().flatten();
         // candidate rows ordered by |dy|
         let mut order: Vec<usize> = (0..rows.len()).collect();
-        order.sort_by(|&a, &b| {
-            (rows[a].0 - ty)
-                .abs()
-                .partial_cmp(&(rows[b].0 - ty).abs())
-                .expect("finite")
-        });
+        order.sort_by(|&a, &b| (rows[a].0 - ty).abs().total_cmp(&(rows[b].0 - ty).abs()));
         let mut best: Option<(f64, usize, usize)> = None; // cost, row, segment
         for &ri in &order {
             let dy = (rows[ri].0 - ty).abs();
@@ -523,10 +509,12 @@ pub fn check_legal(design: &Design, placement: &Placement) -> Vec<Violation> {
     let mut by_row: Vec<Vec<CellId>> = vec![Vec::new(); nrows];
     let occupied = |c: CellId| -> Rect { placement.cell_rect(netlist, c) };
     for cell in netlist.cells() {
+        // lint:allow(float-eq): zero-area pads are exactly zero by construction
         if !netlist.is_movable(cell) && netlist.cell_area(cell) == 0.0 {
             continue;
         }
         let r = occupied(cell);
+        // lint:allow(float-eq): zero-area obstacles are exactly zero by construction
         if r.area() == 0.0 {
             continue;
         }
@@ -534,13 +522,10 @@ pub fn check_legal(design: &Design, placement: &Placement) -> Vec<Violation> {
             by_row[row].push(cell);
         }
     }
+    // lint:allow(determinism): membership-only dedup of reported overlap pairs; never iterated
     let mut seen = std::collections::HashSet::new();
     for row in &mut by_row {
-        row.sort_by(|&a, &b| {
-            placement.x[a.index()]
-                .partial_cmp(&placement.x[b.index()])
-                .expect("finite")
-        });
+        row.sort_by(|&a, &b| placement.x[a.index()].total_cmp(&placement.x[b.index()]));
         for pair in row.windows(2) {
             let (a, b) = (pair[0], pair[1]);
             let (ra, rb) = (occupied(a), occupied(b));
@@ -766,6 +751,44 @@ mod tests {
     }
 
     #[test]
+    fn nan_coordinates_survive_the_legalizer_cut_path() {
+        // Regression for the NaN-unsafe comparators: the legalizer used to
+        // sort cells and candidate rows with `partial_cmp(..).expect(..)`,
+        // so a single NaN global-placement coordinate panicked mid-sort.
+        // With `total_cmp` the sort is NaN-safe (NaN orders after every
+        // finite key) and the remaining cells still legalize.
+        let mut b = mep_netlist::NetlistBuilder::new();
+        for i in 0..3 {
+            b.add_cell(format!("c{i}"), 1.0, 1.0, true).unwrap();
+        }
+        let nl = b.build();
+        let design = mep_netlist::Design::with_uniform_rows(
+            "t",
+            nl,
+            Rect::new(0.0, 0.0, 10.0, 2.0),
+            1.0,
+            1.0,
+            1.0,
+        )
+        .unwrap();
+        let mut gp = Placement::zeros(3);
+        for i in 0..2 {
+            gp.x[i] = 5.0;
+            gp.y[i] = 0.0;
+        }
+        gp.x[2] = f64::NAN; // poisons both the x-order sort and the
+        gp.y[2] = f64::NAN; // candidate-row |dy| sort
+        let (legal, _) = legalize(&design, &gp);
+        assert!(
+            legal.x.iter().chain(legal.y.iter()).all(|v| v.is_finite()),
+            "legalized coordinates must be finite, got x={:?} y={:?}",
+            legal.x,
+            legal.y
+        );
+        assert!(check_legal(&design, &legal).is_empty());
+    }
+
+    #[test]
     fn abacus_on_trivial_row_matches_expectation() {
         // three unit cells targeting the same spot spread shoulder to
         // shoulder around it
@@ -790,7 +813,7 @@ mod tests {
         }
         let (legal, _) = legalize(&design, &gp);
         let mut xs: Vec<f64> = legal.x.clone();
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(xs, vec![4.0, 5.0, 6.0]);
         assert!(check_legal(&design, &legal).is_empty());
     }

@@ -27,6 +27,7 @@
 //! println!("DPWL = {:.3e}, RT = {:.1}s", result.dpwl, result.rt_total());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 // Numeric kernels index several parallel arrays with one counter; the
 // iterator rewrites clippy suggests obscure those loops.

@@ -160,12 +160,12 @@ pub fn b2b_axis_value(coords: &[f64], min_gap: f64) -> f64 {
     let (bi, lo) = coords
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .min_by(|a, b| a.1.total_cmp(b.1))
         .expect("non-empty");
     let (ti, hi) = coords
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .expect("non-empty");
     let w = |a: f64, b: f64| {
         let gap = (a - b).abs().max(min_gap);

@@ -230,6 +230,7 @@ impl EvalEngine {
             return;
         }
         self.parallel_runs.fetch_add(1, Ordering::Relaxed);
+        // lint:allow(no-panic-lib): a poisoned pool lock means a worker thread already panicked; propagating is correct
         let mut guard = self.pool.lock().expect("engine pool lock");
         let pool = self.ensure_spawned(&mut guard);
 
@@ -255,15 +256,18 @@ impl EvalEngine {
             s.send(Msg::Run(Task {
                 func: erased as *const _,
             }))
+            // lint:allow(no-panic-lib): a worker hangup only happens after a worker panic; crashing is the engine contract
             .expect("engine worker hung up");
         }
         // the calling thread is worker 0
         claim_loop();
         for _ in 0..dispatched {
+            // lint:allow(no-panic-lib): a worker hangup only happens after a worker panic; crashing is the engine contract
             pool.done_rx.recv().expect("engine worker hung up");
         }
         drop(guard);
         if self.panicked.swap(false, Ordering::Relaxed) {
+            // lint:allow(no-panic-lib): re-raises a caught worker panic on the caller thread; the guarded loop handles it
             panic!("evaluation engine worker panicked");
         }
     }
@@ -285,12 +289,15 @@ impl EvalEngine {
         guard.get_or_insert_with(|| {
             let workers_needed = self.threads - 1;
             let (done_tx, done_rx) = mpsc::channel();
+            // lint:allow(no-alloc-hot): one-time pool construction, amortized across the whole run
             let mut workers = Vec::with_capacity(workers_needed);
+            // lint:allow(no-alloc-hot): one-time pool construction, amortized across the whole run
             let mut senders = Vec::with_capacity(workers_needed);
             for w in 0..workers_needed {
                 let (tx, rx) = mpsc::channel::<Msg>();
                 let done = done_tx.clone();
                 let handle = std::thread::Builder::new()
+                    // lint:allow(no-alloc-hot): one-time pool construction, amortized across the whole run
                     .name(format!("mep-eval-{w}"))
                     .spawn(move || {
                         while let Ok(msg) = rx.recv() {
@@ -307,8 +314,11 @@ impl EvalEngine {
                             }
                         }
                     })
+                    // lint:allow(no-panic-lib): thread-spawn failure at pool construction is unrecoverable resource exhaustion
                     .expect("spawn engine worker");
+                // lint:allow(no-alloc-hot): one-time pool construction, amortized across the whole run
                 workers.push(handle);
+                // lint:allow(no-alloc-hot): one-time pool construction, amortized across the whole run
                 senders.push(tx);
             }
             self.spawned_threads
@@ -325,6 +335,7 @@ impl EvalEngine {
     /// Times `f`, attributing the wall time (and one evaluation) to
     /// `stage`.
     pub fn time_stage<R>(&self, stage: Stage, f: impl FnOnce() -> R) -> R {
+        // lint:allow(determinism): EngineStats stage timing; durations never feed back into results
         let t0 = Instant::now();
         let r = f();
         let c = &self.stages[stage.index()];

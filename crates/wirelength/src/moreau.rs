@@ -42,6 +42,7 @@ pub struct EnvelopeEval {
 ///
 /// Panics if `x` is empty, `out.len() != x.len()`, or `t ≤ 0`.
 pub fn prox(x: &[f64], t: f64, out: &mut [f64]) -> EnvelopeEval {
+    // lint:allow(no-alloc-hot): convenience wrapper; hot callers use the _in variant with engine workspace scratch
     prox_in(x, t, out, &mut Vec::new())
 }
 
@@ -69,6 +70,7 @@ pub fn prox_in(x: &[f64], t: f64, out: &mut [f64], scratch: &mut Vec<f64>) -> En
 ///
 /// Panics if `x` is empty, `grad.len() != x.len()`, or `t ≤ 0`.
 pub fn eval_with_gradient(x: &[f64], t: f64, grad: &mut [f64]) -> EnvelopeEval {
+    // lint:allow(no-alloc-hot): convenience wrapper; hot callers use the _in variant with engine workspace scratch
     eval_with_gradient_in(x, t, grad, &mut Vec::new())
 }
 
@@ -97,6 +99,7 @@ pub fn eval_with_gradient_in(
 ///
 /// Panics if `x` is empty or `t ≤ 0`.
 pub fn envelope(x: &[f64], t: f64) -> f64 {
+    // lint:allow(no-alloc-hot): convenience wrapper; hot callers use the _in variant with engine workspace scratch
     envelope_in(x, t, &mut Vec::new())
 }
 
@@ -203,6 +206,7 @@ fn sort_small(v: &mut [f64]) {
             cx(v, 3, 5);
             cx(v, 3, 4);
         }
+        // lint:allow(no-panic-lib): sort_small dispatch is exhaustive for n <= 8 by construction (debug_assert upstream)
         _ => unreachable!("sort_small is only called for n <= 8"),
     }
 }
@@ -307,6 +311,7 @@ impl Moreau {
         assert!(t > 0.0, "smoothing parameter must be positive, got {t}");
         Self {
             t,
+            // lint:allow(no-alloc-hot): one empty Vec per evaluator; grows to max net degree once, then reused
             scratch: Vec::new(),
         }
     }

@@ -64,6 +64,7 @@ fn validate(x: &[f64], t: f64) -> Result<bool, WaterfillError> {
 /// sorted copy of the coordinates (the solution is permutation-invariant).
 #[cold]
 fn solve_on_sorted_copy(x: &[f64], t: f64, upper: bool) -> f64 {
+    // lint:allow(no-alloc-hot): #[cold] sorted-copy fallback off the hot path; hot callers pass pre-sorted slices
     let mut sorted = x.to_vec();
     sorted.sort_unstable_by(f64::total_cmp);
     if upper {

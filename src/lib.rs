@@ -33,6 +33,8 @@
 //! println!("final HPWL {:.4e} in {:.1}s", result.dpwl, result.rt_total());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use mep_density as density;
 pub use mep_netlist as netlist;
 pub use mep_obs as obs;
