@@ -83,6 +83,8 @@ fn bench_engine(c: &mut Criterion) {
                 // feeds it) when tracing is off
                 sink.record(&IterationRecord {
                     iter: 0,
+                    level: 0,
+                    stage: None,
                     objective: 0.0,
                     hpwl: 0.0,
                     overflow: 0.0,

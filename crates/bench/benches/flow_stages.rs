@@ -41,7 +41,8 @@ fn bench_stages(c: &mut Criterion) {
     });
     group.bench_function("b2b_quadratic_smoke", |b| {
         b.iter(|| {
-            let (pl, report) = place_b2b(black_box(&circuit), &B2bConfig::default());
+            let (pl, report) =
+                place_b2b(black_box(&circuit), &B2bConfig::default()).expect("placeable circuit");
             black_box((pl.x[0], report.hpwl))
         })
     });

@@ -38,7 +38,7 @@ fn main() {
         // B2B warm start
         eprintln!("[ablation] {bench} × quadratic-init …");
         let t0 = std::time::Instant::now();
-        let (qp, qreport) = place_b2b(&circuit, &B2bConfig::default());
+        let (qp, qreport) = place_b2b(&circuit, &B2bConfig::default()).expect("placeable circuit");
         let qp_time = t0.elapsed().as_secs_f64();
         let warm_circuit = BookshelfCircuit {
             design: circuit.design.clone(),

@@ -1,0 +1,237 @@
+//! **Multilevel scaling** (DESIGN.md §12): on a seeded ≥100k-cell
+//! hierarchical synthetic design, the 2-level warm-started flow must reach
+//! the cold-start final quality (±1%) in measurably less wall-clock and
+//! fewer finest-level iterations — plus an incremental (ECO) re-placement
+//! of a ~10% dirty window, which must finish in a small fraction of a full
+//! solve with every frozen coordinate bit-identical.
+//!
+//! ```text
+//! cargo run -p mep-bench --release --bin multilevel_scaling [--fast]
+//! ```
+//!
+//! Writes `results/multilevel_reports.jsonl` (one JSON line per variant:
+//! `cold`, `warm2`, `eco`; the `warm2` report carries `ml.cmp.*`
+//! comparison metrics, the `eco` report `eco.cmp.*`).
+
+use mep_bench::{write_reports_jsonl, BenchmarkRow, FlowOptions};
+use mep_netlist::bookshelf::BookshelfCircuit;
+use mep_netlist::{synth, Rect};
+use mep_obs::Registry;
+use mep_placer::flow::{replace_region, run_multilevel, EcoConfig, MultilevelConfig};
+use mep_placer::pipeline::{run, PipelineConfig};
+use mep_placer::GlobalConfig;
+use mep_wirelength::ModelKind;
+use std::time::Instant;
+
+fn main() {
+    let opts = FlowOptions::from_args();
+    // --fast / --shrink scale the 100k-cell headline design down for
+    // smoke-level turnaround (the CI job runs --fast).
+    let movable = (100_000 / opts.shrink.max(1)).max(4_000);
+    let spec = synth::scaled_clustered_spec(movable, 7);
+    eprintln!(
+        "[ml-scale] generating `{}` ({} movable cells, seed {}) …",
+        spec.name, spec.movable, spec.seed
+    );
+    let circuit = synth::generate(&spec);
+    let config = PipelineConfig {
+        global: GlobalConfig {
+            model: ModelKind::Moreau,
+            max_iters: opts.max_iters,
+            threads: opts.threads,
+            ..GlobalConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+
+    // ---- cold start: the flat flow from the center pile ----
+    eprintln!("[ml-scale] cold flat flow …");
+    let t0 = Instant::now();
+    let cold = run(&circuit, &config).expect("cold placement flow");
+    let cold_rt = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "[ml-scale] cold: DPWL {:.4e}  {} iters  {:.1}s",
+        cold.dpwl, cold.iterations, cold_rt
+    );
+
+    // ---- warm start: 2-level coarsen + LB/UB alternation ----
+    eprintln!("[ml-scale] 2-level warm-started flow …");
+    let t1 = Instant::now();
+    let warm = run_multilevel(
+        &circuit,
+        &MultilevelConfig {
+            levels: 2,
+            pipeline: config.clone(),
+            ..MultilevelConfig::default()
+        },
+    )
+    .expect("warm multilevel flow");
+    let warm_rt = t1.elapsed().as_secs_f64();
+    for s in &warm.level_stats {
+        eprintln!(
+            "[ml-scale]   level {}: {} movable  {} iters  HPWL {:.4e}  {:.2}s",
+            s.level, s.movable, s.iterations, s.hpwl, s.rt_seconds
+        );
+    }
+    let dpwl_ratio = warm.result.dpwl / cold.dpwl;
+    let speedup = cold_rt / warm_rt;
+    eprintln!(
+        "[ml-scale] warm2: DPWL {:.4e} ({:+.3}% vs cold)  {} finest iters \
+         (cold {})  {:.1}s  speedup {:.2}x",
+        warm.result.dpwl,
+        100.0 * (dpwl_ratio - 1.0),
+        warm.result.iterations,
+        cold.iterations,
+        warm_rt,
+        speedup
+    );
+
+    // comparison metrics ride on the warm row's report
+    let mut warm_report = warm.result.report.clone();
+    {
+        let cmp = Registry::new();
+        cmp.gauge("ml.cmp.cold_dpwl").set(cold.dpwl);
+        cmp.gauge("ml.cmp.warm_dpwl").set(warm.result.dpwl);
+        cmp.gauge("ml.cmp.dpwl_ratio").set(dpwl_ratio);
+        cmp.gauge("ml.cmp.cold_rt_seconds").set(cold_rt);
+        cmp.gauge("ml.cmp.warm_rt_seconds").set(warm_rt);
+        cmp.gauge("ml.cmp.speedup").set(speedup);
+        cmp.counter("ml.cmp.cold_iterations")
+            .add(cold.iterations as u64);
+        cmp.counter("ml.cmp.warm_finest_iterations")
+            .add(warm.result.iterations as u64);
+        warm_report.merge_registry(&cmp);
+    }
+
+    // ---- ECO: re-place a ~10%-area dirty window of the warm result ----
+    let die = circuit.design.die;
+    let frac = 0.316; // ~10% of the die area
+    let window = Rect::new(
+        die.xl,
+        die.yl,
+        die.xl + frac * die.width(),
+        die.yl + frac * die.height(),
+    );
+    let placed = BookshelfCircuit {
+        design: circuit.design.clone(),
+        placement: warm.result.placement.clone(),
+    };
+    eprintln!("[ml-scale] ECO re-placement within {window} …");
+    let eco = replace_region(
+        &placed,
+        window,
+        &EcoConfig {
+            pipeline: config.clone(),
+        },
+    )
+    .expect("ECO flow");
+    // hard check: every frozen coordinate bit-identical
+    let nl = &circuit.design.netlist;
+    for cell in nl.movable_cells() {
+        if !placed.placement.cell_rect(nl, cell).intersects(&window) {
+            assert_eq!(
+                eco.placement.x[cell.index()].to_bits(),
+                placed.placement.x[cell.index()].to_bits(),
+                "frozen cell moved"
+            );
+            assert_eq!(
+                eco.placement.y[cell.index()].to_bits(),
+                placed.placement.y[cell.index()].to_bits(),
+                "frozen cell moved"
+            );
+        }
+    }
+    let eco_fraction = eco.rt_seconds / cold_rt;
+    eprintln!(
+        "[ml-scale] eco: {} replaced / {} frozen (bit-identical)  HPWL {:.4e} -> {:.4e}  \
+         {:.1}s = {:.1}% of a full cold solve",
+        eco.replaced,
+        eco.frozen,
+        eco.hpwl_before,
+        eco.hpwl_after,
+        eco.rt_seconds,
+        100.0 * eco_fraction
+    );
+    let mut eco_report = eco.report.clone();
+    {
+        let cmp = Registry::new();
+        cmp.gauge("eco.cmp.rt_seconds").set(eco.rt_seconds);
+        cmp.gauge("eco.cmp.full_solve_rt_seconds").set(cold_rt);
+        cmp.gauge("eco.cmp.rt_fraction").set(eco_fraction);
+        cmp.counter("eco.cmp.frozen_bit_identical")
+            .add(eco.frozen as u64);
+        eco_report.merge_registry(&cmp);
+    }
+
+    let rows = [
+        BenchmarkRow {
+            bench: format!("{}/cold", spec.name),
+            model: ModelKind::Moreau,
+            lgwl: cold.lgwl,
+            dpwl: cold.dpwl,
+            rt: cold_rt,
+            iterations: cold.iterations,
+            overflow: cold.overflow,
+            violations: cold.violations,
+            report: cold.report.clone(),
+        },
+        BenchmarkRow {
+            bench: format!("{}/warm2", spec.name),
+            model: ModelKind::Moreau,
+            lgwl: warm.result.lgwl,
+            dpwl: warm.result.dpwl,
+            rt: warm_rt,
+            iterations: warm.result.iterations,
+            overflow: warm.result.overflow,
+            violations: warm.result.violations,
+            report: warm_report,
+        },
+        BenchmarkRow {
+            bench: format!("{}/eco", spec.name),
+            model: ModelKind::Moreau,
+            lgwl: eco.hpwl_after,
+            dpwl: eco.hpwl_after,
+            rt: eco.rt_seconds,
+            iterations: eco.iterations,
+            overflow: 0.0,
+            violations: eco.violations,
+            report: eco_report,
+        },
+    ];
+    match write_reports_jsonl("results/multilevel_reports.jsonl", &rows) {
+        Ok(()) => println!(
+            "wrote results/multilevel_reports.jsonl ({} rows)",
+            rows.len()
+        ),
+        Err(e) => {
+            eprintln!("could not write results/multilevel_reports.jsonl: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "cold  DPWL {:.4e}  iters {:<5}  RT {:.1}s",
+        cold.dpwl, cold.iterations, cold_rt
+    );
+    println!(
+        "warm2 DPWL {:.4e}  iters {:<5}  RT {:.1}s  ({:+.3}% quality, {:.2}x speedup)",
+        warm.result.dpwl,
+        warm.result.iterations,
+        warm_rt,
+        100.0 * (dpwl_ratio - 1.0),
+        speedup
+    );
+    println!(
+        "eco   HPWL {:.4e}  iters {:<5}  RT {:.1}s  ({:.1}% of full solve)",
+        eco.hpwl_after,
+        eco.iterations,
+        eco.rt_seconds,
+        100.0 * eco_fraction
+    );
+    if dpwl_ratio > 1.01 {
+        eprintln!(
+            "warning: warm-started DPWL {:.3}% worse than cold start (budget: 1%)",
+            100.0 * (dpwl_ratio - 1.0)
+        );
+        std::process::exit(1);
+    }
+}

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod bookshelf;
+pub mod cluster;
 pub mod design;
 pub mod error;
 pub mod geom;
@@ -33,6 +34,7 @@ pub mod netlist;
 pub mod placement;
 pub mod synth;
 
+pub use cluster::{coarsen, ClusterConfig, CoarsenStats, Coarsened, ProlongationMap};
 pub use design::{Design, Region, Row};
 pub use error::NetlistError;
 pub use geom::{Point, Rect};

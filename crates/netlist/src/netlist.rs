@@ -240,6 +240,44 @@ impl Netlist {
         }
         hist
     }
+
+    /// A copy of this netlist with a different movability mask, same
+    /// topology otherwise. This is the substrate for incremental (ECO)
+    /// re-placement: cells outside a dirty window are frozen by marking
+    /// them immovable, which the placer then treats exactly like fixed
+    /// blockages — their coordinates are never written.
+    ///
+    /// The copy gets a **fresh** [`Netlist::instance_id`]: evaluators key
+    /// topology-derived caches (movable partitions, gather indices) on the
+    /// id, and the movable set *is* part of that derived state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Geometry`] if `movable.len()` does not equal
+    /// [`Netlist::num_cells`].
+    pub fn with_movability(&self, movable: &[bool]) -> Result<Netlist, NetlistError> {
+        if movable.len() != self.num_cells() {
+            return Err(NetlistError::Geometry(format!(
+                "movability mask has {} entries for {} cells",
+                movable.len(),
+                self.num_cells()
+            )));
+        }
+        let mut copy = self.clone();
+        copy.cell_movable = movable.to_vec();
+        copy.instance_id = next_instance_id();
+        Ok(copy)
+    }
+}
+
+/// Mints a process-unique netlist instance id.
+///
+/// Id 0 is reserved for `Netlist::default()` so freshly built netlists are
+/// always distinguishable from the empty default.
+fn next_instance_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT_INSTANCE_ID: AtomicU64 = AtomicU64::new(1);
+    NEXT_INSTANCE_ID.fetch_add(1, Ordering::Relaxed)
 }
 
 /// Incremental builder for [`Netlist`].
@@ -378,11 +416,7 @@ impl NetlistBuilder {
 
     /// Finalizes the netlist, computing the cell → pin adjacency.
     pub fn build(self) -> Netlist {
-        use std::sync::atomic::{AtomicU64, Ordering};
-        // id 0 is reserved for `Netlist::default()` so freshly built
-        // netlists are always distinguishable from the empty default
-        static NEXT_INSTANCE_ID: AtomicU64 = AtomicU64::new(1);
-        let instance_id = NEXT_INSTANCE_ID.fetch_add(1, Ordering::Relaxed);
+        let instance_id = next_instance_id();
         let num_cells = self.cell_names.len();
         let num_pins = self.pin_cell.len();
         // counting sort of pins by cell
@@ -509,6 +543,22 @@ mod tests {
         let nl = tiny();
         assert_eq!(nl.pin_offset_x(PinId(1)), 0.5);
         assert_eq!(nl.pin_offset_y(PinId(1)), -0.5);
+    }
+
+    #[test]
+    fn with_movability_swaps_mask_and_mints_fresh_id() {
+        let nl = tiny();
+        let masked = nl.with_movability(&[false, true, false]).unwrap();
+        assert_eq!(masked.num_movable(), 1);
+        assert!(!masked.is_movable(CellId(0)));
+        assert!(masked.is_movable(CellId(1)));
+        // topology untouched
+        assert_eq!(masked.num_pins(), nl.num_pins());
+        assert_eq!(masked.net_degree(NetId(1)), 3);
+        // cache-invalidation token must differ (movable set is cached state)
+        assert_ne!(masked.instance_id(), nl.instance_id());
+        // wrong mask length is a typed error
+        assert!(nl.with_movability(&[true]).is_err());
     }
 
     #[test]

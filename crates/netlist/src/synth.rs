@@ -62,6 +62,12 @@ pub struct SynthSpec {
     /// the ISPD2019 suite without region handling, so Table III specs keep
     /// 0 — see [`smoke_regions_spec`] for a constrained demo).
     pub regions: usize,
+    /// Number of hierarchy groups for the clustered generator mode
+    /// (0 or 1 = flat legacy mode, bit-identical to earlier releases).
+    /// With `clusters > 1` the movable cells are partitioned into that many
+    /// groups and nets are drawn group-locally with a small cross-group
+    /// fraction — the structure multilevel coarsening exploits.
+    pub clusters: usize,
 }
 
 impl SynthSpec {
@@ -90,7 +96,15 @@ impl SynthSpec {
             utilization,
             seed,
             regions: 0,
+            clusters: 0,
         }
+    }
+
+    /// Switches the spec to the hierarchical/clustered generator mode with
+    /// the given number of groups (see [`SynthSpec::clusters`]).
+    pub fn with_clusters(mut self, clusters: usize) -> Self {
+        self.clusters = clusters;
+        self
     }
 }
 
@@ -362,6 +376,37 @@ pub fn smoke_regions_spec() -> SynthSpec {
     spec
 }
 
+/// The smoke circuit in hierarchical mode (8 groups) — the standard small
+/// workload for multilevel coarsening tests.
+pub fn smoke_clustered_spec() -> SynthSpec {
+    let mut spec = smoke_spec();
+    spec.name = "smoke_clustered".to_string();
+    spec.clusters = 8;
+    spec
+}
+
+/// A scalable hierarchical benchmark for multilevel scaling experiments:
+/// `movable` standard cells in `movable / 400` groups (at least 8), with
+/// net/pin counts following the ISPD2006 shape.
+pub fn scaled_clustered_spec(movable: usize, seed: u64) -> SynthSpec {
+    let movable = movable.max(1_000);
+    let mut spec = SynthSpec::new(
+        "ml_scale",
+        Suite::Ispd2006,
+        movable,
+        (movable / 50).max(16),
+        movable + movable / 20,
+        movable * 4,
+        0,
+        0.80,
+        0.45,
+        seed,
+    );
+    spec.name = format!("ml_scale_{movable}");
+    spec.clusters = (movable / 400).max(8);
+    spec
+}
+
 /// Generates the circuit for a spec: design geometry, netlist, and an
 /// initial placement (fixed cells placed, movable cells at the die center
 /// with a small deterministic jitter).
@@ -508,6 +553,14 @@ pub fn generate(spec: &SynthSpec) -> BookshelfCircuit {
         // aim for each fixed cell to appear on ~2 nets
         (2.0 * spec.fixed as f64 / spec.pins.max(1) as f64).min(0.25)
     };
+    // hierarchical mode: groups are contiguous slices of the ordering; a
+    // net is confined to its anchor's group except for a small cross-group
+    // fraction (clusters <= 1 keeps the flat legacy RNG stream bit-exactly)
+    let clusters = if spec.movable >= 4 {
+        spec.clusters.min(spec.movable / 2)
+    } else {
+        0
+    };
     let mut scratch: Vec<usize> = Vec::new();
     for n in 0..spec.nets {
         let mut degree = 2usize;
@@ -516,6 +569,16 @@ pub fn generate(spec: &SynthSpec) -> BookshelfCircuit {
         }
         let window = (degree * 24).clamp(32, spec.movable.max(2));
         let anchor = rng.gen_range(0..spec.movable.max(1));
+        let (glo, ghi) = if clusters > 1 {
+            let g = anchor * clusters / spec.movable.max(1);
+            let lo = g * spec.movable / clusters;
+            let hi = ((g + 1) * spec.movable / clusters)
+                .max(lo + 2)
+                .min(order.len());
+            (lo.min(hi.saturating_sub(2)), hi)
+        } else {
+            (0, order.len())
+        };
         scratch.clear();
         let mut guard = 0;
         while scratch.len() < degree && guard < degree * 20 {
@@ -523,6 +586,17 @@ pub fn generate(spec: &SynthSpec) -> BookshelfCircuit {
             let cell = if rng.gen::<f64>() < term_prob {
                 // a fixed cell (terminal or blockage)
                 spec.movable + rng.gen_range(0..spec.fixed)
+            } else if clusters > 1 {
+                if rng.gen::<f64>() < 0.08 {
+                    // cross-group connection
+                    order[rng.gen_range(0..order.len())] as usize
+                } else {
+                    let lo = anchor
+                        .saturating_sub(window / 2)
+                        .clamp(glo, ghi.saturating_sub(1));
+                    let hi = (lo + window).min(ghi);
+                    order[rng.gen_range(lo..hi)] as usize
+                }
             } else if rng.gen::<f64>() < 0.1 {
                 // long-range connection
                 order[rng.gen_range(0..order.len())] as usize
@@ -730,6 +804,63 @@ mod tests {
             .filter(|&c| nl.cell_height(c) > 1.0)
             .count();
         assert_eq!(macros, spec.movable_macros);
+    }
+
+    #[test]
+    fn clustered_mode_is_deterministic_and_matches_counts() {
+        let spec = smoke_clustered_spec();
+        assert!(spec.clusters > 1);
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.placement, b.placement);
+        let nl = &a.design.netlist;
+        assert_eq!(nl.num_movable(), spec.movable);
+        assert_eq!(nl.num_nets(), spec.nets);
+        for net in nl.nets() {
+            assert!(nl.net_degree(net) >= 2);
+        }
+    }
+
+    #[test]
+    fn clustered_mode_changes_topology_and_supports_two_level_coarsening() {
+        // same counts as the flat smoke circuit, different net structure
+        // (the hierarchical branch must actually fire), and the resulting
+        // workload must coarsen well twice in a row — the property the
+        // multilevel driver depends on
+        let flat = generate(&smoke_spec());
+        let clustered = generate(&smoke_clustered_spec());
+        let fp: Vec<_> = flat
+            .design
+            .netlist
+            .pins()
+            .map(|p| flat.design.netlist.pin_cell(p))
+            .collect();
+        let cp: Vec<_> = clustered
+            .design
+            .netlist
+            .pins()
+            .map(|p| clustered.design.netlist.pin_cell(p))
+            .collect();
+        assert_ne!(fp, cp, "clustered mode produced the flat topology");
+        let cfg = crate::cluster::ClusterConfig::default();
+        let l1 = crate::cluster::coarsen(&clustered.design, &clustered.placement, &cfg).unwrap();
+        let l2 = crate::cluster::coarsen(&l1.design, &l1.placement, &cfg).unwrap();
+        let fine = clustered.design.netlist.num_movable() as f64;
+        assert!(
+            (l2.stats.coarse_movable as f64) < 0.45 * fine,
+            "two coarsening levels only reached {} of {} movable",
+            l2.stats.coarse_movable,
+            fine
+        );
+    }
+
+    #[test]
+    fn scaled_clustered_spec_scales() {
+        let spec = scaled_clustered_spec(10_000, 7);
+        assert_eq!(spec.movable, 10_000);
+        assert!(spec.clusters >= 8);
+        let c = generate(&spec);
+        assert_eq!(c.design.netlist.num_movable(), 10_000);
     }
 
     #[test]

@@ -27,6 +27,21 @@ impl RunReport {
         &self.metrics
     }
 
+    /// Merges another registry snapshot into this report. Metrics whose
+    /// names already exist are overwritten by the merged registry's value;
+    /// lookup order (sorted by name) is preserved.
+    ///
+    /// This is how stage drivers layer their own telemetry on top of an
+    /// inner flow's report — e.g. the multilevel placement driver stamping
+    /// `ml.*` level metrics onto the finest-level pipeline report.
+    pub fn merge_registry(&mut self, registry: &Registry) {
+        let incoming = registry.snapshot();
+        self.metrics
+            .retain(|(name, _)| incoming.binary_search_by(|(n, _)| n.cmp(name)).is_err());
+        self.metrics.extend(incoming);
+        self.metrics.sort_by(|(a, _), (b, _)| a.cmp(b));
+    }
+
     /// Looks up one metric by name.
     pub fn get(&self, name: &str) -> Option<&MetricValue> {
         self.metrics
@@ -158,6 +173,24 @@ mod tests {
             rep.get("lg.displacement"),
             Some(MetricValue::Histogram { count: 2, .. })
         ));
+    }
+
+    #[test]
+    fn merge_registry_overrides_and_keeps_lookup_sorted() {
+        let mut rep = sample();
+        let extra = Registry::new();
+        extra.counter("ml.levels").add(2);
+        extra.gauge("gp.hpwl").set(99.0); // overrides the sample value
+        rep.merge_registry(&extra);
+        assert_eq!(rep.counter("ml.levels"), Some(2));
+        assert_eq!(rep.gauge("gp.hpwl"), Some(99.0));
+        // untouched metrics survive and binary-search lookup still works
+        assert_eq!(rep.counter("gp.iterations"), Some(42));
+        assert_eq!(rep.label("flow.termination"), Some("converged"));
+        let names: Vec<&str> = rep.metrics().iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
     }
 
     #[test]

@@ -18,6 +18,13 @@ use std::sync::Mutex;
 pub struct IterationRecord {
     /// Iteration index (0-based).
     pub iter: u64,
+    /// Multilevel hierarchy level this iteration ran on (0 = the original
+    /// finest netlist; higher = coarser cluster levels).
+    pub level: u64,
+    /// Flow stage that produced the record (`None` for the plain flat
+    /// flow; e.g. `"warm-lb"`, `"warm-ub"`, `"coarse"`, `"final"`,
+    /// `"eco"` for the multilevel/incremental drivers).
+    pub stage: Option<String>,
     /// Smoothed objective `Σ W_e + λ D` at this step.
     pub objective: f64,
     /// Exact half-perimeter wirelength at this step.
@@ -44,6 +51,8 @@ impl IterationRecord {
     pub fn to_json(&self) -> String {
         let mut o = JsonObject::new();
         o.field_u64("iter", self.iter)
+            .field_u64("level", self.level)
+            .field_opt_str("stage", self.stage.as_deref())
             .field_f64("objective", self.objective)
             .field_f64("hpwl", self.hpwl)
             .field_f64("overflow", self.overflow)
@@ -176,6 +185,8 @@ mod tests {
     fn rec(iter: u64) -> IterationRecord {
         IterationRecord {
             iter,
+            level: 0,
+            stage: None,
             objective: 10.0,
             hpwl: 9.0,
             overflow: 0.5,
@@ -212,6 +223,8 @@ mod tests {
         let json = rec(7).to_json();
         for key in [
             "\"iter\":7",
+            "\"level\":0",
+            "\"stage\":null",
             "\"objective\":",
             "\"hpwl\":",
             "\"overflow\":",

@@ -96,6 +96,11 @@ pub struct GlobalConfig {
     pub alpha: (f64, f64),
     /// `β` of Eq. (15).
     pub beta: f64,
+    /// Multiplier on the bootstrapped λ₀ (and therefore on the Eq. (15)
+    /// ramp rate). `1.0` is the paper flow; warm-started stages of the
+    /// multilevel driver raise it so a placement that is already spread
+    /// does not re-walk the whole density ramp from the beginning.
+    pub lambda_scale: f64,
     /// Numerical-health guard (rollback, backoff, degradation ladder).
     pub guard: GuardConfig,
     /// Optional wall-clock budget; on expiry the best snapshot so far is
@@ -110,6 +115,14 @@ pub struct GlobalConfig {
     /// `enabled() == false`, so the loop skips building records (and the
     /// exact-HPWL evaluation feeding them) entirely.
     pub trace: Arc<dyn TraceSink>,
+    /// Multilevel hierarchy level this run operates on (0 = the original
+    /// finest netlist). Purely observational: stamped into every
+    /// [`IterationRecord`] by the loop.
+    pub level: u32,
+    /// Flow-stage label stamped into trace records (`None` for the flat
+    /// flow; the multilevel/ECO drivers set `"warm-ub"`, `"coarse"`,
+    /// `"final"`, `"eco"`, …).
+    pub stage: Option<String>,
 }
 
 impl Default for GlobalConfig {
@@ -128,10 +141,13 @@ impl Default for GlobalConfig {
             gamma0: 0.5,
             alpha: (1.01, 1.02),
             beta: 2000.0,
+            lambda_scale: 1.0,
             guard: GuardConfig::default(),
             time_budget: None,
             fault_injection: None,
             trace: Arc::new(NoopSink),
+            level: 0,
+            stage: None,
         }
     }
 }
@@ -278,7 +294,7 @@ pub fn place_with_engine(
     problem.eval(&params, &mut grad);
     let both_norm: f64 = grad.iter().map(|g| g.abs()).sum();
     let density_norm = (both_norm - wl_norm).abs().max(1e-30);
-    let lambda0 = (wl_norm / density_norm).max(1e-12);
+    let lambda0 = (wl_norm / density_norm).max(1e-12) * config.lambda_scale.max(1e-6);
     if !lambda0.is_finite() {
         return Err(PlacerError::NumericalFailure {
             iteration: 0,
@@ -451,6 +467,8 @@ pub fn place_with_engine(
         if tracing {
             trace.record(&IterationRecord {
                 iter: iter as u64,
+                level: config.level as u64,
+                stage: config.stage.clone(),
                 objective: value,
                 hpwl: problem.exact_hpwl(&params),
                 overflow: phi,

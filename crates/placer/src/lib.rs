@@ -12,6 +12,8 @@
 //! * [`detail`] — local reordering, global swap, independent-set matching;
 //! * [`pipeline`] — GP → LG → DP with the LGWL / DPWL / RT metrics of
 //!   Tables II and III;
+//! * [`flow`] — the multilevel driver (cluster coarsening + LB/UB
+//!   warm-start alternation) and incremental (ECO) re-placement;
 //! * [`guard`] + [`error`] — numerical-health monitoring with
 //!   best-snapshot rollback and typed, fault-tolerant errors for the whole
 //!   flow.
@@ -36,6 +38,7 @@
 pub mod assignment;
 pub mod detail;
 pub mod error;
+pub mod flow;
 pub mod global;
 pub mod guard;
 pub mod legalize;
@@ -46,6 +49,10 @@ pub mod telemetry;
 
 pub use detail::{DetailConfig, DetailReport};
 pub use error::PlacerError;
+pub use flow::{
+    replace_region, run_multilevel, EcoConfig, EcoResult, LevelStats, MultilevelConfig,
+    MultilevelResult,
+};
 pub use global::{
     place_with_engine, GlobalConfig, GlobalResult, MoreauSchedule, OptimizerKind, TrajectoryPoint,
 };
@@ -53,5 +60,5 @@ pub use guard::{
     Fault, GuardConfig, HealthMonitor, RecoveryAction, RecoveryEvent, RecoveryLog, Termination,
 };
 pub use legalize::{check_legal, legalize, LegalizeReport, Violation};
-pub use pipeline::{run, PipelineConfig, PipelineResult};
+pub use pipeline::{run, run_with_engine, PipelineConfig, PipelineResult};
 pub use telemetry::DispHistogram;

@@ -90,8 +90,22 @@ pub fn run(
     circuit: &BookshelfCircuit,
     config: &PipelineConfig,
 ) -> Result<PipelineResult, PlacerError> {
-    let design = &circuit.design;
     let engine = Arc::new(EvalEngine::new(config.global.threads));
+    run_with_engine(circuit, config, engine)
+}
+
+/// [`run`] with a caller-supplied evaluation engine.
+///
+/// Multi-stage drivers (the multilevel flow, ECO re-placement) keep one
+/// engine alive across several pipeline invocations so the worker pool and
+/// gradient workspaces are spawned exactly once per process, not once per
+/// level.
+pub fn run_with_engine(
+    circuit: &BookshelfCircuit,
+    config: &PipelineConfig,
+    engine: Arc<EvalEngine>,
+) -> Result<PipelineResult, PlacerError> {
+    let design = &circuit.design;
 
     // lint:allow(determinism): stage wall-time telemetry; durations never feed back into results
     let t0 = Instant::now();

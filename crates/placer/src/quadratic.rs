@@ -10,11 +10,21 @@
 //! and re-linearizing a few times is the classic quadratic placement
 //! iteration.
 //!
-//! Used here as (a) the paper-adjacent baseline, (b) an optional
-//! wirelength-aware *initializer* for the nonlinear global placer, and
-//! (c) the home of a small matrix-free Jacobi-preconditioned conjugate
-//!-gradient solver for the SPD Laplacian systems.
+//! Used here as (a) the paper-adjacent baseline, (b) the **lower-bound
+//! engine** of the LB/UB multilevel flow ([`crate::flow`]): the quadratic
+//! solve ignores density and therefore lower-bounds the achievable
+//! wirelength, while the guarded Moreau/density loop provides the
+//! spread-out upper bound. [`place_b2b_anchored`] adds Coloquinte-style
+//! pseudo-net anchors that pull each movable cell toward the last
+//! upper-bound solution with a growing force factor, and (c) the home of a
+//! small matrix-free Jacobi-preconditioned conjugate-gradient solver for
+//! the SPD Laplacian systems.
+//!
+//! All entry points return typed [`PlacerError`]s on degenerate inputs
+//! (fully-fixed designs, netlists whose multi-pin nets touch no movable
+//! cell) instead of silently returning the input placement unchanged.
 
+use crate::error::PlacerError;
 use mep_netlist::bookshelf::BookshelfCircuit;
 use mep_netlist::{Netlist, Placement};
 
@@ -258,10 +268,50 @@ pub struct B2bReport {
     pub cg_iterations: usize,
 }
 
+/// Pseudo-net anchors pulling every movable cell toward a target
+/// placement — the mechanism that couples the quadratic lower bound to
+/// the density-aware upper bound in the LB/UB alternation (SimPL \[3\],
+/// Coloquinte). Each movable cell `i` gets an anchor of weight
+/// `force_factor · area_i / mean_movable_area` on both axes, so bigger
+/// cells are pulled proportionally harder and the factor is dimensionless
+/// across designs. The driver grows `force_factor` geometrically per
+/// round to converge the two bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct AnchorSet<'a> {
+    /// Placement to pull toward (lower-left coordinates, same indexing as
+    /// the circuit's netlist).
+    pub target: &'a Placement,
+    /// Dimensionless anchor strength; `0.0` disables the pull.
+    pub force_factor: f64,
+}
+
 /// Runs iterative B2B quadratic placement (wirelength only, no density —
 /// the classic lower-bound placement that overlaps freely). Returns the
 /// placement and a report.
-pub fn place_b2b(circuit: &BookshelfCircuit, config: &B2bConfig) -> (Placement, B2bReport) {
+///
+/// # Errors
+/// [`PlacerError::DegenerateInput`] when the design has no movable cells
+/// or when no net can constrain a movable cell (e.g. only single-pin
+/// nets), instead of silently returning the input unchanged.
+pub fn place_b2b(
+    circuit: &BookshelfCircuit,
+    config: &B2bConfig,
+) -> Result<(Placement, B2bReport), PlacerError> {
+    place_b2b_anchored(circuit, config, None)
+}
+
+/// [`place_b2b`] with optional pseudo-net anchors toward a target
+/// placement (the LB half of the LB/UB alternation). With
+/// `anchors: None` this is exactly the plain B2B solve.
+///
+/// # Errors
+/// Same degenerate-input contract as [`place_b2b`]; additionally rejects
+/// an anchor target whose length does not match the netlist.
+pub fn place_b2b_anchored(
+    circuit: &BookshelfCircuit,
+    config: &B2bConfig,
+    anchors: Option<AnchorSet<'_>>,
+) -> Result<(Placement, B2bReport), PlacerError> {
     let netlist = &circuit.design.netlist;
     let mut placement = circuit.placement.clone();
     let movable: Vec<mep_netlist::CellId> = netlist.movable_cells().collect();
@@ -270,6 +320,58 @@ pub fn place_b2b(circuit: &BookshelfCircuit, config: &B2bConfig) -> (Placement, 
         movable_index[c.index()] = Some(i as u32);
     }
     let m = movable.len();
+    if m == 0 {
+        return Err(PlacerError::DegenerateInput {
+            reason: "quadratic placement on a fully fixed design: no movable cells".to_string(),
+        });
+    }
+    // At least one net must be able to exert force on a movable cell:
+    // ≥2 pins (single-pin nets contribute no B2B edges), positive weight,
+    // and at least one pin on a movable cell. Otherwise the system is all
+    // zero rows and the "solution" would just echo the input placement.
+    let constrains_movable = netlist.nets().any(|net| {
+        netlist.net_degree(net) >= 2
+            && netlist.net_weight(net) > 0.0
+            && netlist
+                .net_pins(net)
+                .any(|p| netlist.is_movable(netlist.pin_cell(p)))
+    });
+    if !constrains_movable {
+        return Err(PlacerError::DegenerateInput {
+            reason: "no net constrains a movable cell (only single-pin, zero-weight, or \
+                     fixed-only nets): quadratic system has no wirelength term"
+                .to_string(),
+        });
+    }
+    if let Some(a) = anchors {
+        if a.target.len() != netlist.num_cells() {
+            return Err(PlacerError::DegenerateInput {
+                reason: format!(
+                    "anchor target has {} cells but netlist has {}",
+                    a.target.len(),
+                    netlist.num_cells()
+                ),
+            });
+        }
+    }
+    // Per-cell anchor weights: force_factor scaled by relative area so the
+    // pull is uniform in *displacement force density* across cell sizes.
+    let anchor_weights: Vec<f64> = match anchors {
+        Some(a) if a.force_factor > 0.0 => {
+            let mean_area = movable.iter().map(|&c| netlist.cell_area(c)).sum::<f64>() / m as f64;
+            movable
+                .iter()
+                .map(|&c| {
+                    if mean_area > 0.0 {
+                        a.force_factor * netlist.cell_area(c) / mean_area
+                    } else {
+                        a.force_factor
+                    }
+                })
+                .collect()
+        }
+        _ => Vec::new(),
+    };
     let die = circuit.design.die;
     let has_fixed_pins = netlist
         .fixed_cells()
@@ -311,7 +413,7 @@ pub fn place_b2b(circuit: &BookshelfCircuit, config: &B2bConfig) -> (Placement, 
                     config.min_gap,
                 );
             }
-            if !has_fixed_pins {
+            if !has_fixed_pins && anchor_weights.is_empty() {
                 // degenerate free-floating system: weak anchor to the die
                 // center keeps it SPD (ispd19_test1 has zero fixed cells)
                 let center = if axis == 0 {
@@ -321,6 +423,20 @@ pub fn place_b2b(circuit: &BookshelfCircuit, config: &B2bConfig) -> (Placement, 
                 };
                 for i in 0..m {
                     system.add_anchor(i, config.center_anchor, center);
+                }
+            }
+            if let Some(a) = anchors {
+                if !anchor_weights.is_empty() {
+                    // pseudo-net pull toward the target placement
+                    // (lower-left coordinates, matching the unknowns)
+                    for (i, &c) in movable.iter().enumerate() {
+                        let tc = if axis == 0 {
+                            a.target.x[c.index()]
+                        } else {
+                            a.target.y[c.index()]
+                        };
+                        system.add_anchor(i, anchor_weights[i], tc);
+                    }
                 }
             }
             // unknowns are lower-left coordinates of movable cells
@@ -345,14 +461,14 @@ pub fn place_b2b(circuit: &BookshelfCircuit, config: &B2bConfig) -> (Placement, 
         }
     }
     let hpwl = mep_netlist::total_hpwl(netlist, &placement);
-    (
+    Ok((
         placement,
         B2bReport {
             hpwl,
             rounds,
             cg_iterations: cg_total,
         },
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -446,7 +562,7 @@ mod tests {
             design,
             placement: pl,
         };
-        let (solved, report) = place_b2b(&circuit, &B2bConfig::default());
+        let (solved, report) = place_b2b(&circuit, &B2bConfig::default()).expect("valid chain");
         // monotone spread between anchors
         let xs: Vec<f64> = mids.iter().map(|&c| solved.x[c.index()]).collect();
         for w in xs.windows(2) {
@@ -470,7 +586,7 @@ mod tests {
             }
         }
         let before = mep_netlist::total_hpwl(&c.design.netlist, &scattered.placement);
-        let (solved, report) = place_b2b(&scattered, &B2bConfig::default());
+        let (solved, report) = place_b2b(&scattered, &B2bConfig::default()).expect("valid synth");
         let after = mep_netlist::total_hpwl(&c.design.netlist, &solved);
         assert!(
             after < 0.7 * before,
@@ -484,7 +600,7 @@ mod tests {
         // run GP from the B2B solution and confirm the flow still works
         use crate::global::{place, GlobalConfig};
         let c = synth::generate(&synth::smoke_spec());
-        let (qp, _) = place_b2b(&c, &B2bConfig::default());
+        let (qp, _) = place_b2b(&c, &B2bConfig::default()).expect("valid synth");
         let warm = BookshelfCircuit {
             design: c.design.clone(),
             placement: qp,
@@ -497,5 +613,135 @@ mod tests {
         let r = place(&warm, &cfg).expect("placement flow");
         assert!(r.overflow < 0.6);
         assert!(r.hpwl.is_finite());
+    }
+
+    /// Builds a tiny circuit from a closure over the builder; fixed die.
+    fn tiny_circuit(build: impl FnOnce(&mut NetlistBuilder)) -> BookshelfCircuit {
+        let mut b = NetlistBuilder::new();
+        build(&mut b);
+        let nl = b.build();
+        let n = nl.num_cells();
+        let design = mep_netlist::Design::with_uniform_rows(
+            "tiny",
+            nl,
+            Rect::new(0.0, 0.0, 16.0, 4.0),
+            1.0,
+            1.0,
+            1.0,
+        )
+        .unwrap();
+        BookshelfCircuit {
+            design,
+            placement: Placement::zeros(n),
+        }
+    }
+
+    #[test]
+    fn fully_fixed_design_is_a_typed_error() {
+        let c = tiny_circuit(|b| {
+            let a = b.add_cell("a", 0.0, 0.0, false).unwrap();
+            let z = b.add_cell("z", 4.0, 0.0, false).unwrap();
+            b.add_net("n0", vec![(a, 0.0, 0.0), (z, 0.0, 0.0)]);
+        });
+        let err = place_b2b(&c, &B2bConfig::default()).unwrap_err();
+        match err {
+            PlacerError::DegenerateInput { reason } => {
+                assert!(reason.contains("no movable cells"), "{reason}")
+            }
+            other => panic!("expected DegenerateInput, got {other}"),
+        }
+    }
+
+    #[test]
+    fn single_pin_nets_only_is_a_typed_error() {
+        // movable cells exist, but every net has one pin: the quadratic
+        // system has no wirelength term and must not silently return the
+        // input placement unchanged.
+        let c = tiny_circuit(|b| {
+            let a = b.add_cell("a", 0.0, 1.0, true).unwrap();
+            let z = b.add_cell("z", 4.0, 1.0, true).unwrap();
+            b.add_net("n0", vec![(a, 0.0, 0.0)]);
+            b.add_net("n1", vec![(z, 0.0, 0.0)]);
+        });
+        let err = place_b2b(&c, &B2bConfig::default()).unwrap_err();
+        match err {
+            PlacerError::DegenerateInput { reason } => {
+                assert!(
+                    reason.contains("no net constrains a movable cell"),
+                    "{reason}"
+                )
+            }
+            other => panic!("expected DegenerateInput, got {other}"),
+        }
+    }
+
+    #[test]
+    fn anchor_target_length_mismatch_is_a_typed_error() {
+        let c = synth::generate(&synth::smoke_spec());
+        let bad = Placement::zeros(3);
+        let err = place_b2b_anchored(
+            &c,
+            &B2bConfig::default(),
+            Some(AnchorSet {
+                target: &bad,
+                force_factor: 0.1,
+            }),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlacerError::DegenerateInput { .. }), "{err}");
+    }
+
+    #[test]
+    fn strong_anchors_pull_solution_toward_target() {
+        // one movable cell on a net to a fixed pin at x=0; the wirelength
+        // optimum is x=0, but a strong anchor at x=10 must win, and a
+        // stronger anchor must land closer to the target than a weak one.
+        let c = tiny_circuit(|b| {
+            let f = b.add_cell("f", 0.0, 0.0, false).unwrap();
+            let m = b.add_cell("m", 1.0, 1.0, true).unwrap();
+            b.add_net("n0", vec![(f, 0.0, 0.0), (m, 0.0, 0.0)]);
+        });
+        let mut target = Placement::zeros(c.design.netlist.num_cells());
+        target.x[1] = 10.0;
+        target.y[1] = 2.0;
+        let solve = |force: f64| {
+            let (pl, _) = place_b2b_anchored(
+                &c,
+                &B2bConfig::default(),
+                Some(AnchorSet {
+                    target: &target,
+                    force_factor: force,
+                }),
+            )
+            .expect("valid anchored solve");
+            pl.x[1]
+        };
+        let free = place_b2b(&c, &B2bConfig::default()).expect("valid").0.x[1];
+        let weak = solve(0.5);
+        let strong = solve(50.0);
+        assert!(free < 0.5, "free optimum should hug the fixed pin: {free}");
+        assert!(weak > free + 1.0, "anchor must pull toward target: {weak}");
+        assert!(
+            strong > weak && strong > 9.0,
+            "stronger anchor must dominate: weak={weak} strong={strong}"
+        );
+    }
+
+    #[test]
+    fn zero_force_anchored_equals_plain_b2b() {
+        let c = synth::generate(&synth::smoke_spec());
+        let target = Placement::zeros(c.design.netlist.num_cells());
+        let (plain, _) = place_b2b(&c, &B2bConfig::default()).expect("valid");
+        let (anchored, _) = place_b2b_anchored(
+            &c,
+            &B2bConfig::default(),
+            Some(AnchorSet {
+                target: &target,
+                force_factor: 0.0,
+            }),
+        )
+        .expect("valid");
+        assert_eq!(plain.x, anchored.x, "zero force must be bit-identical");
+        assert_eq!(plain.y, anchored.y);
     }
 }

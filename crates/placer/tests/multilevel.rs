@@ -1,0 +1,225 @@
+//! Integration tests of the multilevel flow (DESIGN.md §12): LB/UB
+//! warm-start monotonicity, coarsen→prolong conservation laws, and
+//! incremental (ECO) re-placement freezing guarantees.
+
+use mep_netlist::bookshelf::BookshelfCircuit;
+use mep_netlist::cluster::{coarsen, ClusterConfig};
+use mep_netlist::{synth, total_hpwl, Rect};
+use mep_placer::flow::{replace_region, run_multilevel, EcoConfig, MultilevelConfig};
+use mep_placer::global::{place, GlobalConfig};
+use mep_placer::pipeline::PipelineConfig;
+use mep_placer::quadratic::{place_b2b, B2bConfig};
+
+fn small_clustered() -> BookshelfCircuit {
+    synth::generate(&synth::smoke_clustered_spec())
+}
+
+/// The LB/UB warm-start claim at its core: with an equal global-placement
+/// iteration budget, starting the guarded density run from the B2B
+/// quadratic lower bound must not end at a worse HPWL than the cold
+/// (center-pile) start. Checked on two seeded synthetic designs at a
+/// budget small enough that neither run fully converges.
+#[test]
+fn warm_ub_is_never_worse_than_cold_at_equal_budget() {
+    for seed in [7u64, 23u64] {
+        let spec = synth::SynthSpec {
+            seed,
+            ..synth::smoke_clustered_spec()
+        };
+        let circuit = synth::generate(&spec);
+        let budget = 120;
+        let config = GlobalConfig {
+            max_iters: budget,
+            threads: 1,
+            ..GlobalConfig::default()
+        };
+        let cold = place(&circuit, &config).expect("cold GP");
+        let (qp, _) = place_b2b(&circuit, &B2bConfig::default()).expect("LB solve");
+        let warm_circuit = BookshelfCircuit {
+            design: circuit.design.clone(),
+            placement: qp,
+        };
+        let warm = place(&warm_circuit, &config).expect("warm GP");
+        assert!(
+            warm.hpwl <= cold.hpwl * 1.01,
+            "seed {seed}: warm UB {:.4e} worse than cold {:.4e} at {budget} iters",
+            warm.hpwl,
+            cold.hpwl
+        );
+    }
+}
+
+/// Conservation laws of one coarsening level: total movable cell area is
+/// preserved bit-exactly, and the coarse pin count equals the number of
+/// (net, cluster) incidences of kept nets — no pin is invented.
+#[test]
+fn coarsen_prolong_round_trip_preserves_area_and_pins() {
+    let c = small_clustered();
+    let nl = &c.design.netlist;
+    let coarse = coarsen(&c.design, &c.placement, &ClusterConfig::default()).expect("coarsen");
+    let cnl = &coarse.design.netlist;
+
+    // bit-exact total movable area (clusters fold member areas)
+    let fine_area: f64 = nl.total_movable_area();
+    let coarse_area: f64 = cnl.total_movable_area();
+    assert_eq!(
+        fine_area.to_bits(),
+        coarse_area.to_bits(),
+        "movable area must survive coarsening bit-exactly: {fine_area} vs {coarse_area}"
+    );
+
+    // pin conservation: every coarse pin is one (net, cluster) incidence
+    // of a kept fine net, and no kept net lost its incidences
+    assert_eq!(cnl.num_pins(), coarse.stats.coarse_pins);
+    assert!(cnl.num_pins() <= nl.num_pins());
+    assert_eq!(
+        coarse.stats.nets_kept + coarse.stats.nets_dropped,
+        nl.num_nets()
+    );
+
+    // prolong lands every fine movable cell inside the die and leaves
+    // fixed cells bit-identical
+    let mut out = c.placement.clone();
+    coarse
+        .map
+        .prolong(&c.design, &coarse.design, &coarse.placement, &mut out)
+        .expect("prolong");
+    for cell in nl.cells() {
+        if nl.is_movable(cell) {
+            let r = out.cell_rect(nl, cell);
+            assert!(
+                r.xl >= c.design.die.xl - 1e-9 && r.xh <= c.design.die.xh + 1e-9,
+                "prolonged cell escapes the die"
+            );
+        } else {
+            assert_eq!(
+                out.x[cell.index()].to_bits(),
+                c.placement.x[cell.index()].to_bits()
+            );
+            assert_eq!(
+                out.y[cell.index()].to_bits(),
+                c.placement.y[cell.index()].to_bits()
+            );
+        }
+    }
+}
+
+/// Two-level end-to-end smoke: the multilevel driver must produce a
+/// legal, violation-free placement, report its level schedule, and stamp
+/// the `ml.*` metrics into the run report.
+#[test]
+fn two_level_flow_places_smoke_clustered_legally() {
+    let c = small_clustered();
+    let config = MultilevelConfig {
+        levels: 2,
+        coarse_iters: 80,
+        min_coarse_movable: 16,
+        pipeline: PipelineConfig {
+            global: GlobalConfig {
+                max_iters: 300,
+                threads: 1,
+                ..GlobalConfig::default()
+            },
+            ..PipelineConfig::default()
+        },
+        ..MultilevelConfig::default()
+    };
+    let r = run_multilevel(&c, &config).expect("multilevel flow");
+    assert_eq!(r.levels, 2, "smoke_clustered must support one coarsening");
+    assert_eq!(r.level_stats.len(), 2);
+    assert!(r.warm_rounds > 0, "warm start must engage");
+    assert_eq!(r.result.violations, 0);
+    assert!(r.result.dpwl.is_finite() && r.result.dpwl > 0.0);
+    // coarsest first, finest last
+    assert_eq!(r.level_stats[0].level, 1);
+    assert_eq!(r.level_stats.last().unwrap().level, 0);
+    assert!(r.level_stats[0].movable < r.level_stats[1].movable);
+    // ml.* metrics merged into the final report
+    let rep = &r.result.report;
+    assert_eq!(rep.counter("ml.levels"), Some(2));
+    assert_eq!(rep.counter("ml.warm_rounds"), Some(r.warm_rounds as u64));
+    assert!(rep.gauge("ml.level0.hpwl").is_some());
+    assert!(rep.gauge("ml.level1.hpwl").is_some());
+    // and the flat-flow metrics are still there
+    assert!(rep.counter("gp.iterations").is_some());
+}
+
+/// ECO contract: cells outside the dirty window keep **bit-identical**
+/// coordinates, cells inside get re-placed, and the driver reports the
+/// exact frozen/replaced split.
+#[test]
+fn eco_keeps_frozen_cells_bitwise_unmoved() {
+    let c = small_clustered();
+    // place once so the ECO starts from a realistic legal placement
+    let full = mep_placer::pipeline::run(
+        &c,
+        &PipelineConfig {
+            global: GlobalConfig {
+                max_iters: 300,
+                threads: 1,
+                ..GlobalConfig::default()
+            },
+            ..PipelineConfig::default()
+        },
+    )
+    .expect("full placement");
+    let placed = BookshelfCircuit {
+        design: c.design.clone(),
+        placement: full.placement.clone(),
+    };
+
+    // ~10% dirty window in the lower-left corner of the die
+    let die = c.design.die;
+    let window = Rect::new(
+        die.xl,
+        die.yl,
+        die.xl + 0.32 * die.width(),
+        die.yl + 0.32 * die.height(),
+    );
+    let eco = replace_region(
+        &placed,
+        window,
+        &EcoConfig {
+            pipeline: PipelineConfig {
+                global: GlobalConfig {
+                    max_iters: 150,
+                    threads: 1,
+                    ..GlobalConfig::default()
+                },
+                ..PipelineConfig::default()
+            },
+        },
+    )
+    .expect("ECO run");
+
+    let nl = &c.design.netlist;
+    let mut frozen_seen = 0;
+    for cell in nl.movable_cells() {
+        let rect = placed.placement.cell_rect(nl, cell);
+        if !rect.intersects(&window) {
+            frozen_seen += 1;
+            assert_eq!(
+                eco.placement.x[cell.index()].to_bits(),
+                placed.placement.x[cell.index()].to_bits(),
+                "frozen cell moved in x"
+            );
+            assert_eq!(
+                eco.placement.y[cell.index()].to_bits(),
+                placed.placement.y[cell.index()].to_bits(),
+                "frozen cell moved in y"
+            );
+        }
+    }
+    assert_eq!(frozen_seen, eco.frozen);
+    assert!(
+        eco.replaced > 0 && eco.frozen > 0,
+        "window must split cells"
+    );
+    assert_eq!(eco.replaced + eco.frozen, nl.num_movable());
+    assert!(eco.hpwl_after.is_finite());
+    assert_eq!(eco.report.counter("eco.frozen"), Some(eco.frozen as u64));
+    assert!(
+        eco.hpwl_before == total_hpwl(nl, &placed.placement),
+        "before-HPWL must describe the input"
+    );
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! mep place  <circuit> [--model ours|wa|lse|big|hpwl] [--out DIR]
 //!            [--iters N] [--threads N] [--lef FILE] [--quadratic-init]
+//!            [--levels N] [--warm-start] [--eco XL,YL,XH,YH]
 //!            [--trace-out FILE.jsonl] [--metrics]
 //! mep stats  <circuit> [--lef FILE]
 //! mep gen    <benchmark> <out-dir>
@@ -15,9 +16,10 @@
 
 use mep_obs::{JsonlSink, TraceSink};
 use moreau_placer::netlist::bookshelf::{self, BookshelfCircuit};
-use moreau_placer::netlist::synth;
+use moreau_placer::netlist::{synth, Rect};
+use moreau_placer::placer::flow::{replace_region, run_multilevel, EcoConfig, MultilevelConfig};
 use moreau_placer::placer::guard::Termination;
-use moreau_placer::placer::pipeline::{run, PipelineConfig};
+use moreau_placer::placer::pipeline::{run, PipelineConfig, PipelineResult};
 use moreau_placer::placer::quadratic::{place_b2b, B2bConfig};
 use moreau_placer::placer::GlobalConfig;
 use moreau_placer::wirelength::ModelKind;
@@ -27,10 +29,16 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  mep place <circuit> [--model ours|wa|lse|big|hpwl] [--out DIR]\n            \
          [--iters N] [--threads N] [--density F] [--lef FILE] [--quadratic-init]\n            \
+         [--levels N] [--warm-start] [--eco XL,YL,XH,YH]\n            \
          [--trace-out FILE.jsonl] [--metrics]\n  \
          mep stats <circuit> [--lef FILE]\n  mep gen <benchmark> <out-dir>\n  mep bench-list\n\n\
          <circuit> = a Bookshelf .aux path, a DEF path (with --lef), or a\n\
          built-in synthetic benchmark name (see `mep bench-list`).\n\
+         --levels N runs the multilevel flow (cluster coarsening, N levels,\n\
+         LB/UB warm start at the coarsest level); --warm-start alone runs the\n\
+         flat flow from the B2B/density alternation (DESIGN.md \u{a7}12).\n\
+         --eco re-places only the cells touching the given die window and\n\
+         keeps everything else bit-identical (incremental ECO mode).\n\
          --trace-out streams one JSON line per global iteration; --metrics\n\
          prints the end-of-run telemetry report (DESIGN.md \u{a7}10)."
     );
@@ -66,6 +74,9 @@ fn load_circuit(spec: &str, lef: Option<&str>, density: f64) -> Result<Bookshelf
     }
     if spec == "smoke_regions" {
         return Ok(synth::generate(&synth::smoke_regions_spec()));
+    }
+    if spec == "smoke_clustered" {
+        return Ok(synth::generate(&synth::smoke_clustered_spec()));
     }
     synth::spec_by_name(spec)
         .map(|s| synth::generate(&s))
@@ -153,6 +164,9 @@ fn main() -> ExitCode {
             let mut threads = 0usize;
             let mut density = 1.0f64;
             let mut quad_init = false;
+            let mut levels = 1usize;
+            let mut warm_start = false;
+            let mut eco_window: Option<Rect> = None;
             let mut lef: Option<String> = None;
             let mut trace_out: Option<String> = None;
             let mut metrics = false;
@@ -186,6 +200,30 @@ fn main() -> ExitCode {
                         density = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(1.0);
                     }
                     "--quadratic-init" => quad_init = true,
+                    "--levels" => {
+                        i += 1;
+                        levels = match args.get(i).and_then(|s| s.parse().ok()) {
+                            Some(v) if v >= 1 => v,
+                            _ => return usage(),
+                        };
+                    }
+                    "--warm-start" => warm_start = true,
+                    "--eco" => {
+                        i += 1;
+                        let coords: Vec<f64> = args
+                            .get(i)
+                            .map(|s| s.split(',').filter_map(|v| v.parse().ok()).collect())
+                            .unwrap_or_default();
+                        match coords.as_slice() {
+                            [xl, yl, xh, yh] if xh > xl && yh > yl => {
+                                eco_window = Some(Rect::new(*xl, *yl, *xh, *yh));
+                            }
+                            _ => {
+                                eprintln!("error: --eco expects XL,YL,XH,YH with XH>XL, YH>YL");
+                                return usage();
+                            }
+                        }
+                    }
                     "--lef" => {
                         i += 1;
                         lef = args.get(i).cloned();
@@ -211,12 +249,19 @@ fn main() -> ExitCode {
             };
             if quad_init {
                 eprintln!("[mep] B2B quadratic initialization …");
-                let (qp, report) = place_b2b(&circuit, &B2bConfig::default());
-                eprintln!(
-                    "[mep] quadratic HPWL {:.4e} after {} rounds",
-                    report.hpwl, report.rounds
-                );
-                circuit.placement = qp;
+                match place_b2b(&circuit, &B2bConfig::default()) {
+                    Ok((qp, report)) => {
+                        eprintln!(
+                            "[mep] quadratic HPWL {:.4e} after {} rounds",
+                            report.hpwl, report.rounds
+                        );
+                        circuit.placement = qp;
+                    }
+                    Err(e) => {
+                        eprintln!("error: quadratic init failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
             let mut global = GlobalConfig {
                 model,
@@ -240,23 +285,112 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            if let Some(window) = eco_window {
+                eprintln!(
+                    "[mep] ECO re-placement of `{}` within {window} …",
+                    circuit.design.name
+                );
+                let eco = match replace_region(
+                    &circuit,
+                    window,
+                    &EcoConfig {
+                        pipeline: PipelineConfig {
+                            global: global.clone(),
+                            ..PipelineConfig::default()
+                        },
+                    },
+                ) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if let Some(sink) = &trace_sink {
+                    if let Err(e) = sink.flush() {
+                        eprintln!("error: writing trace `{}`: {e}", sink.path().display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+                println!(
+                    "HPWL  {:.6e} -> {:.6e} ({:+.3}%)",
+                    eco.hpwl_before,
+                    eco.hpwl_after,
+                    100.0 * (eco.hpwl_after / eco.hpwl_before - 1.0)
+                );
+                println!("cells {} replaced / {} frozen", eco.replaced, eco.frozen);
+                println!(
+                    "iters {}  RT {:.2}s  stop {}",
+                    eco.iterations, eco.rt_seconds, eco.termination
+                );
+                if metrics {
+                    println!("\n-- run metrics (DESIGN.md \u{a7}10) --");
+                    print!("{}", eco.report.summary_table());
+                }
+                if let Some(dir) = out {
+                    let placed = BookshelfCircuit {
+                        design: circuit.design.clone(),
+                        placement: eco.placement.clone(),
+                    };
+                    match bookshelf::write_dir(&dir, &placed) {
+                        Ok(()) => println!("wrote Bookshelf files to {dir}/"),
+                        Err(e) => {
+                            eprintln!("error writing output: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                if eco.violations > 0 {
+                    eprintln!(
+                        "error: {} legality violations remain after ECO re-placement",
+                        eco.violations
+                    );
+                    return ExitCode::FAILURE;
+                }
+                return ExitCode::SUCCESS;
+            }
             eprintln!(
                 "[mep] placing `{}` with model {} ({} movable cells) …",
                 circuit.design.name,
                 model.label(),
                 circuit.design.netlist.num_movable()
             );
-            let result = match run(
-                &circuit,
-                &PipelineConfig {
-                    global,
-                    ..PipelineConfig::default()
-                },
-            ) {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
+            let pipeline_config = PipelineConfig {
+                global,
+                ..PipelineConfig::default()
+            };
+            let result: PipelineResult = if levels > 1 || warm_start {
+                eprintln!("[mep] multilevel flow: {levels} level(s) requested, LB/UB warm start …");
+                match run_multilevel(
+                    &circuit,
+                    &MultilevelConfig {
+                        levels,
+                        warm_start: true,
+                        pipeline: pipeline_config,
+                        ..MultilevelConfig::default()
+                    },
+                ) {
+                    Ok(ml) => {
+                        for s in &ml.level_stats {
+                            eprintln!(
+                                "[mep] level {}: {} movable  {} iters  HPWL {:.4e}  {:.2}s",
+                                s.level, s.movable, s.iterations, s.hpwl, s.rt_seconds
+                            );
+                        }
+                        ml.result
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                match run(&circuit, &pipeline_config) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             };
             if let Some(sink) = &trace_sink {

@@ -172,3 +172,147 @@ fn trace_out_and_metrics_on_a_synthetic_circuit() {
     }
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn multilevel_flag_reports_level_schedule_and_ml_metrics() {
+    let dir = temp_dir("multilevel");
+    let trace = dir.join("ml.jsonl");
+    let out = mep()
+        .args([
+            "place",
+            "smoke_clustered",
+            "--levels",
+            "2",
+            "--iters",
+            "250",
+            "--threads",
+            "1",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--metrics",
+        ])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "multilevel run failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    // level schedule narrated on stderr, coarsest first
+    assert!(
+        stderr.contains("level 1:"),
+        "missing coarse level:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("level 0:"),
+        "missing finest level:\n{stderr}"
+    );
+    // ml.* metrics in the merged report
+    for name in [
+        "ml.levels",
+        "ml.warm_rounds",
+        "ml.level1.hpwl",
+        "ml.level0.hpwl",
+    ] {
+        assert!(stdout.contains(name), "missing `{name}` in:\n{stdout}");
+    }
+    // the trace carries records from both levels with stage labels
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    assert!(
+        text.lines()
+            .any(|l| l.contains("\"level\":1") && l.contains("\"stage\":\"warm-ub\"")),
+        "no coarse warm-ub records in trace"
+    );
+    assert!(
+        text.lines()
+            .any(|l| l.contains("\"level\":0") && l.contains("\"stage\":\"final\"")),
+        "no finest-level records in trace"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn eco_flag_freezes_cells_outside_the_window() {
+    let dir = temp_dir("eco");
+    // place once and write the result, then ECO-re-place a corner window
+    let out_dir = dir.join("placed");
+    let out = mep()
+        .args([
+            "place",
+            "smoke_clustered",
+            "--iters",
+            "250",
+            "--threads",
+            "1",
+            "--out",
+            out_dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "seed placement failed");
+    let aux = out_dir.join("smoke_clustered.aux");
+    let before = std::fs::read_to_string(out_dir.join("smoke_clustered.pl")).unwrap();
+    let eco = mep()
+        .args([
+            "place",
+            aux.to_str().unwrap(),
+            "--eco",
+            "0,0,30,30",
+            "--iters",
+            "150",
+            "--threads",
+            "1",
+            "--out",
+            dir.join("eco_out").to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&eco.stdout);
+    let stderr = String::from_utf8_lossy(&eco.stderr);
+    assert!(
+        eco.status.success(),
+        "ECO run failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("replaced") && stdout.contains("frozen"),
+        "ECO summary missing:\n{stdout}"
+    );
+    let after = std::fs::read_to_string(dir.join("eco_out/smoke_clustered.pl")).unwrap();
+    // textual .pl coordinates of cells outside the window must be identical
+    let parse = |text: &str| -> Vec<(String, f64, f64)> {
+        text.lines()
+            .filter_map(|l| {
+                let mut it = l.split_whitespace();
+                let name = it.next()?.to_string();
+                let x: f64 = it.next()?.parse().ok()?;
+                let y: f64 = it.next()?.parse().ok()?;
+                Some((name, x, y))
+            })
+            .collect()
+    };
+    let (b, a) = (parse(&before), parse(&after));
+    assert_eq!(b.len(), a.len());
+    let mut frozen_identical = 0;
+    for ((name_b, xb, yb), (name_a, xa, ya)) in b.iter().zip(&a) {
+        assert_eq!(name_b, name_a);
+        // outside a generous window bound ⇒ must be untouched
+        if *xb > 35.0 || *yb > 35.0 {
+            assert_eq!(xb.to_bits(), xa.to_bits(), "{name_b} moved in x");
+            assert_eq!(yb.to_bits(), ya.to_bits(), "{name_b} moved in y");
+            frozen_identical += 1;
+        }
+    }
+    assert!(frozen_identical > 0, "window must leave some cells frozen");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_eco_window_exits_nonzero() {
+    let out = mep()
+        .args(["place", "smoke", "--eco", "10,10,5,5"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+}
