@@ -1,5 +1,7 @@
 //! Criterion microbench: the spectral density step — unplanned baseline
-//! vs. the planned real-FFT path vs. planned + parallel row batches.
+//! vs. the planned transpose-based path (`planned_unfused`) vs. the fused
+//! transpose-free lane-kernel path (`planned`) vs. fused + parallel
+//! batches.
 //!
 //! One "density step" is the four 2-D sweeps of a Poisson solve (analysis
 //! DCT2×DCT2, potential DCT3×DCT3, and the two field syntheses), which is
@@ -47,6 +49,17 @@ fn bench_density_transform(c: &mut Criterion) {
                 for (buf, &(kx, ky)) in bufs.iter_mut().zip(&SWEEPS) {
                     buf.copy_from_slice(&rho);
                     transform_2d(buf, n, n, kx, ky, &mut scratch);
+                }
+                black_box(bufs[0][0])
+            })
+        });
+
+        let mut unfused = Spectral2d::new(n, n);
+        group.bench_with_input(BenchmarkId::new("planned_unfused", n), &n, |b, _| {
+            b.iter(|| {
+                for (buf, &(kx, ky)) in bufs.iter_mut().zip(&SWEEPS) {
+                    buf.copy_from_slice(&rho);
+                    unfused.execute_unfused(buf, kx, ky);
                 }
                 black_box(bufs[0][0])
             })

@@ -136,6 +136,14 @@ impl FftPlan {
     /// (`inverse = true`); same contract as [`fft_in_place`] but driven
     /// entirely by the precomputed tables.
     ///
+    /// The butterfly loops are structured for autovectorization: each
+    /// stage walks zipped sub-slices (no bounds checks survive), the
+    /// products fold into exactly-rounded `mul_add`s, and the first stage
+    /// — whose twiddle factor is exactly `1` — is specialized to a pure
+    /// add/sub pass. [`FftPlan::process_lanes`] mirrors every expression
+    /// here one-for-one; keep the two in lockstep or the fused/unfused
+    /// bitwise-identity contract breaks.
+    ///
     /// # Panics
     ///
     /// Panics if the slice lengths differ from the planned length.
@@ -153,28 +161,131 @@ impl FftPlan {
                 im.swap(i, j);
             }
         }
+        // Stage h = 1: the only twiddle factor is exactly 1, so the
+        // butterfly degenerates to add/sub over adjacent pairs.
+        for (pr, pi) in re.chunks_exact_mut(2).zip(im.chunks_exact_mut(2)) {
+            let tr = pr[1];
+            let ti = pi[1];
+            pr[1] = pr[0] - tr;
+            pi[1] = pi[0] - ti;
+            pr[0] += tr;
+            pi[0] += ti;
+        }
         let sign = if inverse { -1.0 } else { 1.0 };
-        let mut h = 1;
+        let mut h = 2;
         while h < n {
             let len = 2 * h;
-            for start in (0..n).step_by(len) {
-                for k in 0..h {
-                    let wr = self.tw_re[h + k];
-                    let wi = sign * self.tw_im[h + k];
-                    let a = start + k;
-                    let b = a + h;
-                    let tr = re[b] * wr - im[b] * wi;
-                    let ti = re[b] * wi + im[b] * wr;
-                    re[b] = re[a] - tr;
-                    im[b] = im[a] - ti;
-                    re[a] += tr;
-                    im[a] += ti;
+            let stage_re = &self.tw_re[h..len];
+            let stage_im = &self.tw_im[h..len];
+            for (blk_re, blk_im) in re.chunks_exact_mut(len).zip(im.chunks_exact_mut(len)) {
+                let (ar, br) = blk_re.split_at_mut(h);
+                let (ai, bi) = blk_im.split_at_mut(h);
+                for ((((ar, br), (ai, bi)), &wr), &twi) in ar
+                    .iter_mut()
+                    .zip(br.iter_mut())
+                    .zip(ai.iter_mut().zip(bi.iter_mut()))
+                    .zip(stage_re)
+                    .zip(stage_im)
+                {
+                    let wi = sign * twi;
+                    let xr = *br;
+                    let xi = *bi;
+                    let tr = f64::mul_add(xr, wr, -(xi * wi));
+                    let ti = f64::mul_add(xr, wi, xi * wr);
+                    *br = *ar - tr;
+                    *bi = *ai - ti;
+                    *ar += tr;
+                    *ai += ti;
+                }
+            }
+            h = len;
+        }
+    }
+
+    /// Lane-parallel variant of [`FftPlan::process`]: transforms
+    /// [`LANES`] independent sequences at once, stored SoA so element `u`
+    /// of lane `l` lives at index `u * LANES + l`. Each lane's arithmetic
+    /// mirrors the scalar path expression-for-expression (same `mul_add`
+    /// placement, same specialized first stage), so lane `l` of the
+    /// output is bit-identical to running [`FftPlan::process`] on lane
+    /// `l` alone — the property the fused spectral sweeps rely on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ from `LANES` times the planned
+    /// length.
+    pub fn process_lanes(&self, re: &mut [f64], im: &mut [f64], inverse: bool) {
+        const W: usize = LANES;
+        let n = self.n;
+        assert_eq!(re.len(), n * W, "re length differs from LANES * planned");
+        assert_eq!(im.len(), n * W, "im length differs from LANES * planned");
+        if n <= 1 {
+            return;
+        }
+        for i in 0..n {
+            let j = self.bitrev[i] as usize;
+            if j > i {
+                let (lo, hi) = re.split_at_mut(j * W);
+                lo[i * W..i * W + W].swap_with_slice(&mut hi[..W]);
+                let (lo, hi) = im.split_at_mut(j * W);
+                lo[i * W..i * W + W].swap_with_slice(&mut hi[..W]);
+            }
+        }
+        // Stage h = 1, specialized exactly as in the scalar path.
+        for (pr, pi) in re.chunks_exact_mut(2 * W).zip(im.chunks_exact_mut(2 * W)) {
+            let (ar, br) = pr.split_at_mut(W);
+            let (ai, bi) = pi.split_at_mut(W);
+            for l in 0..W {
+                let tr = br[l];
+                let ti = bi[l];
+                br[l] = ar[l] - tr;
+                bi[l] = ai[l] - ti;
+                ar[l] += tr;
+                ai[l] += ti;
+            }
+        }
+        let sign = if inverse { -1.0 } else { 1.0 };
+        let mut h = 2;
+        while h < n {
+            let len = 2 * h;
+            let stage_re = &self.tw_re[h..len];
+            let stage_im = &self.tw_im[h..len];
+            for (blk_re, blk_im) in re
+                .chunks_exact_mut(len * W)
+                .zip(im.chunks_exact_mut(len * W))
+            {
+                let (ar, br) = blk_re.split_at_mut(h * W);
+                let (ai, bi) = blk_im.split_at_mut(h * W);
+                for ((((ar, br), (ai, bi)), &wr), &twi) in ar
+                    .chunks_exact_mut(W)
+                    .zip(br.chunks_exact_mut(W))
+                    .zip(ai.chunks_exact_mut(W).zip(bi.chunks_exact_mut(W)))
+                    .zip(stage_re)
+                    .zip(stage_im)
+                {
+                    let wi = sign * twi;
+                    for l in 0..W {
+                        let xr = br[l];
+                        let xi = bi[l];
+                        let tr = f64::mul_add(xr, wr, -(xi * wi));
+                        let ti = f64::mul_add(xr, wi, xi * wr);
+                        br[l] = ar[l] - tr;
+                        bi[l] = ai[l] - ti;
+                        ar[l] += tr;
+                        ai[l] += ti;
+                    }
                 }
             }
             h = len;
         }
     }
 }
+
+/// Number of independent sequences the `*_lanes` kernels transform at
+/// once. Eight `f64`s fill one 64-byte cache line, so a column-pass tile
+/// of eight adjacent grid columns turns every strided row access into a
+/// single full-line load — the key to the transpose-free fused sweeps.
+pub const LANES: usize = 8;
 
 /// Naive `O(n²)` DFT used as the correctness reference in tests.
 pub fn dft_naive(re: &[f64], im: &[f64], inverse: bool) -> (Vec<f64>, Vec<f64>) {
@@ -329,6 +440,44 @@ mod tests {
                     for i in 0..128 {
                         assert_eq!(re[i].to_bits(), fr[i].to_bits());
                         assert_eq!(im[i].to_bits(), fi[i].to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_bitwise_match_scalar_plan() {
+        for &n in &[2usize, 4, 8, 64, 256] {
+            let plan = FftPlan::new(n);
+            for inverse in [false, true] {
+                // SoA pack of LANES distinct sequences.
+                let mut lre = vec![0.0; n * LANES];
+                let mut lim = vec![0.0; n * LANES];
+                let mut scalars = Vec::new();
+                for l in 0..LANES {
+                    let re0 = rand_seq(n, 100 + l as u64);
+                    let im0 = rand_seq(n, 200 + l as u64);
+                    for u in 0..n {
+                        lre[u * LANES + l] = re0[u];
+                        lim[u * LANES + l] = im0[u];
+                    }
+                    scalars.push((re0, im0));
+                }
+                plan.process_lanes(&mut lre, &mut lim, inverse);
+                for (l, (re, im)) in scalars.iter_mut().enumerate() {
+                    plan.process(re, im, inverse);
+                    for u in 0..n {
+                        assert_eq!(
+                            lre[u * LANES + l].to_bits(),
+                            re[u].to_bits(),
+                            "n={n} inv={inverse} lane={l} re[{u}]"
+                        );
+                        assert_eq!(
+                            lim[u * LANES + l].to_bits(),
+                            im[u].to_bits(),
+                            "n={n} inv={inverse} lane={l} im[{u}]"
+                        );
                     }
                 }
             }

@@ -37,8 +37,6 @@ pub struct PoissonSolver {
     wv: Vec<f64>,
     /// Planned 2-D transform engine (all four sweeps per solve run here).
     spectral: Spectral2d,
-    coeff: Vec<f64>,
-    work: Vec<f64>,
     /// Degraded mode: route sweeps through the unplanned serial
     /// `transform_2d` baseline instead of the planned engine (the placer's
     /// last-resort recovery action when the planned path misbehaves).
@@ -82,8 +80,6 @@ impl PoissonSolver {
             wu,
             wv,
             spectral: Spectral2d::new(ny, nx),
-            coeff: Vec::new(),
-            work: Vec::new(),
             unplanned: false,
             fb_scratch: TransformScratch::new(),
             fb_calls: 0,
@@ -131,6 +127,7 @@ impl PoissonSolver {
         TransformStats {
             calls: planned.calls + self.fb_calls,
             nanos: planned.nanos + self.fb_nanos,
+            ..planned
         }
     }
 
@@ -156,45 +153,43 @@ impl PoissonSolver {
         assert_eq!(ex.len(), n);
         assert_eq!(ey.len(), n);
 
-        // forward analysis
-        let mut coeff = std::mem::take(&mut self.coeff);
-        coeff.clear();
-        coeff.extend_from_slice(rho);
-        self.sweep(&mut coeff, Kind::Dct2, Kind::Dct2);
-        self.coeff = coeff;
+        // forward analysis, directly in the caller's ψ buffer
+        psi.copy_from_slice(rho);
+        self.sweep(psi, Kind::Dct2, Kind::Dct2);
 
         // normalization for the synthesis pair: x = (2/N)(2/M) dct3(dct2 x)
         let norm = (2.0 / self.nx as f64) * (2.0 / self.ny as f64);
 
-        // ψ coefficients
-        self.work.clear();
-        self.work.resize(n, 0.0);
+        // One fused elementwise pass turns the analysis coefficients into
+        // all three synthesis spectra while each cache line of ψ is still
+        // resident: s = norm·a/(w_u² + w_v²) overwrites ψ in place and
+        // seeds E_x = s·w_u and E_y = s·w_v. This replaces the former
+        // `coeff`/`work` staging buffers and their three re-read passes.
         for v in 0..self.ny {
+            let wv = self.wv[v];
+            let wv2 = wv * wv;
+            let row = v * self.nx;
             for u in 0..self.nx {
                 if u == 0 && v == 0 {
-                    continue; // DC dropped
+                    continue; // DC dropped below
                 }
-                let denom = self.wu[u] * self.wu[u] + self.wv[v] * self.wv[v];
-                self.work[v * self.nx + u] = norm * self.coeff[v * self.nx + u] / denom;
+                let wu = self.wu[u];
+                let denom = wu * wu + wv2;
+                let s = norm * psi[row + u] / denom;
+                psi[row + u] = s;
+                ex[row + u] = s * wu;
+                ey[row + u] = s * wv;
             }
         }
-        psi.copy_from_slice(&self.work);
+        psi[0] = 0.0;
+        ex[0] = 0.0;
+        ey[0] = 0.0;
+
+        // ψ = Σ s_uv cos(w_u x) cos(w_v y)
         self.sweep(psi, Kind::Dct3, Kind::Dct3);
-
-        // E_x = Σ ψ_uv w_u sin(w_u x) cos(w_v y)
-        for v in 0..self.ny {
-            for u in 0..self.nx {
-                ex[v * self.nx + u] = self.work[v * self.nx + u] * self.wu[u];
-            }
-        }
+        // E_x = Σ s_uv w_u sin(w_u x) cos(w_v y)
         self.sweep(ex, Kind::Dst3, Kind::Dct3);
-
-        // E_y = Σ ψ_uv w_v cos(w_u x) sin(w_v y)
-        for v in 0..self.ny {
-            for u in 0..self.nx {
-                ey[v * self.nx + u] = self.work[v * self.nx + u] * self.wv[v];
-            }
-        }
+        // E_y = Σ s_uv w_v cos(w_u x) sin(w_v y)
         self.sweep(ey, Kind::Dct3, Kind::Dst3);
 
         SolveStats { modes: n - 1 }

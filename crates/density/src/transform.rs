@@ -28,7 +28,7 @@
 //!   transformed by the same serial code regardless of which part runs it.
 
 use crate::exec::{part_bounds, ParallelExec};
-use crate::fft::{fft_in_place, FftPlan};
+use crate::fft::{fft_in_place, FftPlan, LANES};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -37,6 +37,15 @@ use std::time::Instant;
 pub struct TransformScratch {
     re: Vec<f64>,
     im: Vec<f64>,
+    /// SoA buffers for the `*_lanes` kernels ([`LANES`] interleaved
+    /// sequences). Grow-only, so alternating row/column sweeps of a
+    /// rectangular grid never shrink-and-refill them.
+    lre: Vec<f64>,
+    lim: Vec<f64>,
+    /// One gathered column for the scalar fallback of strided sweeps.
+    line: Vec<f64>,
+    /// Column-tile output of the parallel fused column pass (per part).
+    colbuf: Vec<f64>,
 }
 
 impl TransformScratch {
@@ -58,6 +67,43 @@ impl TransformScratch {
         if self.re.len() != n {
             self.re.resize(n, 0.0);
             self.im.resize(n, 0.0);
+        }
+    }
+
+    /// Grows (never shrinks) the lane buffers to `n · LANES` slots; the
+    /// lane kernels overwrite every slot they read.
+    fn ensure_lanes(&mut self, n: usize) {
+        let need = n * LANES;
+        if self.lre.len() < need {
+            self.lre.resize(need, 0.0);
+            self.lim.resize(need, 0.0);
+        }
+    }
+}
+
+/// Copies one [`LANES`]-wide group out of strided grid storage
+/// (`src[at + l · lstep]`, `l = 0..LANES`). `lstep == 1` — the fused
+/// column pass — is a straight 64-byte line copy.
+#[inline]
+fn load_group(src: &[f64], at: usize, lstep: usize, dst: &mut [f64]) {
+    if lstep == 1 {
+        dst.copy_from_slice(&src[at..at + LANES]);
+    } else {
+        for (l, d) in dst.iter_mut().enumerate() {
+            *d = src[at + l * lstep];
+        }
+    }
+}
+
+/// Scatters one [`LANES`]-wide group back into strided grid storage;
+/// mirror of [`load_group`].
+#[inline]
+fn store_group(dst: &mut [f64], at: usize, lstep: usize, src: &[f64]) {
+    if lstep == 1 {
+        dst[at..at + LANES].copy_from_slice(src);
+    } else {
+        for (l, &s) in src.iter().enumerate() {
+            dst[at + l * lstep] = s;
         }
     }
 }
@@ -351,21 +397,48 @@ impl DctPlan {
             scratch.im[j] = inout[2 * n - 2 - 2 * j];
         }
         self.fft.process(&mut scratch.re, &mut scratch.im, false);
-        // unpack bins 0..N of the 2N-point real FFT and rotate into DCT-II
-        for u in 0..n {
-            let v = (n - u) & (n - 1); // N − u mod N (Z_N ≡ Z_0)
-            let (zr_u, zi_u) = (scratch.re[u], scratch.im[u]);
-            let (zr_v, zi_v) = (scratch.re[v], scratch.im[v]);
+        // Unpack bins 0..N of the 2N-point real FFT and rotate into
+        // DCT-II. Conjugate symmetry pairs bin u with N−u, so one walk
+        // over mirror pairs shares the Z loads and halves the unpack
+        // traffic; u = 0 and u = N/2 are their own mirrors. `rot` is
+        // mirrored verbatim in `dct2_lanes` — keep the expression shapes
+        // in lockstep or the fused/unfused bitwise contract breaks.
+        let rot = |u: usize, zr_u: f64, zi_u: f64, zr_v: f64, zi_v: f64| -> f64 {
             let a_re = 0.5 * (zr_u + zr_v);
             let a_im = 0.5 * (zi_u - zi_v);
             let d_re = 0.5 * (zr_u - zr_v);
             let d_im = 0.5 * (zi_u + zi_v);
             // B = −i·D, then Y = A + e^{−iπu/N}·B
             let (b_re, b_im) = (d_im, -d_re);
-            let y_re = a_re + self.un_re[u] * b_re + self.un_im[u] * b_im;
-            let y_im = a_im + self.un_re[u] * b_im - self.un_im[u] * b_re;
+            let y_re = f64::mul_add(self.un_im[u], b_im, f64::mul_add(self.un_re[u], b_re, a_re));
+            let y_im = f64::mul_add(
+                -self.un_im[u],
+                b_re,
+                f64::mul_add(self.un_re[u], b_im, a_im),
+            );
             // X_u = ½·Re[Y_u e^{−iπu/2N}]
-            inout[u] = 0.5 * (y_re * self.ph_re[u] + y_im * self.ph_im[u]);
+            0.5 * f64::mul_add(self.ph_im[u], y_im, y_re * self.ph_re[u])
+        };
+        inout[0] = rot(
+            0,
+            scratch.re[0],
+            scratch.im[0],
+            scratch.re[0],
+            scratch.im[0],
+        );
+        inout[half] = rot(
+            half,
+            scratch.re[half],
+            scratch.im[half],
+            scratch.re[half],
+            scratch.im[half],
+        );
+        for u in 1..half {
+            let v = n - u;
+            let (zr_u, zi_u) = (scratch.re[u], scratch.im[u]);
+            let (zr_v, zi_v) = (scratch.re[v], scratch.im[v]);
+            inout[u] = rot(u, zr_u, zi_u, zr_v, zi_v);
+            inout[v] = rot(v, zr_v, zi_v, zr_u, zi_u);
         }
     }
 
@@ -416,15 +489,193 @@ impl DctPlan {
             }
         }
     }
+
+    /// Applies `kind` to [`LANES`] strided sequences of the grid `data`
+    /// at once: element `u` of lane `l` lives at
+    /// `data[base + u * estep + l * lstep]`.
+    ///
+    /// With `estep = 1, lstep = cols` this transforms eight adjacent grid
+    /// rows; with `estep = cols, lstep = 1` eight adjacent grid columns
+    /// in place — no transpose. Lane `l` of the result is bit-identical
+    /// to [`DctPlan::apply`] on that sequence alone: the lane kernels
+    /// mirror the scalar expressions one-for-one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any addressed element falls outside `data`.
+    pub fn apply_lanes(
+        &self,
+        kind: Kind,
+        data: &mut [f64],
+        base: usize,
+        estep: usize,
+        lstep: usize,
+        scratch: &mut TransformScratch,
+    ) {
+        match kind {
+            Kind::Dct2 => self.dct2_lanes(data, base, estep, lstep, scratch),
+            Kind::Dct3 => self.synthesize_lanes(data, base, estep, lstep, scratch, false),
+            Kind::Dst3 => self.synthesize_lanes(data, base, estep, lstep, scratch, true),
+        }
+    }
+
+    /// Lane variant of [`DctPlan::dct2`]; see [`DctPlan::apply_lanes`]
+    /// for the addressing scheme and the bitwise-mirroring contract.
+    pub fn dct2_lanes(
+        &self,
+        data: &mut [f64],
+        base: usize,
+        estep: usize,
+        lstep: usize,
+        scratch: &mut TransformScratch,
+    ) {
+        const W: usize = LANES;
+        let n = self.n;
+        if n <= 1 {
+            return; // X_0 = x_0
+        }
+        scratch.ensure_lanes(n);
+        let lre = &mut scratch.lre[..n * W];
+        let lim = &mut scratch.lim[..n * W];
+        // pairwise pack of the even-mirrored sequence, per lane
+        let half = n / 2;
+        for j in 0..half {
+            let e0 = base + (2 * j) * estep;
+            let e1 = base + (2 * j + 1) * estep;
+            load_group(data, e0, lstep, &mut lre[j * W..j * W + W]);
+            load_group(data, e1, lstep, &mut lim[j * W..j * W + W]);
+        }
+        for j in half..n {
+            let e0 = base + (2 * n - 1 - 2 * j) * estep;
+            let e1 = base + (2 * n - 2 - 2 * j) * estep;
+            load_group(data, e0, lstep, &mut lre[j * W..j * W + W]);
+            load_group(data, e1, lstep, &mut lim[j * W..j * W + W]);
+        }
+        self.fft.process_lanes(lre, lim, false);
+        // mirror-pair unpack; `rot` mirrors `DctPlan::dct2` verbatim
+        let rot = |u: usize, zr_u: f64, zi_u: f64, zr_v: f64, zi_v: f64| -> f64 {
+            let a_re = 0.5 * (zr_u + zr_v);
+            let a_im = 0.5 * (zi_u - zi_v);
+            let d_re = 0.5 * (zr_u - zr_v);
+            let d_im = 0.5 * (zi_u + zi_v);
+            let (b_re, b_im) = (d_im, -d_re);
+            let y_re = f64::mul_add(self.un_im[u], b_im, f64::mul_add(self.un_re[u], b_re, a_re));
+            let y_im = f64::mul_add(
+                -self.un_im[u],
+                b_re,
+                f64::mul_add(self.un_re[u], b_im, a_im),
+            );
+            0.5 * f64::mul_add(self.ph_im[u], y_im, y_re * self.ph_re[u])
+        };
+        let mut tmp = [0.0_f64; W];
+        for (l, t) in tmp.iter_mut().enumerate() {
+            *t = rot(0, lre[l], lim[l], lre[l], lim[l]);
+        }
+        store_group(data, base, lstep, &tmp);
+        for (l, t) in tmp.iter_mut().enumerate() {
+            let (zr, zi) = (lre[half * W + l], lim[half * W + l]);
+            *t = rot(half, zr, zi, zr, zi);
+        }
+        store_group(data, base + half * estep, lstep, &tmp);
+        let mut tmp_v = [0.0_f64; W];
+        for u in 1..half {
+            let v = n - u;
+            for l in 0..W {
+                let (zr_u, zi_u) = (lre[u * W + l], lim[u * W + l]);
+                let (zr_v, zi_v) = (lre[v * W + l], lim[v * W + l]);
+                tmp[l] = rot(u, zr_u, zi_u, zr_v, zi_v);
+                tmp_v[l] = rot(v, zr_v, zi_v, zr_u, zi_u);
+            }
+            store_group(data, base + u * estep, lstep, &tmp);
+            store_group(data, base + v * estep, lstep, &tmp_v);
+        }
+    }
+
+    /// Lane variant of the synthesis core; mirrors
+    /// [`DctPlan::synthesize`] expression-for-expression.
+    fn synthesize_lanes(
+        &self,
+        data: &mut [f64],
+        base: usize,
+        estep: usize,
+        lstep: usize,
+        scratch: &mut TransformScratch,
+        sine: bool,
+    ) {
+        const W: usize = LANES;
+        let n = self.n;
+        if n == 0 {
+            return;
+        }
+        if n == 1 {
+            for l in 0..W {
+                let at = base + l * lstep;
+                data[at] = if sine { 0.0 } else { 0.5 * data[at] };
+            }
+            return;
+        }
+        scratch.ensure_lanes(n);
+        let lre = &mut scratch.lre[..n * W];
+        let lim = &mut scratch.lim[..n * W];
+        let mut tmp = [0.0_f64; W];
+        load_group(data, base, lstep, &mut tmp);
+        for l in 0..W {
+            let c0 = if sine { 0.0 } else { 0.5 * tmp[l] };
+            lre[l] = c0;
+            lim[l] = 0.0;
+        }
+        for u in 1..n {
+            let (pr, pi) = (self.ph_re[u], self.ph_im[u]);
+            load_group(data, base + u * estep, lstep, &mut tmp);
+            for l in 0..W {
+                let c = tmp[l];
+                lre[u * W + l] = c * pr;
+                lim[u * W + l] = c * pi;
+            }
+        }
+        self.fft.process_lanes(lre, lim, true);
+        let half = n / 2;
+        if sine {
+            let mut odd = [0.0_f64; W];
+            for m in 0..half {
+                let src = &lim[m * W..m * W + W];
+                store_group(data, base + (2 * m) * estep, lstep, src);
+                for (l, o) in odd.iter_mut().enumerate() {
+                    *o = -lim[(n - 1 - m) * W + l];
+                }
+                store_group(data, base + (2 * m + 1) * estep, lstep, &odd);
+            }
+        } else {
+            for m in 0..half {
+                let src = &lre[m * W..m * W + W];
+                store_group(data, base + (2 * m) * estep, lstep, src);
+                let mirror = &lre[(n - 1 - m) * W..(n - 1 - m) * W + W];
+                store_group(data, base + (2 * m + 1) * estep, lstep, mirror);
+            }
+        }
+    }
 }
 
-/// Call count and cumulative wall time of planned 2-D transforms.
+/// Call count, cumulative wall time, and per-kernel work counters of
+/// planned 2-D transforms.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TransformStats {
-    /// Number of [`Spectral2d::execute`] calls.
+    /// Number of [`Spectral2d::execute`] / [`Spectral2d::execute_unfused`]
+    /// calls.
     pub calls: u64,
     /// Cumulative wall time, nanoseconds.
     pub nanos: u64,
+    /// [`LANES`]-wide row tiles transformed by the fused row pass.
+    pub row_lane_tiles: u64,
+    /// [`LANES`]-wide column tiles transformed by the fused column pass.
+    pub col_lane_tiles: u64,
+    /// Rows/columns that went through the scalar 1-D kernel instead of a
+    /// lane tile (grid dimensions below [`LANES`], and every line of an
+    /// unfused sweep).
+    pub scalar_lines: u64,
+    /// Full-grid transpose passes (unfused path only; the fused path
+    /// performs none).
+    pub transposes: u64,
 }
 
 impl TransformStats {
@@ -440,32 +691,41 @@ pub const PARALLEL_GRID_THRESHOLD: usize = 4096;
 
 /// Planned separable 2-D transform engine for one fixed `rows × cols` grid.
 ///
-/// Caches a [`DctPlan`] per axis, a transpose buffer, and per-part FFT
-/// scratch, so the placement hot loop performs no allocation and no
-/// trigonometry. The column pass runs on contiguous memory: data is
-/// transposed with a cache-blocked kernel, swept row-wise, and transposed
-/// back.
+/// Caches a [`DctPlan`] per axis and per-part FFT scratch, so the
+/// placement hot loop performs no allocation and no trigonometry. The
+/// default [`Spectral2d::execute`] path is **fused**: both passes run
+/// through [`LANES`]-wide SIMD-friendly lane kernels, and the column pass
+/// walks the grid in place with strided tiles — eight adjacent columns
+/// per tile, so every row touch is one full cache line and the two
+/// full-grid transposes of the unfused path disappear.
+/// [`Spectral2d::execute_unfused`] keeps the original
+/// transpose + scalar-sweep pipeline as the bitwise reference.
 ///
 /// # Determinism
 ///
-/// With an installed [`ParallelExec`], rows are split into contiguous
-/// batches with a **fixed** row-to-part assignment and each part writes
-/// only its own rows with its own scratch. Every row is transformed by the
-/// same serial code whatever part (or thread) runs it, so field and
-/// potential grids are bit-identical at any thread count.
+/// With an installed [`ParallelExec`], lane tiles are split into
+/// contiguous ranges with a **fixed** tile-to-part assignment and each
+/// part writes only its own tiles with its own scratch. Every lane runs
+/// the same arithmetic as the scalar 1-D kernels whatever part (or
+/// thread) executes it, so grids are bit-identical at any thread count
+/// — and bit-identical between the fused and unfused paths.
 #[derive(Debug)]
 pub struct Spectral2d {
     rows: usize,
     cols: usize,
     row_plan: DctPlan,
     col_plan: DctPlan,
-    /// `cols × rows` transpose buffer.
+    /// `cols × rows` transpose buffer (unfused path only; grown lazily).
     tbuf: Vec<f64>,
     /// One FFT scratch per part (uncontended; each part index runs once).
     scratches: Vec<Mutex<TransformScratch>>,
     exec: Option<Arc<dyn ParallelExec>>,
     calls: u64,
     nanos: u64,
+    row_lane_tiles: u64,
+    col_lane_tiles: u64,
+    scalar_lines: u64,
+    transposes: u64,
 }
 
 impl Clone for Spectral2d {
@@ -484,6 +744,10 @@ impl Clone for Spectral2d {
             exec: self.exec.clone(),
             calls: self.calls,
             nanos: self.nanos,
+            row_lane_tiles: self.row_lane_tiles,
+            col_lane_tiles: self.col_lane_tiles,
+            scalar_lines: self.scalar_lines,
+            transposes: self.transposes,
         }
     }
 }
@@ -500,11 +764,15 @@ impl Spectral2d {
             cols,
             row_plan: DctPlan::new(cols),
             col_plan: DctPlan::new(rows),
-            tbuf: vec![0.0; rows * cols],
+            tbuf: Vec::new(),
             scratches: vec![Mutex::new(TransformScratch::new())],
             exec: None,
             calls: 0,
             nanos: 0,
+            row_lane_tiles: 0,
+            col_lane_tiles: 0,
+            scalar_lines: 0,
+            transposes: 0,
         }
     }
 
@@ -529,17 +797,27 @@ impl Spectral2d {
         self.cols
     }
 
-    /// Instrumentation snapshot (calls and cumulative wall time).
+    /// Instrumentation snapshot (calls, cumulative wall time, per-kernel
+    /// work counters).
     pub fn stats(&self) -> TransformStats {
         TransformStats {
             calls: self.calls,
             nanos: self.nanos,
+            row_lane_tiles: self.row_lane_tiles,
+            col_lane_tiles: self.col_lane_tiles,
+            scalar_lines: self.scalar_lines,
+            transposes: self.transposes,
         }
     }
 
     /// Applies `kind_x` along rows then `kind_y` along columns of the
     /// row-major grid `data`, in place. Planned equivalent of
     /// [`transform_2d`].
+    ///
+    /// Fused path: both passes run [`LANES`]-wide lane kernels and the
+    /// column pass is strided-in-place, so the grid is traversed twice
+    /// per sweep instead of four times (no transposes). Bit-identical to
+    /// [`Spectral2d::execute_unfused`] at every thread count.
     ///
     /// # Panics
     ///
@@ -548,14 +826,178 @@ impl Spectral2d {
         assert_eq!(data.len(), self.rows * self.cols, "grid shape mismatch");
         // lint:allow(determinism): TransformStats timing telemetry; durations never feed back into results
         let t0 = Instant::now();
+        self.sweep_rows_fused(kind_x, data);
+        self.sweep_cols_fused(kind_y, data);
+        self.calls += 1;
+        self.nanos += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// The original transpose-based pipeline: scalar row sweep, blocked
+    /// transpose, scalar row sweep of the transpose, transpose back.
+    /// Kept as the bitwise reference for the fused path (and as a
+    /// debugging fallback).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows · cols`.
+    pub fn execute_unfused(&mut self, data: &mut [f64], kind_x: Kind, kind_y: Kind) {
+        assert_eq!(data.len(), self.rows * self.cols, "grid shape mismatch");
+        // lint:allow(determinism): TransformStats timing telemetry; durations never feed back into results
+        let t0 = Instant::now();
         self.sweep(&self.row_plan, kind_x, data);
         let mut tbuf = std::mem::take(&mut self.tbuf);
+        tbuf.resize(self.rows * self.cols, 0.0);
         transpose_blocked(data, &mut tbuf, self.rows, self.cols);
         self.sweep(&self.col_plan, kind_y, &mut tbuf);
         transpose_blocked(&tbuf, data, self.cols, self.rows);
         self.tbuf = tbuf;
         self.calls += 1;
+        self.scalar_lines += (self.rows + self.cols) as u64;
+        self.transposes += 2;
         self.nanos += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// Fused row pass: [`LANES`] adjacent rows per tile, transformed by
+    /// the lane kernels; leftover rows (dimensions below [`LANES`]) go
+    /// through the scalar kernel. Tiles have a fixed contiguous
+    /// assignment to parts.
+    fn sweep_rows_fused(&mut self, kind: Kind, data: &mut [f64]) {
+        const W: usize = LANES;
+        let (rows, cols) = (self.rows, self.cols);
+        if rows == 0 || cols == 0 {
+            return;
+        }
+        let tiles = rows / W;
+        let rem = rows % W; // nonzero only when rows < LANES (power of two)
+        let parts = self.scratches.len();
+        let parallel =
+            self.exec.is_some() && parts > 1 && data.len() >= PARALLEL_GRID_THRESHOLD && tiles >= 2;
+        if !parallel {
+            let mut scratch = self.scratches[0].lock().expect("spectral scratch lock");
+            for t in 0..tiles {
+                self.row_plan
+                    .apply_lanes(kind, data, t * W * cols, 1, cols, &mut scratch);
+            }
+            for r in tiles * W..rows {
+                let row = &mut data[r * cols..(r + 1) * cols];
+                self.row_plan.apply(kind, row, &mut scratch);
+            }
+        } else {
+            debug_assert_eq!(rem, 0, "parallel row pass requires whole tiles");
+            // fixed tile-to-part split: each part's rows are contiguous
+            // lint:allow(no-alloc-hot): O(parts) ≤ 16 handle vector per parallel sweep, amortized over the whole grid pass
+            let mut batches: Vec<Mutex<&mut [f64]>> = Vec::with_capacity(parts);
+            let mut rest = &mut data[..tiles * W * cols];
+            for p in 0..parts {
+                let (lo, hi) = part_bounds(tiles, parts, p);
+                let (head, tail) = rest.split_at_mut((hi - lo) * W * cols);
+                // lint:allow(no-alloc-hot): push into the pre-capacitied O(parts) handle vector above
+                batches.push(Mutex::new(head));
+                rest = tail;
+            }
+            let exec = self.exec.as_ref().expect("executor checked above");
+            let row_plan = &self.row_plan;
+            exec.run(parts, &|p| {
+                let mut batch = batches[p].lock().expect("spectral batch lock");
+                let mut scratch = self.scratches[p].lock().expect("spectral scratch lock");
+                let ntiles = batch.len() / (W * cols);
+                for t in 0..ntiles {
+                    row_plan.apply_lanes(kind, &mut batch, t * W * cols, 1, cols, &mut scratch);
+                }
+            });
+        }
+        self.row_lane_tiles += tiles as u64;
+        self.scalar_lines += rem as u64;
+    }
+
+    /// Fused column pass: [`LANES`] adjacent columns per strided tile —
+    /// every row touch is one cache line, and no transpose exists.
+    /// Serially the tiles transform the grid in place; in parallel each
+    /// part reads the grid immutably, transforms into its own scratch
+    /// `colbuf`, and the results are scattered back in one serial pass
+    /// (safe Rust cannot hand out disjoint strided `&mut` views of one
+    /// grid). Both routes run identical per-column arithmetic.
+    fn sweep_cols_fused(&mut self, kind: Kind, data: &mut [f64]) {
+        const W: usize = LANES;
+        let (rows, cols) = (self.rows, self.cols);
+        if rows == 0 || cols == 0 {
+            return;
+        }
+        let tiles = cols / W;
+        let rem = cols % W; // nonzero only when cols < LANES (power of two)
+        let parts = self.scratches.len();
+        let parallel =
+            self.exec.is_some() && parts > 1 && data.len() >= PARALLEL_GRID_THRESHOLD && tiles >= 2;
+        if parallel {
+            debug_assert_eq!(rem, 0, "parallel column pass requires whole tiles");
+            let exec = self.exec.as_ref().expect("executor checked above");
+            let col_plan = &self.col_plan;
+            let data_ref: &[f64] = data;
+            exec.run(parts, &|p| {
+                let (lo, hi) = part_bounds(tiles, parts, p);
+                if hi == lo {
+                    return;
+                }
+                let mut scratch = self.scratches[p].lock().expect("spectral scratch lock");
+                let mut colbuf = std::mem::take(&mut scratch.colbuf);
+                let need = (hi - lo) * rows * W;
+                if colbuf.len() < need {
+                    colbuf.resize(need, 0.0);
+                }
+                for t in 0..hi - lo {
+                    let c0 = (lo + t) * W;
+                    let tbase = t * rows * W;
+                    for u in 0..rows {
+                        let at = tbase + u * W;
+                        colbuf[at..at + W]
+                            .copy_from_slice(&data_ref[u * cols + c0..u * cols + c0 + W]);
+                    }
+                    col_plan.apply_lanes(kind, &mut colbuf, tbase, W, 1, &mut scratch);
+                }
+                scratch.colbuf = colbuf;
+            });
+            // serial scatter of each part's finished columns
+            for p in 0..parts {
+                let (lo, hi) = part_bounds(tiles, parts, p);
+                if hi == lo {
+                    continue;
+                }
+                let scratch = self.scratches[p].lock().expect("spectral scratch lock");
+                for t in 0..hi - lo {
+                    let c0 = (lo + t) * W;
+                    let tbase = t * rows * W;
+                    for u in 0..rows {
+                        let at = tbase + u * W;
+                        data[u * cols + c0..u * cols + c0 + W]
+                            .copy_from_slice(&scratch.colbuf[at..at + W]);
+                    }
+                }
+            }
+        } else {
+            let mut scratch = self.scratches[0].lock().expect("spectral scratch lock");
+            for t in 0..tiles {
+                self.col_plan
+                    .apply_lanes(kind, data, t * W, cols, 1, &mut scratch);
+            }
+            if rem > 0 {
+                // gather-transform-scatter each leftover column through
+                // the scalar kernel
+                let mut line = std::mem::take(&mut scratch.line);
+                line.resize(rows, 0.0);
+                for c in tiles * W..cols {
+                    for (r, slot) in line.iter_mut().enumerate() {
+                        *slot = data[r * cols + c];
+                    }
+                    self.col_plan.apply(kind, &mut line, &mut scratch);
+                    for (r, &val) in line.iter().enumerate() {
+                        data[r * cols + c] = val;
+                    }
+                }
+                scratch.line = line;
+            }
+        }
+        self.col_lane_tiles += tiles as u64;
+        self.scalar_lines += rem as u64;
     }
 
     /// Transforms every `plan.len()`-sized row of `buf` in place, serially
@@ -574,11 +1016,13 @@ impl Spectral2d {
             return;
         }
         // fixed row-to-part split: part p owns rows part_bounds(nrows, parts, p)
+        // lint:allow(no-alloc-hot): O(parts) ≤ 16 handle vector per parallel sweep, amortized over the whole grid pass
         let mut batches: Vec<Mutex<&mut [f64]>> = Vec::with_capacity(parts);
         let mut rest = buf;
         for p in 0..parts {
             let (lo, hi) = part_bounds(nrows, parts, p);
             let (head, tail) = rest.split_at_mut((hi - lo) * rowlen);
+            // lint:allow(no-alloc-hot): push into the pre-capacitied O(parts) handle vector above
             batches.push(Mutex::new(head));
             rest = tail;
         }
@@ -825,6 +1269,76 @@ mod tests {
             }
         }
         assert_eq!(engine.stats().calls, pairs.len() as u64);
+    }
+
+    #[test]
+    fn fused_execute_bitwise_matches_unfused() {
+        // includes dimensions below LANES (scalar fallback lines) and
+        // rectangular grids in both aspect ratios
+        let shapes = [
+            (2usize, 2usize),
+            (4, 32),
+            (32, 4),
+            (8, 8),
+            (16, 64),
+            (64, 16),
+            (128, 128),
+        ];
+        let pairs = [
+            (Kind::Dct2, Kind::Dct2),
+            (Kind::Dct3, Kind::Dct3),
+            (Kind::Dst3, Kind::Dct3),
+            (Kind::Dct3, Kind::Dst3),
+        ];
+        for &(rows, cols) in &shapes {
+            let mut fused = Spectral2d::new(rows, cols);
+            let mut unfused = Spectral2d::new(rows, cols);
+            for (i, &(kx, ky)) in pairs.iter().enumerate() {
+                let x = rand_seq(rows * cols, 900 + i as u64);
+                let mut a = x.clone();
+                let mut b = x;
+                fused.execute(&mut a, kx, ky);
+                unfused.execute_unfused(&mut b, kx, ky);
+                for j in 0..a.len() {
+                    assert_eq!(
+                        a[j].to_bits(),
+                        b[j].to_bits(),
+                        "{rows}x{cols} pair {i} elem {j}: {} vs {}",
+                        a[j],
+                        b[j]
+                    );
+                }
+            }
+            assert_eq!(fused.stats().transposes, 0);
+            assert_eq!(unfused.stats().transposes, 2 * pairs.len() as u64);
+        }
+    }
+
+    #[test]
+    fn apply_lanes_bitwise_matches_scalar_apply() {
+        for &n in &[2usize, 8, 16, 128] {
+            let plan = DctPlan::new(n);
+            let mut scratch = TransformScratch::new();
+            for kind in [Kind::Dct2, Kind::Dct3, Kind::Dst3] {
+                // strided layout: element u of lane l at u*LANES + l
+                let cols = LANES;
+                let mut grid = rand_seq(n * cols, 70 + n as u64);
+                let mut want: Vec<Vec<f64>> = (0..cols)
+                    .map(|l| (0..n).map(|u| grid[u * cols + l]).collect())
+                    .collect();
+                plan.apply_lanes(kind, &mut grid, 0, cols, 1, &mut scratch);
+                for (l, col) in want.iter_mut().enumerate() {
+                    plan.apply(kind, col, &mut scratch);
+                    for u in 0..n {
+                        assert_eq!(
+                            grid[u * cols + l].to_bits(),
+                            col[u].to_bits(),
+                            "n={n} kind={kind:?} lane={l} elem={u}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -100,6 +100,75 @@ fn transform_2d_bit_identical_on_rectangular_grids() {
     }
 }
 
+/// Property test for the fused kernels: over random power-of-two grids
+/// spanning 2..=1024 on a side, the fused transpose-free path is
+/// bit-identical to the unfused transpose-based reference for every sweep
+/// pair, at 1, 2, and 8 threads.
+#[test]
+fn fused_sweeps_bit_identical_to_unfused_across_sizes_and_threads() {
+    // deterministic "random" size walk over the power-of-two lattice,
+    // biased to cover both the scalar fallback (dims < 8) and big grids
+    let shapes: &[(usize, usize)] = &[
+        (2, 1024),
+        (1024, 2),
+        (4, 4),
+        (8, 512),
+        (512, 8),
+        (16, 16),
+        (64, 128),
+        (256, 64),
+        (1024, 32),
+    ];
+    let pairs = [
+        (Kind::Dct2, Kind::Dct2),
+        (Kind::Dct3, Kind::Dct3),
+        (Kind::Dst3, Kind::Dct3),
+        (Kind::Dct3, Kind::Dst3),
+    ];
+    for (si, &(rows, cols)) in shapes.iter().enumerate() {
+        for (i, &(kx, ky)) in pairs.iter().enumerate() {
+            let x = test_grid(rows, cols, 1000 + (si * 4 + i) as u64);
+            let mut reference = Spectral2d::new(rows, cols);
+            let mut want = x.clone();
+            reference.execute_unfused(&mut want, kx, ky);
+            for threads in [1usize, 2, 8] {
+                let mut engine = Spectral2d::new(rows, cols);
+                engine.set_executor(Arc::new(ThreadsExec { threads }), threads.max(2));
+                let mut got = x.clone();
+                engine.execute(&mut got, kx, ky);
+                for j in 0..want.len() {
+                    assert_eq!(
+                        got[j].to_bits(),
+                        want[j].to_bits(),
+                        "{rows}x{cols} pair {i} threads {threads} elem {j}: {} vs {}",
+                        got[j],
+                        want[j]
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The unfused reference itself must stay thread-count invariant too.
+#[test]
+fn unfused_sweeps_bit_identical_across_thread_counts() {
+    let (rows, cols) = (128usize, 64usize);
+    let x = test_grid(rows, cols, 55);
+    let mut reference = Spectral2d::new(rows, cols);
+    let mut want = x.clone();
+    reference.execute_unfused(&mut want, Kind::Dct2, Kind::Dct2);
+    for threads in [2usize, 8] {
+        let mut engine = Spectral2d::new(rows, cols);
+        engine.set_executor(Arc::new(ThreadsExec { threads }), threads);
+        let mut got = x.clone();
+        engine.execute_unfused(&mut got, Kind::Dct2, Kind::Dct2);
+        for j in 0..want.len() {
+            assert_eq!(got[j].to_bits(), want[j].to_bits(), "threads {threads}");
+        }
+    }
+}
+
 #[test]
 fn poisson_solve_bit_identical_across_thread_counts() {
     let n = 128usize;

@@ -35,11 +35,15 @@ impl Default for Config {
             .collect(),
             hot_paths: [
                 // the Moreau prox / water-filling / evaluation-engine hot
-                // loops (paper Alg. 1–2) and the spectral density solver
+                // loops (paper Alg. 1–2) and the spectral density solver,
+                // including the fused lane kernels and the per-net gather
                 "crates/wirelength/src/moreau.rs",
                 "crates/wirelength/src/waterfill.rs",
                 "crates/wirelength/src/engine.rs",
+                "crates/wirelength/src/netgrad.rs",
                 "crates/density/src/transform.rs",
+                "crates/density/src/fft.rs",
+                "crates/density/src/poisson.rs",
             ]
             .iter()
             .map(|s| s.to_string())

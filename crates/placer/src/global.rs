@@ -182,6 +182,9 @@ pub struct GlobalResult {
     pub trajectory: Vec<TrajectoryPoint>,
     /// Evaluation-engine instrumentation (spawns, eval counts, stage times).
     pub engine_stats: EngineStats,
+    /// Spectral-transform kernel instrumentation (which kernels ran: lane
+    /// tiles, scalar fallback lines, transposes) for the density solver.
+    pub transform_stats: mep_density::TransformStats,
     /// Every recovery the guard performed (empty on a clean run).
     pub recovery: RecoveryLog,
     /// Why the loop stopped.
@@ -509,6 +512,7 @@ pub fn place_with_engine(
         iterations,
         trajectory,
         engine_stats: engine.stats(),
+        transform_stats: problem.electrostatics().transform_stats(),
         recovery: monitor.into_log(),
         termination,
     })

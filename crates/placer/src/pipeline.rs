@@ -141,6 +141,7 @@ pub fn run_with_engine(
         violations,
         termination: gp.termination,
         engine: &gp.engine_stats,
+        transform: gp.transform_stats,
         recovery: &gp.recovery,
         legalize: &lg_report,
         detail: &dp_report,
@@ -218,6 +219,15 @@ mod tests {
             rep.counter("engine.wl_grad.count").unwrap() >= r.iterations as u64,
             "engine stage counters re-exported into the registry"
         );
+        // spectral-kernel counters: the fused lane path must have run and
+        // the fused sweeps never transpose (DESIGN.md §13)
+        assert!(
+            rep.counter("density.transform.calls").unwrap() > 0,
+            "density transform counters re-exported into the registry"
+        );
+        assert!(rep.counter("density.transform.row_lane_tiles").unwrap() > 0);
+        assert!(rep.counter("density.transform.col_lane_tiles").unwrap() > 0);
+        assert_eq!(rep.counter("density.transform.transposes"), Some(0));
         // displacement histograms cover every movable cell
         let movable = c.design.netlist.num_movable() as u64;
         for name in ["lg.displacement_rows", "dp.displacement_rows"] {

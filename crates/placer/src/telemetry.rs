@@ -97,6 +97,7 @@ pub(crate) struct ReportInputs<'a> {
     pub violations: usize,
     pub termination: Termination,
     pub engine: &'a EngineStats,
+    pub transform: mep_density::TransformStats,
     pub recovery: &'a RecoveryLog,
     pub legalize: &'a LegalizeReport,
     pub detail: &'a DetailReport,
@@ -141,6 +142,18 @@ pub(crate) fn build_run_report(inputs: &ReportInputs<'_>) -> RunReport {
     r.counter("engine.workspace_allocs").add(e.workspace_allocs);
     r.counter("engine.parallel_runs").add(e.parallel_runs);
     r.counter("engine.serial_runs").add(e.serial_runs);
+
+    // spectral-kernel counters: which transform kernels actually ran
+    // (DESIGN.md §13 — fused lane tiles vs scalar fallback vs transposes)
+    let tf = &inputs.transform;
+    r.counter("density.transform.calls").add(tf.calls);
+    r.counter("density.transform.row_lane_tiles")
+        .add(tf.row_lane_tiles);
+    r.counter("density.transform.col_lane_tiles")
+        .add(tf.col_lane_tiles);
+    r.counter("density.transform.scalar_lines")
+        .add(tf.scalar_lines);
+    r.counter("density.transform.transposes").add(tf.transposes);
 
     // guard events (formerly only on RecoveryLog)
     r.counter("guard.recoveries")

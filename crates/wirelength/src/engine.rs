@@ -37,9 +37,16 @@ pub const DEFAULT_PARALLEL_THRESHOLD: usize = 4096;
 /// The workspace-wide thread-count policy: available parallelism capped at
 /// 16 (beyond that, memory bandwidth dominates wirelength evaluation).
 ///
-/// This is the single source of truth — config defaults in every crate
-/// route through it.
+/// The `MEP_THREADS` environment variable overrides the detected count
+/// (clamped to `1..=256`); unset, empty, or unparsable values fall back to
+/// detection. This is the single source of truth — config defaults in
+/// every crate route through it.
 pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("MEP_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.clamp(1, 256);
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -503,6 +510,24 @@ mod tests {
     #[test]
     fn default_threads_is_positive_and_capped() {
         let t = default_threads();
-        assert!((1..=16).contains(&t));
+        assert!((1..=256).contains(&t));
+    }
+
+    /// `MEP_THREADS` override, including clamping and fallback on garbage.
+    /// Runs all cases in one test (env vars are process-global and the
+    /// harness runs tests concurrently; no other test reads the variable).
+    #[test]
+    fn mep_threads_env_overrides_detection() {
+        let detected = default_threads();
+        for (val, want) in [("3", Some(3)), ("0", Some(1)), ("9999", Some(256))] {
+            std::env::set_var("MEP_THREADS", val);
+            assert_eq!(default_threads(), want.unwrap(), "MEP_THREADS={val}");
+        }
+        std::env::set_var("MEP_THREADS", "not-a-number");
+        assert_eq!(default_threads(), detected);
+        std::env::set_var("MEP_THREADS", "");
+        assert_eq!(default_threads(), detected);
+        std::env::remove_var("MEP_THREADS");
+        assert_eq!(default_threads(), detected);
     }
 }

@@ -258,31 +258,43 @@ fn eval_sorted_scratch(
     }
 
     let (tau1, tau2) = (pair.tau1, pair.tau2);
+    // One fused, branch-light pass over the coordinates. The clamp
+    // residual `r = max(x−τ2, 0) + min(x−τ1, 0)` is bit-identical to the
+    // three-way branch of [`reference::eval`] on every input: exactly one
+    // term is nonzero outside the band (adding ±0 preserves the bits),
+    // both are +0 inside it, and for NaN coordinates `f64::max`/`min`
+    // return the non-NaN operand — matching the branch chain whose
+    // comparisons are all false. Everything lowers to `maxsd`/`minsd`
+    // straight-line code, and value/gradient/prox share one traversal.
     let mut sq = 0.0;
-    for &xi in x {
-        let r = if xi > tau2 {
-            xi - tau2
-        } else if xi < tau1 {
-            xi - tau1
-        } else {
-            0.0
-        };
-        sq += r * r;
-    }
-    if let Some(g) = grad {
-        for (gi, &xi) in g.iter_mut().zip(x) {
-            *gi = if xi > tau2 {
-                (xi - tau2) / t
-            } else if xi < tau1 {
-                (xi - tau1) / t
-            } else {
-                0.0
-            };
+    match (grad, prox_out) {
+        (None, None) => {
+            for &xi in x {
+                let r = (xi - tau2).max(0.0) + (xi - tau1).min(0.0);
+                sq += r * r;
+            }
         }
-    }
-    if let Some(p) = prox_out {
-        for (pi, &xi) in p.iter_mut().zip(x) {
-            *pi = xi.clamp(tau1, tau2);
+        (Some(g), None) => {
+            for (gi, &xi) in g.iter_mut().zip(x) {
+                let r = (xi - tau2).max(0.0) + (xi - tau1).min(0.0);
+                sq += r * r;
+                *gi = r / t;
+            }
+        }
+        (None, Some(p)) => {
+            for (pi, &xi) in p.iter_mut().zip(x) {
+                let r = (xi - tau2).max(0.0) + (xi - tau1).min(0.0);
+                sq += r * r;
+                *pi = xi.clamp(tau1, tau2);
+            }
+        }
+        (Some(g), Some(p)) => {
+            for ((gi, pi), &xi) in g.iter_mut().zip(p.iter_mut()).zip(x) {
+                let r = (xi - tau2).max(0.0) + (xi - tau1).min(0.0);
+                sq += r * r;
+                *gi = r / t;
+                *pi = xi.clamp(tau1, tau2);
+            }
         }
     }
     EnvelopeEval {
@@ -290,6 +302,101 @@ fn eval_sorted_scratch(
         tau1,
         tau2,
         collapsed: false,
+    }
+}
+
+/// Plainly-written scalar reference for the envelope evaluation: the
+/// three-way branch form of Theorem 1 / Corollary 1, with separate loops
+/// for value, gradient, and prox. The production kernel
+/// ([`eval_with_gradient_in`] and friends) is a fused, branch-light
+/// restructuring that must stay **bit-identical** to this module on every
+/// input — property tests compare the two with `to_bits`.
+pub mod reference {
+    use super::{sort_small, EnvelopeEval};
+    use crate::waterfill::TauPair;
+
+    /// Branchy scalar evaluation of value + optional gradient + optional
+    /// prox. Same contract as the production `eval_sorted_scratch` core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty, an output length mismatches, or `t ≤ 0`.
+    pub fn eval(
+        x: &[f64],
+        t: f64,
+        grad: Option<&mut [f64]>,
+        prox_out: Option<&mut [f64]>,
+        scratch: &mut Vec<f64>,
+    ) -> EnvelopeEval {
+        assert!(!x.is_empty(), "net must have at least one pin");
+        assert!(t > 0.0, "smoothing parameter must be positive, got {t}");
+        scratch.clear();
+        scratch.extend_from_slice(x);
+        if scratch.len() <= 8 {
+            sort_small(scratch);
+        } else {
+            scratch.sort_unstable_by(f64::total_cmp);
+        }
+        let pair = TauPair::solve(scratch, t);
+        let n = x.len() as f64;
+
+        if pair.is_collapsed() {
+            let mean = x.iter().sum::<f64>() / n;
+            let mut sq = 0.0;
+            for &xi in x {
+                let r = xi - mean;
+                sq += r * r;
+            }
+            if let Some(g) = grad {
+                for (gi, &xi) in g.iter_mut().zip(x) {
+                    *gi = (xi - mean) / t;
+                }
+            }
+            if let Some(p) = prox_out {
+                p.fill(mean);
+            }
+            return EnvelopeEval {
+                envelope: sq / (2.0 * t),
+                tau1: mean,
+                tau2: mean,
+                collapsed: true,
+            };
+        }
+
+        let (tau1, tau2) = (pair.tau1, pair.tau2);
+        let mut sq = 0.0;
+        for &xi in x {
+            let r = if xi > tau2 {
+                xi - tau2
+            } else if xi < tau1 {
+                xi - tau1
+            } else {
+                0.0
+            };
+            sq += r * r;
+        }
+        if let Some(g) = grad {
+            for (gi, &xi) in g.iter_mut().zip(x) {
+                *gi = if xi > tau2 {
+                    (xi - tau2) / t
+                } else if xi < tau1 {
+                    (xi - tau1) / t
+                } else {
+                    0.0
+                };
+            }
+        }
+        if let Some(p) = prox_out {
+            for (pi, &xi) in p.iter_mut().zip(x) {
+                *pi = xi.clamp(tau1, tau2);
+            }
+        }
+        EnvelopeEval {
+            envelope: (tau2 - tau1) + sq / (2.0 * t),
+            tau1,
+            tau2,
+            collapsed: false,
+        }
     }
 }
 
@@ -651,6 +758,78 @@ mod tests {
         let e2 = prox_in(&x, t, &mut p2, &mut scratch);
         assert_eq!(e1, e2);
         assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn fused_kernel_bitwise_matches_branchy_reference() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut scratch = Vec::new();
+        let mut rscratch = Vec::new();
+        for n in 1..=24usize {
+            for rep in 0..40 {
+                let mut x: Vec<f64> = (0..n).map(|_| next() * 20.0).collect();
+                if rep % 5 == 0 && n >= 2 {
+                    x[n / 2] = x[0]; // exercise duplicate coordinates
+                }
+                // spread t across collapse and non-collapse regimes
+                for &t in &[1e-3, 0.7, 5.0, 500.0] {
+                    let mut g = vec![0.0; n];
+                    let mut p = vec![0.0; n];
+                    let got =
+                        eval_sorted_scratch_entry(&x, t, Some(&mut g), Some(&mut p), &mut scratch);
+                    let mut rg = vec![0.0; n];
+                    let mut rp = vec![0.0; n];
+                    let want = reference::eval(&x, t, Some(&mut rg), Some(&mut rp), &mut rscratch);
+                    assert_eq!(
+                        got.envelope.to_bits(),
+                        want.envelope.to_bits(),
+                        "n={n} t={t}"
+                    );
+                    assert_eq!(got.tau1.to_bits(), want.tau1.to_bits());
+                    assert_eq!(got.tau2.to_bits(), want.tau2.to_bits());
+                    assert_eq!(got.collapsed, want.collapsed);
+                    for i in 0..n {
+                        assert_eq!(g[i].to_bits(), rg[i].to_bits(), "grad n={n} t={t} i={i}");
+                        assert_eq!(p[i].to_bits(), rp[i].to_bits(), "prox n={n} t={t} i={i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_kernel_matches_reference_on_nan_coordinates() {
+        let x = [1.0, f64::NAN, 3.0, -2.0];
+        let t = 0.5;
+        let mut scratch = Vec::new();
+        let mut g = vec![0.0; 4];
+        let got = eval_sorted_scratch_entry(&x, t, Some(&mut g), None, &mut scratch);
+        let mut rg = vec![0.0; 4];
+        let want = reference::eval(&x, t, Some(&mut rg), None, &mut Vec::new());
+        assert_eq!(got.envelope.to_bits(), want.envelope.to_bits());
+        for i in 0..4 {
+            assert_eq!(g[i].to_bits(), rg[i].to_bits(), "i={i}");
+        }
+    }
+
+    /// Test-only shim: drive the production core with the same optional
+    /// outputs the reference takes.
+    fn eval_sorted_scratch_entry(
+        x: &[f64],
+        t: f64,
+        grad: Option<&mut [f64]>,
+        prox_out: Option<&mut [f64]>,
+        scratch: &mut Vec<f64>,
+    ) -> EnvelopeEval {
+        scratch.clear();
+        scratch.extend_from_slice(x);
+        eval_sorted_scratch(scratch, x, t, grad, prox_out)
     }
 
     #[test]

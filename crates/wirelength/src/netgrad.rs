@@ -157,8 +157,8 @@ impl Workspace {
                     .unwrap_or(0);
                 Mutex::new(PartArena {
                     model: model.clone(),
-                    xs: Vec::with_capacity(max_deg),
-                    ys: Vec::with_capacity(max_deg),
+                    xs: vec![0.0; max_deg],
+                    ys: vec![0.0; max_deg],
                     gx: vec![0.0; max_deg],
                     gy: vec![0.0; max_deg],
                     net_value: vec![0.0; net_hi - net_lo],
@@ -196,12 +196,22 @@ impl Workspace {
             let range = netlist.net_pin_range(net);
             let deg = range.len();
             let local = range.start - pin_lo;
-            arena.xs.clear();
-            arena.ys.clear();
-            for k in range {
-                let cell = self.pin_cell[k] as usize;
-                arena.xs.push(placement.x[cell] + self.pin_bias_x[k]);
-                arena.ys.push(placement.y[cell] + self.pin_bias_y[k]);
+            // alloc-free gather: index-write into the pre-sized arena buffers
+            // through zipped slices (no push, no per-pin bounds checks on the
+            // CSR-parallel arrays)
+            let cells = &self.pin_cell[range.clone()];
+            let bias_x = &self.pin_bias_x[range.clone()];
+            let bias_y = &self.pin_bias_y[range];
+            for ((((xo, yo), &cell), &bx), &by) in arena.xs[..deg]
+                .iter_mut()
+                .zip(&mut arena.ys[..deg])
+                .zip(cells)
+                .zip(bias_x)
+                .zip(bias_y)
+            {
+                let cell = cell as usize;
+                *xo = placement.x[cell] + bx;
+                *yo = placement.y[cell] + by;
             }
             if deg < 2 {
                 arena.net_value[net_idx - net_lo] = 0.0;
@@ -213,16 +223,29 @@ impl Workspace {
             }
             let w = netlist.net_weight(net);
             if with_grad {
-                let vx = arena.model.eval_axis(&arena.xs, &mut arena.gx[..deg]);
-                let vy = arena.model.eval_axis(&arena.ys, &mut arena.gy[..deg]);
+                let vx = arena
+                    .model
+                    .eval_axis(&arena.xs[..deg], &mut arena.gx[..deg]);
+                let vy = arena
+                    .model
+                    .eval_axis(&arena.ys[..deg], &mut arena.gy[..deg]);
                 arena.net_value[net_idx - net_lo] = w * (vx + vy);
-                for slot in 0..deg {
-                    arena.pin_gx[local + slot] = w * arena.gx[slot];
-                    arena.pin_gy[local + slot] = w * arena.gy[slot];
+                for ((po, &g), (qo, &h)) in arena.pin_gx[local..local + deg]
+                    .iter_mut()
+                    .zip(&arena.gx[..deg])
+                    .zip(
+                        arena.pin_gy[local..local + deg]
+                            .iter_mut()
+                            .zip(&arena.gy[..deg]),
+                    )
+                {
+                    *po = w * g;
+                    *qo = w * h;
                 }
             } else {
-                arena.net_value[net_idx - net_lo] =
-                    w * (arena.model.value_axis(&arena.xs) + arena.model.value_axis(&arena.ys));
+                arena.net_value[net_idx - net_lo] = w
+                    * (arena.model.value_axis(&arena.xs[..deg])
+                        + arena.model.value_axis(&arena.ys[..deg]));
             }
         }
     }

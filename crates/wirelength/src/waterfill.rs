@@ -119,11 +119,14 @@ pub fn solve_lower(sorted: &[f64], t: f64) -> f64 {
     );
     let n = sorted.len();
     let mut filled = 0.0_f64;
-    for k in 1..n {
-        // filling the k lowest bottoms up from sorted[k-1] to sorted[k]
-        let trial = filled + k as f64 * (sorted[k] - sorted[k - 1]);
+    // zipped adjacent-pair walk: no index arithmetic, no bounds checks in
+    // the hot loop; arithmetic is expression-identical to the indexed form
+    for (k, (&lo, &hi)) in sorted.iter().zip(&sorted[1..]).enumerate() {
+        let k = (k + 1) as f64;
+        // filling the k lowest bottoms up from `lo` to `hi`
+        let trial = filled + k * (hi - lo);
         if trial > t {
-            return sorted[k] - (trial - t) / k as f64;
+            return hi - (trial - t) / k;
         }
         filled = trial;
     }
@@ -151,10 +154,18 @@ pub fn solve_upper(sorted: &[f64], t: f64) -> f64 {
     );
     let n = sorted.len();
     let mut filled = 0.0_f64;
-    for k in 1..n {
-        let trial = filled + k as f64 * (sorted[n - k] - sorted[n - k - 1]);
+    // mirrored adjacent-pair walk from the top, same bounds-check-free shape
+    // as `solve_lower`
+    for (k, (&hi, &lo)) in sorted
+        .iter()
+        .rev()
+        .zip(sorted[..n - 1].iter().rev())
+        .enumerate()
+    {
+        let k = (k + 1) as f64;
+        let trial = filled + k * (hi - lo);
         if trial > t {
-            return sorted[n - k - 1] + (trial - t) / k as f64;
+            return lo + (trial - t) / k;
         }
         filled = trial;
     }
@@ -358,6 +369,66 @@ mod tests {
             try_solve_upper(&[f64::INFINITY], 1.0),
             Err(WaterfillError::NonFiniteCoordinate(0))
         );
+    }
+
+    /// Straightforward indexed transliteration of Eq. (11)–(13), kept as the
+    /// bitwise oracle for the zipped bounds-check-free scans above.
+    fn indexed_lower(sorted: &[f64], t: f64) -> f64 {
+        let n = sorted.len();
+        let mut filled = 0.0_f64;
+        for k in 1..n {
+            let trial = filled + k as f64 * (sorted[k] - sorted[k - 1]);
+            if trial > t {
+                return sorted[k] - (trial - t) / k as f64;
+            }
+            filled = trial;
+        }
+        sorted[n - 1] + (t - filled) / n as f64
+    }
+
+    fn indexed_upper(sorted: &[f64], t: f64) -> f64 {
+        let n = sorted.len();
+        let mut filled = 0.0_f64;
+        for k in 1..n {
+            let trial = filled + k as f64 * (sorted[n - k] - sorted[n - k - 1]);
+            if trial > t {
+                return sorted[n - k - 1] + (trial - t) / k as f64;
+            }
+            filled = trial;
+        }
+        sorted[0] - (t - filled) / n as f64
+    }
+
+    #[test]
+    fn zipped_scans_bitwise_match_indexed_reference() {
+        let mut state = 0x1234_5678_9ABC_DEF0_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 20.0 - 10.0
+        };
+        for n in 1..=16 {
+            for rep in 0..25 {
+                let mut x: Vec<f64> = (0..n).map(|_| next()).collect();
+                if rep % 4 == 1 && n > 2 {
+                    x[1] = x[0]; // exercise duplicate coordinates
+                }
+                x.sort_unstable_by(f64::total_cmp);
+                for &t in &[1e-6, 0.03, 0.7, 4.0, 150.0] {
+                    assert_eq!(
+                        solve_lower(&x, t).to_bits(),
+                        indexed_lower(&x, t).to_bits(),
+                        "lower n={n} rep={rep} t={t}"
+                    );
+                    assert_eq!(
+                        solve_upper(&x, t).to_bits(),
+                        indexed_upper(&x, t).to_bits(),
+                        "upper n={n} rep={rep} t={t}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
