@@ -46,4 +46,4 @@ pub use exec::{part_bounds, ParallelExec, SerialExec};
 pub use fft::FftPlan;
 pub use grid::{BinGrid, DensityMap};
 pub use poisson::PoissonSolver;
-pub use transform::{DctPlan, Spectral2d, TransformStats};
+pub use transform::{plan_cache_stats, shared_dct_plan, DctPlan, Spectral2d, TransformStats};

@@ -656,6 +656,58 @@ impl DctPlan {
     }
 }
 
+/// Process-wide [`DctPlan`] cache, keyed by transform length.
+///
+/// Plan construction is pure table precomputation — two plans for the
+/// same length are element-for-element identical — so every
+/// [`Spectral2d`] in the process shares one immutable plan per length
+/// through an `Arc`. A long-lived multi-job driver (the `mep-serve`
+/// daemon) pays the `O(N log N)` table build once per grid size ever
+/// seen, not once per job, and concurrent jobs on same-sized grids share
+/// the tables' cache footprint. Plans are read-only after construction,
+/// so sharing cannot leak state between jobs.
+fn plan_cache() -> &'static Mutex<std::collections::BTreeMap<usize, Arc<DctPlan>>> {
+    static CACHE: std::sync::OnceLock<Mutex<std::collections::BTreeMap<usize, Arc<DctPlan>>>> =
+        std::sync::OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(std::collections::BTreeMap::new()))
+}
+
+static PLAN_CACHE_HITS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static PLAN_CACHE_MISSES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Returns the process-wide shared plan for length `n`, building and
+/// caching it on first use.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two (same contract as
+/// [`DctPlan::new`]); the failed build is not cached.
+pub fn shared_dct_plan(n: usize) -> Arc<DctPlan> {
+    let mut cache = match plan_cache().lock() {
+        Ok(g) => g,
+        // a panic inside DctPlan::new (non-power-of-two) poisons the
+        // lock but never left a partial entry behind; keep serving
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if let Some(plan) = cache.get(&n) {
+        PLAN_CACHE_HITS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        return Arc::clone(plan);
+    }
+    PLAN_CACHE_MISSES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let plan = Arc::new(DctPlan::new(n));
+    cache.insert(n, Arc::clone(&plan));
+    plan
+}
+
+/// `(hits, misses)` of [`shared_dct_plan`] since process start. A serving
+/// process that has warmed up should see hits grow and misses stay flat.
+pub fn plan_cache_stats() -> (u64, u64) {
+    (
+        PLAN_CACHE_HITS.load(std::sync::atomic::Ordering::Relaxed),
+        PLAN_CACHE_MISSES.load(std::sync::atomic::Ordering::Relaxed),
+    )
+}
+
 /// Call count, cumulative wall time, and per-kernel work counters of
 /// planned 2-D transforms.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -713,8 +765,10 @@ pub const PARALLEL_GRID_THRESHOLD: usize = 4096;
 pub struct Spectral2d {
     rows: usize,
     cols: usize,
-    row_plan: DctPlan,
-    col_plan: DctPlan,
+    /// Shared per-length plans from the process-wide [`shared_dct_plan`]
+    /// cache (immutable tables; cloning the engine clones the `Arc`).
+    row_plan: Arc<DctPlan>,
+    col_plan: Arc<DctPlan>,
     /// `cols × rows` transpose buffer (unfused path only; grown lazily).
     tbuf: Vec<f64>,
     /// One FFT scratch per part (uncontended; each part index runs once).
@@ -762,8 +816,8 @@ impl Spectral2d {
         Self {
             rows,
             cols,
-            row_plan: DctPlan::new(cols),
-            col_plan: DctPlan::new(rows),
+            row_plan: shared_dct_plan(cols),
+            col_plan: shared_dct_plan(rows),
             tbuf: Vec::new(),
             scratches: vec![Mutex::new(TransformScratch::new())],
             exec: None,
@@ -1202,6 +1256,23 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn shared_plan_cache_returns_one_instance_per_length() {
+        let a = shared_dct_plan(32);
+        let b = shared_dct_plan(32);
+        assert!(Arc::ptr_eq(&a, &b), "same length shares one plan");
+        assert_eq!(a.len(), 32);
+        let c = shared_dct_plan(64);
+        assert!(!Arc::ptr_eq(&a, &c));
+        // two same-shape engines share both axis plans (cache counters
+        // are process-global, so only pointer identity is asserted here)
+        let (h0, _) = plan_cache_stats();
+        let _e1 = Spectral2d::new(16, 32);
+        let _e2 = Spectral2d::new(16, 32);
+        let (h1, _) = plan_cache_stats();
+        assert!(h1 >= h0 + 2, "second engine hits the cache for both axes");
     }
 
     #[test]

@@ -44,6 +44,9 @@ impl Default for Config {
                 "crates/density/src/transform.rs",
                 "crates/density/src/fft.rs",
                 "crates/density/src/poisson.rs",
+                // the daemon's admission queue: steady-state scheduling
+                // must never allocate (backpressure, not buffer growth)
+                "crates/serve/src/queue.rs",
             ]
             .iter()
             .map(|s| s.to_string())

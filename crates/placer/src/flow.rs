@@ -166,18 +166,44 @@ pub fn run_multilevel(
     circuit: &BookshelfCircuit,
     config: &MultilevelConfig,
 ) -> Result<MultilevelResult, PlacerError> {
+    let engine = Arc::new(EvalEngine::new(config.pipeline.global.threads));
+    run_multilevel_with_engine(circuit, config, engine)
+}
+
+/// [`run_multilevel`] with a caller-supplied evaluation engine, so a
+/// long-lived driver (the `mep-serve` daemon) reuses one worker pool
+/// across every job instead of spawning threads per request.
+///
+/// The cancel token in `config.pipeline.global.cancel` is honored at
+/// every stage boundary — before each coarsening pass, each LB/UB round,
+/// and each intermediate level — in addition to the per-iteration check
+/// inside each global-placement loop. A token that trips during the
+/// coarse phase skips the remaining coarse work; the finest pipeline then
+/// runs a single checked iteration so the result still carries a legal
+/// placement and the mapped termination ([`Termination::WallClock`] for a
+/// deadline, [`Termination::Cancelled`] for an explicit cancel).
+pub fn run_multilevel_with_engine(
+    circuit: &BookshelfCircuit,
+    config: &MultilevelConfig,
+    engine: Arc<EvalEngine>,
+) -> Result<MultilevelResult, PlacerError> {
     if config.levels == 0 {
         return Err(PlacerError::DegenerateInput {
             reason: "multilevel flow needs at least one level".to_string(),
         });
     }
-    let engine = Arc::new(EvalEngine::new(config.pipeline.global.threads));
+    let cancel = config.pipeline.global.cancel.clone();
 
     // Build the coarsening stack bottom-up. `stack[k]` is the coarsening
     // that turns level-k geometry into level-(k+1) geometry; the level-k
     // circuit is `stack[k-1].design` (or the input for k = 0).
     let mut stack: Vec<Coarsened> = Vec::new();
     for _ in 1..config.levels {
+        // a deadline/cancel during coarsening: stop building levels and
+        // let the (checked) finest run wind the flow down
+        if cancel.is_tripped() {
+            break;
+        }
         let (fine_design, fine_placement) = match stack.last() {
             None => (&circuit.design, &circuit.placement),
             Some(c) => (&c.design, &c.placement),
@@ -217,6 +243,12 @@ pub fn run_multilevel(
         let mut force = config.force_factor0;
         let mut target: Option<Placement> = None;
         for _round in 0..config.lb_rounds {
+            // the LB quadratic solve has no token poll of its own: check
+            // here so a tripped token skips whole rounds, not just the
+            // guarded UB iterations inside them
+            if cancel.is_tripped() {
+                break;
+            }
             let lb = match &target {
                 None => place_b2b(&level_circuit, &config.b2b),
                 Some(t) => place_b2b_anchored(
@@ -489,6 +521,46 @@ mod tests {
             run_multilevel(&c, &cfg),
             Err(PlacerError::DegenerateInput { .. })
         ));
+    }
+
+    #[test]
+    fn deadline_during_coarsening_terminates_wall_clock() {
+        // an already-expired deadline trips before the first coarsening
+        // pass: the flow must skip the coarse phase and return a legal
+        // partial result tagged WallClock, not hang or report Converged
+        let c = synth::generate(&synth::smoke_clustered_spec());
+        let mut cfg = MultilevelConfig {
+            levels: 3,
+            ..MultilevelConfig::default()
+        };
+        cfg.pipeline.global.threads = 1;
+        cfg.pipeline.global.cancel =
+            crate::cancel::CancelToken::with_deadline_in(std::time::Duration::ZERO);
+        let r = run_multilevel(&c, &cfg).unwrap();
+        assert_eq!(r.result.termination, Termination::WallClock);
+        assert!(r.result.termination.is_partial());
+        assert_eq!(r.result.violations, 0, "partial result is still legal");
+        assert!(
+            r.level_stats.iter().all(|s| s.iterations <= 1),
+            "tripped token bounds every level to one checked iteration: {:?}",
+            r.level_stats
+        );
+    }
+
+    #[test]
+    fn explicit_cancel_mid_coarse_terminates_cancelled() {
+        let c = synth::generate(&synth::smoke_clustered_spec());
+        let mut cfg = MultilevelConfig {
+            levels: 2,
+            ..MultilevelConfig::default()
+        };
+        cfg.pipeline.global.threads = 1;
+        let token = crate::cancel::CancelToken::new();
+        cfg.pipeline.global.cancel = token.clone();
+        token.cancel();
+        let r = run_multilevel(&c, &cfg).unwrap();
+        assert_eq!(r.result.termination, Termination::Cancelled);
+        assert_eq!(r.result.violations, 0);
     }
 
     #[test]

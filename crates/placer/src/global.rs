@@ -21,6 +21,7 @@
 //! the guard is pure observation and the result is bit-identical to the
 //! unguarded loop.
 
+use crate::cancel::CancelToken;
 use crate::error::PlacerError;
 use crate::guard::{
     Fault, GuardConfig, HealthMonitor, RecoveryAction, RecoveryEvent, RecoveryLog, Termination,
@@ -123,6 +124,13 @@ pub struct GlobalConfig {
     /// flow; the multilevel/ECO drivers set `"warm-ub"`, `"coarse"`,
     /// `"final"`, `"eco"`, …).
     pub stage: Option<String>,
+    /// Cooperative cancellation handle, polled once per iteration
+    /// alongside `time_budget`. The default token is inert; drivers (the
+    /// `mep-serve` daemon, signal handlers) install a shared token to
+    /// cancel or deadline a run mid-solve. On trip the loop restores the
+    /// best-so-far snapshot and reports [`Termination::Cancelled`]
+    /// (explicit cancel) or [`Termination::WallClock`] (deadline expiry).
+    pub cancel: CancelToken,
 }
 
 impl Default for GlobalConfig {
@@ -148,6 +156,7 @@ impl Default for GlobalConfig {
             trace: Arc::new(NoopSink),
             level: 0,
             stage: None,
+            cancel: CancelToken::new(),
         }
     }
 }
@@ -494,6 +503,12 @@ pub fn place_with_engine(
                 break;
             }
         }
+
+        if let Some(t) = config.cancel.termination() {
+            restore_best(&monitor, &mut params, &mut problem, &mut phi);
+            termination = t;
+            break;
+        }
     }
     if tracing {
         // best-effort: a sink I/O failure must not fail the placement run;
@@ -694,6 +709,32 @@ mod tests {
             let verdict = rec.guard.as_deref().unwrap();
             assert!(verdict.contains("->"), "verdict {verdict:?}");
         }
+    }
+
+    #[test]
+    fn cancelled_token_returns_a_partial_result() {
+        let c = synth::generate(&synth::smoke_spec());
+        let mut cfg = smoke_config(ModelKind::Moreau);
+        cfg.record_trajectory = false;
+        let token = crate::cancel::CancelToken::new();
+        cfg.cancel = token.clone();
+        token.cancel();
+        let r = place(&c, &cfg).unwrap();
+        assert_eq!(r.termination, Termination::Cancelled);
+        assert!(r.termination.is_partial());
+        assert_eq!(r.iterations, 1, "token is polled after the first step");
+        assert!(r.hpwl.is_finite());
+    }
+
+    #[test]
+    fn token_deadline_matches_time_budget_semantics() {
+        let c = synth::generate(&synth::smoke_spec());
+        let mut cfg = smoke_config(ModelKind::Moreau);
+        cfg.record_trajectory = false;
+        cfg.cancel = crate::cancel::CancelToken::with_deadline_in(Duration::ZERO);
+        let r = place(&c, &cfg).unwrap();
+        assert_eq!(r.termination, Termination::WallClock);
+        assert_eq!(r.iterations, 1);
     }
 
     #[test]

@@ -223,6 +223,10 @@ pub enum Termination {
     Stagnated,
     /// The guard ran out of recovery options; best snapshot returned.
     GuardExhausted,
+    /// The run's [`CancelToken`](crate::cancel::CancelToken) was cancelled
+    /// explicitly; best snapshot returned. Deadline expiry on the same
+    /// token reports [`Termination::WallClock`] instead.
+    Cancelled,
 }
 
 impl Termination {
@@ -231,7 +235,10 @@ impl Termination {
     pub fn is_partial(&self) -> bool {
         matches!(
             self,
-            Termination::WallClock | Termination::Stagnated | Termination::GuardExhausted
+            Termination::WallClock
+                | Termination::Stagnated
+                | Termination::GuardExhausted
+                | Termination::Cancelled
         )
     }
 }
@@ -244,6 +251,7 @@ impl fmt::Display for Termination {
             Termination::WallClock => write!(f, "wall-clock budget"),
             Termination::Stagnated => write!(f, "stagnated"),
             Termination::GuardExhausted => write!(f, "guard exhausted"),
+            Termination::Cancelled => write!(f, "cancelled"),
         }
     }
 }

@@ -36,6 +36,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod assignment;
+pub mod cancel;
 pub mod detail;
 pub mod error;
 pub mod flow;
@@ -47,11 +48,12 @@ pub mod pipeline;
 pub mod quadratic;
 pub mod telemetry;
 
+pub use cancel::{CancelState, CancelToken};
 pub use detail::{DetailConfig, DetailReport};
 pub use error::PlacerError;
 pub use flow::{
-    replace_region, run_multilevel, EcoConfig, EcoResult, LevelStats, MultilevelConfig,
-    MultilevelResult,
+    replace_region, run_multilevel, run_multilevel_with_engine, EcoConfig, EcoResult, LevelStats,
+    MultilevelConfig, MultilevelResult,
 };
 pub use global::{
     place_with_engine, GlobalConfig, GlobalResult, MoreauSchedule, OptimizerKind, TrajectoryPoint,

@@ -92,6 +92,70 @@ fn injected_nan_rolls_back_to_the_seed_snapshot_bit_identically() {
 }
 
 #[test]
+fn nan_at_budget_exhaustion_still_rolls_back_bitwise() {
+    // the hostile corner the daemon lives in: a NaN fault fires on the
+    // same iteration the wall-clock budget expires. The guard must roll
+    // back to the seed snapshot first, and the budget check must then
+    // return that rolled-back state as a WallClock partial — never the
+    // poisoned coordinates
+    let c = synth::generate(&synth::smoke_spec());
+    let mut cfg = base_config();
+    cfg.max_iters = 1;
+    cfg.min_iters = 1;
+    cfg.fault_injection = Some((0, 1));
+    cfg.time_budget = Some(std::time::Duration::ZERO);
+    let r = place(&c, &cfg).expect("recoverable fault under an expired budget");
+    assert_eq!(r.termination, Termination::WallClock);
+    assert!(r.termination.is_partial());
+    assert_eq!(r.iterations, 1, "budget is polled at iteration boundaries");
+    assert_eq!(r.recovery.len(), 1, "{}", r.recovery);
+    assert_eq!(
+        r.recovery.events()[0].action,
+        RecoveryAction::RollbackBackoff
+    );
+
+    // identical recompute of the projected start the seed snapshot holds
+    let problem = PlacementProblem::with_threads(
+        &c.design,
+        &c.placement,
+        ModelKind::Moreau.instantiate(1.0),
+        1,
+    );
+    let mut params = problem.pack_params(&c.placement);
+    problem.project(&mut params);
+    let mut expected = c.placement.clone();
+    problem.unpack_params(&params, &mut expected);
+    for i in 0..expected.len() {
+        assert_eq!(
+            r.placement.x[i].to_bits(),
+            expected.x[i].to_bits(),
+            "x[{i}] not restored bitwise under budget exhaustion"
+        );
+        assert_eq!(
+            r.placement.y[i].to_bits(),
+            expected.y[i].to_bits(),
+            "y[{i}] not restored bitwise under budget exhaustion"
+        );
+    }
+
+    // the CancelToken deadline path must behave identically to time_budget
+    let mut cfg2 = base_config();
+    cfg2.max_iters = 1;
+    cfg2.min_iters = 1;
+    cfg2.fault_injection = Some((0, 1));
+    cfg2.cancel = mep_placer::CancelToken::with_deadline_in(std::time::Duration::ZERO);
+    let r2 = place(&c, &cfg2).expect("recoverable fault under an expired deadline");
+    assert_eq!(r2.termination, Termination::WallClock);
+    for i in 0..expected.len() {
+        assert_eq!(
+            r2.placement.x[i].to_bits(),
+            expected.x[i].to_bits(),
+            "x[{i}]: deadline path diverged from budget path"
+        );
+    }
+}
+
+#[test]
 fn pipeline_recovers_from_mid_run_nan_and_stays_legal() {
     // the acceptance scenario: a transient NaN mid-run trips the guard,
     // the loop rolls back + backs off, and the full flow still produces a

@@ -1,0 +1,398 @@
+//! Protocol events streamed back to clients, and the trace adapter that
+//! forwards per-iteration records from inside the placement loop.
+
+use crate::job::{JobError, JobSummary};
+use mep_obs::json::JsonObject;
+use mep_obs::{IterationRecord, TraceSink};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// One server→client event. Serialized as a single JSONL line.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// The job was admitted to the queue.
+    Accepted {
+        /// Client-chosen job id.
+        id: u64,
+        /// Queue depth right after admission.
+        queue_depth: usize,
+    },
+    /// The job was refused at admission (backpressure, duplicate id,
+    /// drain in progress).
+    Rejected {
+        /// Client-chosen job id.
+        id: u64,
+        /// Refusal reason.
+        reason: String,
+        /// Suggested client backoff before resubmitting, when the
+        /// refusal is transient (a full queue); `None` for permanent
+        /// refusals (duplicate id, shutdown).
+        retry_after_ms: Option<u64>,
+    },
+    /// One placement iteration (only for jobs submitted with `trace`).
+    Iter {
+        /// Job id.
+        id: u64,
+        /// The iteration record, pre-serialized to JSON.
+        record_json: String,
+    },
+    /// The job reached a successful (possibly partial) terminal state.
+    Done {
+        /// Job id.
+        id: u64,
+        /// Result summary.
+        summary: JobSummary,
+    },
+    /// The job reached a failed terminal state.
+    Failed {
+        /// Job id.
+        id: u64,
+        /// Typed failure.
+        error: JobError,
+    },
+    /// A protocol-level error on the connection (malformed frame, unknown
+    /// op). The connection stays open.
+    ProtocolError {
+        /// What was wrong with the frame.
+        reason: String,
+    },
+    /// Response to a `metrics` request: the server registry as JSON.
+    Metrics {
+        /// Registry snapshot, pre-serialized.
+        report_json: String,
+    },
+    /// Response to a `cancel` request.
+    CancelAck {
+        /// Job id.
+        id: u64,
+        /// `"cancelling"` when the job was live, `"already-terminal"` or
+        /// `"unknown-id"` otherwise — cancelling a finished job is
+        /// benign, not an error.
+        status: &'static str,
+    },
+    /// The server finished draining after a `shutdown` request.
+    ShutdownComplete {
+        /// Jobs that reached a terminal state during the drain.
+        drained: u64,
+    },
+}
+
+impl Event {
+    /// Serializes the event as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        match self {
+            Event::Accepted { id, queue_depth } => {
+                let mut o = JsonObject::new();
+                o.field_str("event", "accepted")
+                    .field_u64("id", *id)
+                    .field_u64("queue_depth", *queue_depth as u64);
+                o.finish()
+            }
+            Event::Rejected {
+                id,
+                reason,
+                retry_after_ms,
+            } => {
+                let mut o = JsonObject::new();
+                o.field_str("event", "rejected")
+                    .field_u64("id", *id)
+                    .field_str("reason", reason);
+                if let Some(ms) = retry_after_ms {
+                    o.field_u64("retry_after_ms", *ms);
+                }
+                o.finish()
+            }
+            Event::Iter { id, record_json } => {
+                let mut o = JsonObject::new();
+                o.field_str("event", "iter")
+                    .field_u64("id", *id)
+                    .field_raw("record", record_json);
+                o.finish()
+            }
+            Event::Done { id, summary } => {
+                let mut o = JsonObject::new();
+                o.field_str("event", "done")
+                    .field_u64("id", *id)
+                    .field_str("termination", &summary.termination.to_string())
+                    .field_f64("hpwl", summary.hpwl)
+                    .field_u64("iterations", summary.iterations as u64)
+                    .field_f64("overflow", summary.overflow)
+                    .field_u64("violations", summary.violations as u64)
+                    .field_str(
+                        "placement_hash",
+                        &format!("{:016x}", summary.placement_hash),
+                    )
+                    .field_u64("elapsed_ms", summary.elapsed_ms);
+                o.finish()
+            }
+            Event::Failed { id, error } => {
+                let mut o = JsonObject::new();
+                o.field_str("event", "failed")
+                    .field_u64("id", *id)
+                    .field_str("error", error.kind())
+                    .field_str("detail", &error.detail());
+                o.finish()
+            }
+            Event::ProtocolError { reason } => {
+                let mut o = JsonObject::new();
+                o.field_str("event", "error").field_str("reason", reason);
+                o.finish()
+            }
+            Event::Metrics { report_json } => {
+                let mut o = JsonObject::new();
+                o.field_str("event", "metrics")
+                    .field_raw("report", report_json);
+                o.finish()
+            }
+            Event::CancelAck { id, status } => {
+                let mut o = JsonObject::new();
+                o.field_str("event", "cancel_ack")
+                    .field_u64("id", *id)
+                    .field_str("status", status);
+                o.finish()
+            }
+            Event::ShutdownComplete { drained } => {
+                let mut o = JsonObject::new();
+                o.field_str("event", "shutdown_complete")
+                    .field_u64("drained", *drained);
+                o.finish()
+            }
+        }
+    }
+}
+
+/// Where a job's events go. One sink per client connection; workers call
+/// it from job threads, so it must be thread-safe. Sinks must never
+/// panic on delivery — a disconnected client must not take down the job
+/// that is streaming to it.
+pub trait EventSink: Send + Sync + std::fmt::Debug {
+    /// Delivers one event. Errors are swallowed by implementations (a
+    /// dead client is not the daemon's problem).
+    fn emit(&self, event: &Event);
+}
+
+/// Discards everything (detached jobs, tests).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullEventSink;
+
+impl EventSink for NullEventSink {
+    fn emit(&self, _event: &Event) {}
+}
+
+/// Collects events in memory (tests, the soak harness).
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl CollectSink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of everything collected so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().map(|g| g.clone()).unwrap_or_default()
+    }
+}
+
+impl EventSink for CollectSink {
+    fn emit(&self, event: &Event) {
+        if let Ok(mut g) = self.events.lock() {
+            g.push(event.clone());
+        }
+    }
+}
+
+/// Writes each event as one JSONL line to a shared writer (the
+/// connection's write half). Write errors are swallowed: the job keeps
+/// running to its terminal state even if the client went away.
+pub struct WriterSink {
+    writer: Arc<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl std::fmt::Debug for WriterSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriterSink").finish_non_exhaustive()
+    }
+}
+
+impl WriterSink {
+    /// Wraps a shared writer.
+    pub fn new(writer: Arc<Mutex<Box<dyn Write + Send>>>) -> Self {
+        Self { writer }
+    }
+}
+
+impl EventSink for WriterSink {
+    fn emit(&self, event: &Event) {
+        if let Ok(mut w) = self.writer.lock() {
+            let line = event.to_json();
+            let _ = writeln!(w, "{line}");
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Adapts a job's [`EventSink`] into the placement loop's
+/// [`TraceSink`], wrapping each [`IterationRecord`] in an
+/// [`Event::Iter`] frame tagged with the job id. Also hosts the
+/// chaos-mid-solve panic hook: when `panic_after` is set, delivery of
+/// that many records ends in a deliberate panic *inside the solve*,
+/// which is exactly the hostile condition the isolation layer must
+/// survive.
+#[derive(Debug)]
+pub struct JobTraceSink {
+    job_id: u64,
+    sink: Arc<dyn EventSink>,
+    enabled: bool,
+    delivered: std::sync::atomic::AtomicU64,
+    panic_after: Option<u64>,
+}
+
+impl JobTraceSink {
+    /// A sink forwarding records for `job_id`; `enabled == false` keeps
+    /// the loop's fast path (records are never built).
+    pub fn new(job_id: u64, sink: Arc<dyn EventSink>, enabled: bool) -> Self {
+        Self {
+            job_id,
+            sink,
+            enabled,
+            delivered: std::sync::atomic::AtomicU64::new(0),
+            panic_after: None,
+        }
+    }
+
+    /// Chaos hook: panic after delivering `n` records.
+    pub fn with_panic_after(mut self, n: u64) -> Self {
+        self.panic_after = Some(n);
+        self.enabled = true;
+        self
+    }
+}
+
+impl TraceSink for JobTraceSink {
+    fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn record(&self, rec: &IterationRecord) {
+        let n = self
+            .delivered
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if let Some(limit) = self.panic_after {
+            if n >= limit {
+                // lint:allow(no-panic-lib): deliberate chaos-injection panic, caught by the per-job isolation boundary
+                panic!("chaos: deliberate mid-solve panic after {limit} records");
+            }
+        }
+        self.sink.emit(&Event::Iter {
+            id: self.job_id,
+            record_json: rec.to_json(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_json;
+
+    #[test]
+    fn every_event_serializes_to_valid_json() {
+        let events = [
+            Event::Accepted {
+                id: 1,
+                queue_depth: 3,
+            },
+            Event::Rejected {
+                id: 2,
+                reason: "queue full".to_string(),
+                retry_after_ms: Some(50),
+            },
+            Event::Iter {
+                id: 3,
+                record_json: "{\"iter\":0}".to_string(),
+            },
+            Event::Failed {
+                id: 4,
+                error: JobError::MemoryBudget {
+                    estimated: 10,
+                    budget: 5,
+                },
+            },
+            Event::ProtocolError {
+                reason: "bad \"frame\"".to_string(),
+            },
+            Event::Metrics {
+                report_json: "{}".to_string(),
+            },
+            Event::CancelAck {
+                id: 5,
+                status: "cancelling",
+            },
+            Event::ShutdownComplete { drained: 9 },
+        ];
+        for e in &events {
+            let line = e.to_json();
+            let v = parse_json(&line).unwrap_or_else(|err| panic!("{line}: {err}"));
+            assert!(v.get("event").is_some(), "{line}");
+        }
+    }
+
+    #[test]
+    fn done_event_round_trips_the_summary() {
+        let e = Event::Done {
+            id: 11,
+            summary: JobSummary {
+                termination: mep_placer::Termination::Cancelled,
+                hpwl: 123.5,
+                iterations: 42,
+                overflow: 0.07,
+                violations: 0,
+                placement_hash: 0xdead_beef,
+                elapsed_ms: 17,
+            },
+        };
+        let v = parse_json(&e.to_json()).unwrap();
+        assert_eq!(
+            v.get("termination").and_then(|t| t.as_str()),
+            Some("cancelled")
+        );
+        assert_eq!(v.get("iterations").and_then(|i| i.as_u64()), Some(42));
+        assert_eq!(
+            v.get("placement_hash").and_then(|h| h.as_str()),
+            Some("00000000deadbeef")
+        );
+    }
+
+    #[test]
+    fn trace_adapter_forwards_and_panics_on_cue() {
+        let collect = Arc::new(CollectSink::new());
+        let sink = JobTraceSink::new(7, collect.clone(), true);
+        let rec = IterationRecord {
+            iter: 0,
+            level: 0,
+            stage: None,
+            objective: 1.0,
+            hpwl: 2.0,
+            overflow: 0.5,
+            lambda: 1e-4,
+            smoothing: 0.9,
+            step: 0.1,
+            grad_norm: 3.0,
+            guard: None,
+            elapsed_secs: 0.0,
+        };
+        sink.record(&rec);
+        assert_eq!(collect.events().len(), 1);
+
+        let chaotic = JobTraceSink::new(8, collect, true).with_panic_after(1);
+        chaotic.record(&rec); // first record fine
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            chaotic.record(&rec);
+        }));
+        assert!(caught.is_err(), "second record must trip the chaos panic");
+    }
+}

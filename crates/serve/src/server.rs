@@ -1,0 +1,841 @@
+//! The placement server: bounded scheduling, per-job fault isolation,
+//! budgets, and graceful drain.
+//!
+//! # Isolation model
+//!
+//! One process hosts one shared [`EvalEngine`] worker pool and the
+//! process-wide spectral plan caches; jobs are *logically* isolated:
+//!
+//! * every job runs under `catch_unwind` — a panicking job (hostile
+//!   input, injected chaos) marks **itself** failed with
+//!   [`JobError::Panicked`] and the daemon lives on;
+//! * after any panic the shared engine runs its known-answer
+//!   determinism self-check ([`EvalEngine::revalidate`]); a failed check
+//!   swaps in a fresh engine before the next job dispatches, so a
+//!   poisoned pool can never corrupt later results;
+//! * admission control is explicit: a bounded queue refuses work
+//!   (reject-with-retry-after), a per-job memory estimate screens
+//!   oversized circuits before they allocate, and per-job wall-clock
+//!   budgets ride the [`CancelToken`] deadline that the placement loops
+//!   poll every iteration;
+//! * shared state that jobs touch (engine, plan caches) is immutable or
+//!   internally synchronized and carries no per-job residue — the chaos
+//!   harness proves it by replaying a clean job after the storm and
+//!   comparing placement fingerprints bitwise.
+
+use crate::events::{Event, EventSink, JobTraceSink};
+use crate::job::{
+    estimate_circuit_bytes, placement_fingerprint, ChaosMode, JobError, JobOutcome, JobRequest,
+    JobSummary,
+};
+use crate::queue::BoundedQueue;
+use mep_obs::{Registry, RunReport};
+use mep_placer::flow::{run_multilevel_with_engine, MultilevelConfig};
+use mep_placer::pipeline::{run_with_engine, PipelineConfig};
+use mep_placer::{CancelToken, PlacerError};
+use mep_wirelength::engine::EvalEngine;
+use mep_wirelength::ModelKind;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing jobs (≥ 1).
+    pub workers: usize,
+    /// Bounded queue capacity; a full queue rejects with retry-after.
+    pub queue_capacity: usize,
+    /// Threads of the shared evaluation engine.
+    pub engine_threads: usize,
+    /// Per-job memory-estimate budget, bytes.
+    pub memory_budget_bytes: u64,
+    /// Default per-job wall-clock budget applied when a request carries
+    /// none; `None` = unlimited.
+    pub default_budget: Option<Duration>,
+    /// Hard cap on any job's GP iteration count.
+    pub max_iters_cap: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 64,
+            engine_threads: 1,
+            memory_budget_bytes: 2 << 30,
+            default_budget: Some(Duration::from_secs(300)),
+            max_iters_cap: 2000,
+        }
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full; retry after the hinted backoff.
+    Backpressure {
+        /// Suggested client backoff, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The job id is already known to this server (active or terminal).
+    DuplicateId,
+    /// The server is draining and no longer accepts work.
+    ShuttingDown,
+}
+
+impl SubmitError {
+    /// Protocol reason string.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            SubmitError::Backpressure { .. } => "queue full",
+            SubmitError::DuplicateId => "duplicate job id",
+            SubmitError::ShuttingDown => "server shutting down",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobState {
+    Queued,
+    Running,
+    Terminal,
+}
+
+#[derive(Debug)]
+struct JobEntry {
+    cancel: CancelToken,
+    state: JobState,
+}
+
+#[derive(Debug)]
+struct QueuedJob {
+    id: u64,
+    request: JobRequest,
+    cancel: CancelToken,
+    sink: Arc<dyn EventSink>,
+}
+
+#[derive(Debug)]
+struct Sched {
+    queue: BoundedQueue<QueuedJob>,
+    jobs: BTreeMap<u64, JobEntry>,
+    terminal: u64,
+}
+
+#[derive(Debug)]
+struct Shared {
+    cfg: ServerConfig,
+    sched: Mutex<Sched>,
+    /// Workers sleep here for new work / the stop signal.
+    work_cv: Condvar,
+    /// Drain/wait callers sleep here; notified on every terminal job.
+    idle_cv: Condvar,
+    /// The shared engine; swapped atomically (under this lock) when a
+    /// post-panic revalidation fails.
+    engine: Mutex<Arc<EvalEngine>>,
+    accepting: AtomicBool,
+    stop: AtomicBool,
+    running: AtomicUsize,
+    metrics: Registry,
+}
+
+/// Recovers the inner value of a poisoned mutex: scheduler state is only
+/// ever mutated in short, panic-free critical sections (job execution
+/// happens *outside* the lock, under `catch_unwind`), so the data is
+/// consistent even if a poisoned flag ever appears.
+fn lock_sched(shared: &Shared) -> MutexGuard<'_, Sched> {
+    match shared.sched.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The placement daemon: spawns its worker pool on construction and
+/// schedules submitted jobs onto it.
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Starts a server with `cfg.workers` job threads and one shared
+    /// evaluation engine.
+    pub fn start(cfg: ServerConfig) -> Self {
+        let cfg = ServerConfig {
+            workers: cfg.workers.max(1),
+            engine_threads: cfg.engine_threads.max(1),
+            max_iters_cap: cfg.max_iters_cap.max(1),
+            ..cfg
+        };
+        let shared = Arc::new(Shared {
+            sched: Mutex::new(Sched {
+                queue: BoundedQueue::with_capacity(cfg.queue_capacity),
+                jobs: BTreeMap::new(),
+                terminal: 0,
+            }),
+            work_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+            engine: Mutex::new(Arc::new(EvalEngine::new(cfg.engine_threads))),
+            accepting: AtomicBool::new(true),
+            stop: AtomicBool::new(false),
+            running: AtomicUsize::new(0),
+            metrics: Registry::new(),
+            cfg,
+        });
+        // pre-register the full metric schema so a `metrics` request on a
+        // fresh server already shows every counter at zero
+        for name in [
+            "serve.jobs.accepted",
+            "serve.jobs.rejected",
+            "serve.jobs.completed",
+            "serve.jobs.failed",
+            "serve.jobs.panicked",
+            "serve.jobs.cancel_requests",
+            "serve.engine.revalidations",
+            "serve.engine.rebuilds",
+        ] {
+            shared.metrics.counter(name);
+        }
+        shared.metrics.gauge("serve.queue.depth").set(0.0);
+        shared.metrics.gauge("serve.queue.peak_depth").set(0.0);
+        shared
+            .metrics
+            .histogram("serve.job.latency_ms", LATENCY_BUCKETS_MS);
+        let mut workers = Vec::with_capacity(shared.cfg.workers);
+        for w in 0..shared.cfg.workers {
+            let s = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("mep-serve-worker-{w}"))
+                .spawn(move || worker_loop(&s));
+            match handle {
+                Ok(h) => workers.push(h),
+                // thread exhaustion at startup: run degraded with the
+                // workers that did spawn (submit still works; jobs queue)
+                Err(e) => eprintln!("mep serve: failed to spawn worker {w}: {e}"),
+            }
+        }
+        Self {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Submits a job. On success the job is queued (its `accepted` event
+    /// has already been emitted to `sink`) and the returned depth is the
+    /// queue depth right after admission. All refusals are typed and have
+    /// had their `rejected` event emitted.
+    pub fn submit(
+        &self,
+        id: u64,
+        request: JobRequest,
+        sink: Arc<dyn EventSink>,
+    ) -> Result<usize, SubmitError> {
+        let shared = &self.shared;
+        if !shared.accepting.load(Ordering::Relaxed) {
+            let err = SubmitError::ShuttingDown;
+            shared.metrics.counter("serve.jobs.rejected").add(1);
+            sink.emit(&Event::Rejected {
+                id,
+                reason: err.reason().to_string(),
+                retry_after_ms: None,
+            });
+            return Err(err);
+        }
+        let mut sched = lock_sched(shared);
+        if sched.jobs.contains_key(&id) {
+            drop(sched);
+            let err = SubmitError::DuplicateId;
+            shared.metrics.counter("serve.jobs.rejected").add(1);
+            sink.emit(&Event::Rejected {
+                id,
+                reason: err.reason().to_string(),
+                retry_after_ms: None,
+            });
+            return Err(err);
+        }
+        let cancel = CancelToken::new();
+        let job = QueuedJob {
+            id,
+            request,
+            cancel: cancel.clone(),
+            sink: Arc::clone(&sink),
+        };
+        match sched.queue.try_push(job) {
+            Ok(()) => {
+                sched.jobs.insert(
+                    id,
+                    JobEntry {
+                        cancel,
+                        state: JobState::Queued,
+                    },
+                );
+                let depth = sched.queue.len();
+                drop(sched);
+                self.note_depth(depth);
+                shared.metrics.counter("serve.jobs.accepted").add(1);
+                sink.emit(&Event::Accepted {
+                    id,
+                    queue_depth: depth,
+                });
+                shared.work_cv.notify_one();
+                Ok(depth)
+            }
+            Err((_job, full)) => {
+                drop(sched);
+                // back off proportionally to how much work one slot
+                // represents: a deeper queue drains slower
+                let retry_after_ms = 25 * full.capacity.max(1) as u64 / shared.cfg.workers as u64;
+                let retry_after_ms = retry_after_ms.clamp(10, 1000);
+                let err = SubmitError::Backpressure { retry_after_ms };
+                shared.metrics.counter("serve.jobs.rejected").add(1);
+                sink.emit(&Event::Rejected {
+                    id,
+                    reason: err.reason().to_string(),
+                    retry_after_ms: Some(retry_after_ms),
+                });
+                Err(err)
+            }
+        }
+    }
+
+    /// Requests cancellation of a job. Cancelling an unknown or finished
+    /// job is benign; the returned status says which case was hit.
+    pub fn cancel(&self, id: u64) -> &'static str {
+        let sched = lock_sched(&self.shared);
+        let status = match sched.jobs.get(&id) {
+            None => "unknown-id",
+            Some(entry) => match entry.state {
+                JobState::Terminal => "already-terminal",
+                JobState::Queued | JobState::Running => {
+                    entry.cancel.cancel();
+                    "cancelling"
+                }
+            },
+        };
+        drop(sched);
+        if status == "cancelling" {
+            self.shared
+                .metrics
+                .counter("serve.jobs.cancel_requests")
+                .add(1);
+        }
+        status
+    }
+
+    /// The server metric registry (snapshot for reports/tests).
+    pub fn metrics(&self) -> RunReport {
+        RunReport::from_registry(&self.shared.metrics)
+    }
+
+    /// The server metrics as a JSON object string.
+    pub fn metrics_json(&self) -> String {
+        self.metrics().to_json()
+    }
+
+    /// Runs the engine's determinism self-check right now (the chaos
+    /// harness calls this after the storm).
+    pub fn revalidate_engine(&self) -> bool {
+        let engine = match self.shared.engine.lock() {
+            Ok(g) => Arc::clone(&g),
+            Err(p) => Arc::clone(&p.into_inner()),
+        };
+        engine.revalidate()
+    }
+
+    /// Blocks until job `id` reaches a terminal state. Returns `false`
+    /// if the id is unknown.
+    pub fn wait_job(&self, id: u64) -> bool {
+        let mut sched = lock_sched(&self.shared);
+        loop {
+            match sched.jobs.get(&id) {
+                None => return false,
+                Some(e) if e.state == JobState::Terminal => return true,
+                Some(_) => {
+                    sched = match self.shared.idle_cv.wait(sched) {
+                        Ok(g) => g,
+                        Err(p) => p.into_inner(),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Blocks until the queue is empty and no job is running.
+    pub fn wait_idle(&self) {
+        let mut sched = lock_sched(&self.shared);
+        while !(sched.queue.is_empty() && self.shared.running.load(Ordering::Relaxed) == 0) {
+            sched = match self.shared.idle_cv.wait(sched) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    /// Graceful drain: stop accepting, wait for every queued and running
+    /// job to reach a terminal state, then stop the workers. Returns the
+    /// number of jobs that terminated during the drain.
+    pub fn shutdown_and_drain(&self) -> u64 {
+        let shared = &self.shared;
+        shared.accepting.store(false, Ordering::Relaxed);
+        let before = lock_sched(shared).terminal;
+        self.wait_idle();
+        let drained = lock_sched(shared).terminal - before;
+        shared.stop.store(true, Ordering::Relaxed);
+        shared.work_cv.notify_all();
+        let mut workers = match self.workers.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        for h in workers.drain(..) {
+            let _ = h.join();
+        }
+        drained
+    }
+
+    fn note_depth(&self, depth: usize) {
+        let m = &self.shared.metrics;
+        m.gauge("serve.queue.depth").set(depth as f64);
+        let peak = m.gauge("serve.queue.peak_depth");
+        if peak.get() < depth as f64 {
+            peak.set(depth as f64);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // best-effort: stop workers even if the owner never drained
+        self.shared.accepting.store(false, Ordering::Relaxed);
+        self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.work_cv.notify_all();
+        let mut workers = match self.workers.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        for h in workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Replaces the process panic hook with a one-line stderr note (no
+/// backtrace). Job panics are an expected, isolated condition in the
+/// daemon — the default hook's multi-page backtrace per chaos-injected
+/// panic would drown the logs. Call once from a daemon/harness binary;
+/// never from library code or tests.
+pub fn install_quiet_panic_hook() {
+    std::panic::set_hook(Box::new(|info| {
+        let msg = if let Some(s) = info.payload().downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = info.payload().downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        let location = info
+            .location()
+            .map(|l| format!("{}:{}", l.file(), l.line()))
+            .unwrap_or_else(|| "unknown".to_string());
+        eprintln!("panic isolated at {location}: {msg}");
+    }));
+}
+
+/// Latency histogram buckets, milliseconds.
+const LATENCY_BUCKETS_MS: &[f64] = &[
+    1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+];
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut sched = lock_sched(shared);
+            loop {
+                if let Some(job) = sched.queue.pop() {
+                    if let Some(entry) = sched.jobs.get_mut(&job.id) {
+                        entry.state = JobState::Running;
+                    }
+                    let depth = sched.queue.len();
+                    shared.running.fetch_add(1, Ordering::Relaxed);
+                    drop(sched);
+                    shared.metrics.gauge("serve.queue.depth").set(depth as f64);
+                    break Some(job);
+                }
+                if shared.stop.load(Ordering::Relaxed) {
+                    break None;
+                }
+                sched = match shared.work_cv.wait(sched) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+            }
+        };
+        let Some(job) = job else { return };
+
+        let t0 = Instant::now();
+        let outcome = run_one(shared, &job);
+        let latency_ms = t0.elapsed().as_secs_f64() * 1e3;
+        shared
+            .metrics
+            .histogram("serve.job.latency_ms", LATENCY_BUCKETS_MS)
+            .observe(latency_ms);
+
+        match &outcome {
+            JobOutcome::Done(summary) => {
+                shared.metrics.counter("serve.jobs.completed").add(1);
+                job.sink.emit(&Event::Done {
+                    id: job.id,
+                    summary: summary.clone(),
+                });
+            }
+            JobOutcome::Failed(error) => {
+                shared.metrics.counter("serve.jobs.failed").add(1);
+                job.sink.emit(&Event::Failed {
+                    id: job.id,
+                    error: error.clone(),
+                });
+            }
+        }
+
+        let mut sched = lock_sched(shared);
+        if let Some(entry) = sched.jobs.get_mut(&job.id) {
+            entry.state = JobState::Terminal;
+        }
+        sched.terminal += 1;
+        shared.running.fetch_sub(1, Ordering::Relaxed);
+        drop(sched);
+        shared.idle_cv.notify_all();
+    }
+}
+
+/// Executes one job with full isolation: panics are caught and typed, a
+/// panic triggers engine revalidation (and replacement on failure).
+fn run_one(shared: &Shared, job: &QueuedJob) -> JobOutcome {
+    // cancelled while still queued: terminal immediately, nothing ran
+    if let Some(termination) = job.cancel.termination() {
+        return JobOutcome::Done(JobSummary {
+            termination,
+            hpwl: f64::NAN,
+            iterations: 0,
+            overflow: f64::NAN,
+            violations: 0,
+            placement_hash: 0,
+            elapsed_ms: 0,
+        });
+    }
+    let engine = match shared.engine.lock() {
+        Ok(g) => Arc::clone(&g),
+        Err(p) => Arc::clone(&p.into_inner()),
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| execute_job(shared, job, engine)));
+    match result {
+        Ok(Ok(summary)) => JobOutcome::Done(summary),
+        Ok(Err(error)) => JobOutcome::Failed(error),
+        Err(payload) => {
+            shared.metrics.counter("serve.jobs.panicked").add(1);
+            let detail = panic_message(payload.as_ref());
+            // the job is dead either way; make sure the *daemon* is not:
+            // prove the shared engine still computes known answers
+            // bit-exactly, and replace it if it does not
+            shared.metrics.counter("serve.engine.revalidations").add(1);
+            let engine = match shared.engine.lock() {
+                Ok(g) => Arc::clone(&g),
+                Err(p) => Arc::clone(&p.into_inner()),
+            };
+            if !engine.revalidate() {
+                shared.metrics.counter("serve.engine.rebuilds").add(1);
+                let fresh = Arc::new(EvalEngine::new(shared.cfg.engine_threads));
+                match shared.engine.lock() {
+                    Ok(mut g) => *g = fresh,
+                    Err(p) => *p.into_inner() = fresh,
+                }
+            }
+            JobOutcome::Failed(JobError::Panicked { detail })
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn parse_model(name: Option<&str>) -> Result<ModelKind, JobError> {
+    match name {
+        None | Some("moreau") => Ok(ModelKind::Moreau),
+        Some("wa") => Ok(ModelKind::Wa),
+        Some("lse") => Ok(ModelKind::Lse),
+        Some(other) => Err(JobError::Load {
+            detail: format!("unknown wirelength model {other:?}"),
+        }),
+    }
+}
+
+/// The job body proper (runs under `catch_unwind`).
+fn execute_job(
+    shared: &Shared,
+    job: &QueuedJob,
+    engine: Arc<EvalEngine>,
+) -> Result<JobSummary, JobError> {
+    let cfg = &shared.cfg;
+    let req = &job.request;
+    let t0 = Instant::now();
+
+    // admission screen 1: cost model over the request alone, before any
+    // circuit memory exists
+    let estimated = req.circuit.estimated_bytes();
+    if estimated > cfg.memory_budget_bytes {
+        return Err(JobError::MemoryBudget {
+            estimated,
+            budget: cfg.memory_budget_bytes,
+        });
+    }
+
+    if let Some(ChaosMode::PanicBefore) = req.chaos {
+        // lint:allow(no-panic-lib): deliberate chaos-injection panic, caught by the per-job isolation boundary
+        panic!("chaos: deliberate pre-solve panic");
+    }
+
+    let circuit = req.circuit.load()?;
+    // admission screen 2: re-estimate from the parsed circuit (matters
+    // for .aux files, whose size is unknown until parse time)
+    let estimated = estimate_circuit_bytes(&circuit);
+    if estimated > cfg.memory_budget_bytes {
+        return Err(JobError::MemoryBudget {
+            estimated,
+            budget: cfg.memory_budget_bytes,
+        });
+    }
+
+    // the execution budget starts when the job starts running, not when
+    // it was submitted: queue time is the server's fault, not the job's
+    if let Some(budget) = req.budget.or(cfg.default_budget) {
+        job.cancel.arm_deadline_in(budget);
+    }
+
+    let model = parse_model(req.model.as_deref())?;
+    let max_iters = req
+        .max_iters
+        .unwrap_or(cfg.max_iters_cap)
+        .min(cfg.max_iters_cap);
+
+    let mut pipeline = PipelineConfig::default();
+    pipeline.global.model = model;
+    pipeline.global.max_iters = max_iters;
+    pipeline.global.threads = cfg.engine_threads;
+    pipeline.global.record_trajectory = false;
+    pipeline.global.cancel = job.cancel.clone();
+    pipeline.global.fault_injection = req.fault_injection;
+    let trace_sink = match req.chaos {
+        Some(ChaosMode::PanicMid(n)) => {
+            JobTraceSink::new(job.id, Arc::clone(&job.sink), true).with_panic_after(n)
+        }
+        _ => JobTraceSink::new(job.id, Arc::clone(&job.sink), req.trace),
+    };
+    pipeline.global.trace = Arc::new(trace_sink);
+
+    let result = if req.levels > 1 {
+        let ml = MultilevelConfig {
+            levels: req.levels,
+            pipeline,
+            ..MultilevelConfig::default()
+        };
+        run_multilevel_with_engine(&circuit, &ml, engine).map(|r| r.result)
+    } else {
+        run_with_engine(&circuit, &pipeline, engine)
+    };
+    let result = result.map_err(|e: PlacerError| JobError::Placer {
+        detail: e.to_string(),
+    })?;
+
+    Ok(JobSummary {
+        termination: result.termination,
+        hpwl: result.dpwl,
+        iterations: result.iterations,
+        overflow: result.overflow,
+        violations: result.violations,
+        placement_hash: placement_fingerprint(&result.placement),
+        elapsed_ms: t0.elapsed().as_millis() as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::CollectSink;
+    use crate::job::CircuitSource;
+    use mep_placer::Termination;
+
+    fn tiny_request() -> JobRequest {
+        JobRequest {
+            circuit: CircuitSource::Builtin("smoke".to_string()),
+            model: None,
+            max_iters: Some(60),
+            levels: 1,
+            budget: None,
+            trace: false,
+            fault_injection: None,
+            chaos: None,
+        }
+    }
+
+    fn test_server(workers: usize, queue: usize) -> Server {
+        Server::start(ServerConfig {
+            workers,
+            queue_capacity: queue,
+            engine_threads: 1,
+            ..ServerConfig::default()
+        })
+    }
+
+    #[test]
+    fn clean_job_completes_with_typed_summary() {
+        let server = test_server(1, 4);
+        let sink = Arc::new(CollectSink::new());
+        server.submit(1, tiny_request(), sink.clone()).unwrap();
+        assert!(server.wait_job(1));
+        let events = sink.events();
+        assert!(matches!(
+            events.first(),
+            Some(Event::Accepted { id: 1, .. })
+        ));
+        match events.last() {
+            Some(Event::Done { id: 1, summary }) => {
+                assert_eq!(summary.violations, 0);
+                assert!(summary.hpwl.is_finite());
+                assert_ne!(summary.placement_hash, 0);
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+        let report = server.metrics();
+        assert_eq!(report.counter("serve.jobs.completed"), Some(1));
+        assert_eq!(report.counter("serve.jobs.failed"), Some(0));
+    }
+
+    #[test]
+    fn duplicate_id_and_backpressure_are_typed_rejections() {
+        // a server whose single worker is busy with job 1 while the
+        // 1-slot queue holds job 2: job 3 must bounce with retry-after
+        let server = test_server(1, 1);
+        let sink = Arc::new(CollectSink::new());
+        server.submit(1, tiny_request(), sink.clone()).unwrap();
+        assert_eq!(
+            server.submit(1, tiny_request(), sink.clone()).unwrap_err(),
+            SubmitError::DuplicateId
+        );
+        // fill the queue slot, then overflow it; ids stay unique
+        let mut backpressured = false;
+        for id in 2..200u64 {
+            match server.submit(id, tiny_request(), sink.clone()) {
+                Ok(_) => {}
+                Err(SubmitError::Backpressure { retry_after_ms }) => {
+                    assert!(retry_after_ms >= 10);
+                    backpressured = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(backpressured, "1-slot queue must reject under load");
+        server.wait_idle();
+        let report = server.metrics();
+        assert!(report.counter("serve.jobs.rejected").unwrap() >= 2);
+        assert_eq!(report.gauge("serve.queue.depth"), Some(0.0));
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_and_server_survives() {
+        let server = test_server(1, 8);
+        let sink = Arc::new(CollectSink::new());
+        let mut chaos = tiny_request();
+        chaos.chaos = Some(ChaosMode::PanicBefore);
+        server.submit(1, chaos, sink.clone()).unwrap();
+        server.submit(2, tiny_request(), sink.clone()).unwrap();
+        assert!(server.wait_job(1));
+        assert!(server.wait_job(2));
+        let events = sink.events();
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                Event::Failed {
+                    id: 1,
+                    error: JobError::Panicked { .. }
+                }
+            )),
+            "job 1 must fail typed: {events:?}"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::Done { id: 2, .. })),
+            "job 2 must complete after the panic: {events:?}"
+        );
+        let report = server.metrics();
+        assert_eq!(report.counter("serve.jobs.panicked"), Some(1));
+        assert_eq!(report.counter("serve.engine.revalidations"), Some(1));
+        assert!(server.revalidate_engine());
+    }
+
+    #[test]
+    fn oversized_job_rejected_before_allocation() {
+        let server = test_server(1, 4);
+        let sink = Arc::new(CollectSink::new());
+        let mut huge = tiny_request();
+        huge.circuit = CircuitSource::Scaled {
+            movable: 50_000_000,
+            seed: 1,
+        };
+        server.submit(1, huge, sink.clone()).unwrap();
+        assert!(server.wait_job(1));
+        assert!(
+            sink.events().iter().any(|e| matches!(
+                e,
+                Event::Failed {
+                    id: 1,
+                    error: JobError::MemoryBudget { .. }
+                }
+            )),
+            "{:?}",
+            sink.events()
+        );
+    }
+
+    #[test]
+    fn cancel_while_queued_and_graceful_drain() {
+        let server = test_server(1, 8);
+        let sink = Arc::new(CollectSink::new());
+        for id in 1..=4 {
+            server.submit(id, tiny_request(), sink.clone()).unwrap();
+        }
+        // job 4 sits at the back of a 1-worker queue: cancel it now
+        assert!(matches!(
+            server.cancel(4),
+            "cancelling" | "already-terminal"
+        ));
+        assert_eq!(server.cancel(99), "unknown-id");
+        let drained = server.shutdown_and_drain();
+        assert_eq!(drained, 4, "every submitted job reaches terminal state");
+        // post-drain submissions bounce
+        assert_eq!(
+            server.submit(5, tiny_request(), sink.clone()).unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+        let events = sink.events();
+        let done4 = events.iter().find_map(|e| match e {
+            Event::Done { id: 4, summary } => Some(summary.clone()),
+            Event::Failed { id: 4, error } => panic!("job 4 failed: {error:?}"),
+            _ => None,
+        });
+        let s = done4.expect("job 4 must terminate");
+        assert_eq!(s.termination, Termination::Cancelled);
+        assert_eq!(server.cancel(4), "already-terminal");
+    }
+}

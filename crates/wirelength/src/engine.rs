@@ -38,19 +38,54 @@ pub const DEFAULT_PARALLEL_THRESHOLD: usize = 4096;
 /// 16 (beyond that, memory bandwidth dominates wirelength evaluation).
 ///
 /// The `MEP_THREADS` environment variable overrides the detected count
-/// (clamped to `1..=256`); unset, empty, or unparsable values fall back to
-/// detection. This is the single source of truth — config defaults in
-/// every crate route through it.
+/// (clamped to `1..=256`). Unset falls back to detection silently; a set
+/// but unparsable value (empty string, `0x8`, `four`, …) is **rejected**
+/// with a one-line stderr warning — printed once per process — and also
+/// falls back to detection, so a typo degrades noisily instead of being
+/// silently swallowed. This is the single source of truth — config
+/// defaults in every crate route through it.
 pub fn default_threads() -> usize {
     if let Ok(v) = std::env::var("MEP_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.clamp(1, 256);
+        match parse_mep_threads(&v) {
+            Ok(n) => return n,
+            Err(reason) => {
+                static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                WARN_ONCE.call_once(|| {
+                    eprintln!(
+                        "warning: ignoring MEP_THREADS={v:?} ({reason}); using detected parallelism"
+                    );
+                });
+            }
         }
     }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(16)
+}
+
+/// Strict parser behind the `MEP_THREADS` override: a plain base-10
+/// integer (surrounding whitespace allowed), clamped to `1..=256`.
+/// Anything else — empty string, hex like `0x8`, signs, words — is an
+/// error carrying the reason; [`default_threads`] turns that into a
+/// one-line warning plus detection fallback rather than guessing.
+pub fn parse_mep_threads(raw: &str) -> Result<usize, String> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        // lint:allow(no-alloc-hot): cold env-parsing error path, runs at most once per process
+        return Err("empty value".to_string());
+    }
+    if !trimmed.bytes().all(|b| b.is_ascii_digit()) {
+        // digit-strict: `parse::<usize>` would accept a leading `+`,
+        // which is exactly the kind of almost-a-number this rejects
+        // lint:allow(no-alloc-hot): cold env-parsing error path, runs at most once per process
+        return Err(format!("not a base-10 thread count: {trimmed:?}"));
+    }
+    match trimmed.parse::<usize>() {
+        Ok(n) => Ok(n.clamp(1, 256)),
+        // lint:allow(no-alloc-hot): cold env-parsing error path, runs at most once per process
+        Err(_) => Err(format!("not a base-10 thread count: {trimmed:?}")),
+    }
 }
 
 /// Pipeline stages the engine attributes evaluation time to.
@@ -369,6 +404,43 @@ impl EvalEngine {
         self.workspace_allocs.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Determinism self-check, for long-lived drivers reusing one engine
+    /// across many jobs (the `mep-serve` daemon runs it after any job
+    /// panic before the pool serves the next job).
+    ///
+    /// Dispatches a fixed known-answer workload through
+    /// [`EvalEngine::run`] — more parts than any worker count, each part
+    /// writing a deterministic bit pattern into its own slot — and checks
+    /// every slot bitwise. Returns `false` when the pool mutex is
+    /// poisoned, the workload itself panics, or any slot is missing or
+    /// wrong (a wedged or dead worker); callers must then discard the
+    /// engine and build a fresh one. Returns `true` on a healthy engine,
+    /// which stays fully usable afterwards.
+    pub fn revalidate(&self) -> bool {
+        // a mutex poisoned by a panic while spawning/dispatching can
+        // never be locked again; the pool is unrecoverable
+        if self.pool.lock().is_err() {
+            return false;
+        }
+        // odd and larger than the 256-thread cap would ever claim per
+        // worker at once: exercises dynamic claiming across every worker
+        const PARTS: usize = 97;
+        fn known_answer(i: usize) -> u64 {
+            (((i as f64) + 0.5).sin() * 1e9).to_bits()
+        }
+        // lint:allow(no-alloc-hot): cold re-validation path, runs only after a job panic
+        let slots: Vec<AtomicU64> = (0..PARTS).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            self.run(PARTS, &|i| {
+                slots[i].store(known_answer(i), Ordering::Relaxed);
+            });
+        }));
+        if run.is_err() {
+            return false;
+        }
+        (0..PARTS).all(|i| slots[i].load(Ordering::Relaxed) == known_answer(i))
+    }
+
     /// Snapshot of all instrumentation counters.
     pub fn stats(&self) -> EngineStats {
         let stage = |s: Stage| {
@@ -529,5 +601,64 @@ mod tests {
         assert_eq!(default_threads(), detected);
         std::env::remove_var("MEP_THREADS");
         assert_eq!(default_threads(), detected);
+    }
+
+    /// The strict parser: accepted shapes clamp, everything else is a
+    /// typed rejection (no silent guessing for `0x8`-style garbage).
+    #[test]
+    fn parse_mep_threads_edge_cases() {
+        assert_eq!(parse_mep_threads("8"), Ok(8));
+        assert_eq!(parse_mep_threads(" 8 "), Ok(8), "whitespace trimmed");
+        assert_eq!(parse_mep_threads("1"), Ok(1));
+        assert_eq!(parse_mep_threads("0"), Ok(1), "clamped up");
+        assert_eq!(parse_mep_threads("9999"), Ok(256), "clamped down");
+        for garbage in [
+            "",
+            "   ",
+            "0x8",
+            "eight",
+            "-1",
+            "+4",
+            "3.5",
+            "2,000",
+            "8 threads",
+        ] {
+            assert!(
+                parse_mep_threads(garbage).is_err(),
+                "{garbage:?} must be rejected, not coerced"
+            );
+        }
+    }
+
+    #[test]
+    fn revalidate_passes_on_a_healthy_engine() {
+        for threads in [1, 4] {
+            let engine = EvalEngine::new(threads);
+            assert!(engine.revalidate(), "threads = {threads}");
+            // revalidation is repeatable and leaves the engine usable
+            assert!(engine.revalidate());
+            let hits = AtomicUsize::new(0);
+            engine.run(8, &|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 8);
+        }
+    }
+
+    #[test]
+    fn revalidate_passes_after_a_caught_worker_panic() {
+        let engine = EvalEngine::new(4);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            engine.run(16, &|i| {
+                if i == 3 {
+                    panic!("chaos");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        assert!(
+            engine.revalidate(),
+            "a re-raised worker panic must not poison the pool"
+        );
     }
 }

@@ -8,6 +8,8 @@
 //! mep stats  <circuit> [--lef FILE]
 //! mep gen    <benchmark> <out-dir>
 //! mep bench-list
+//! mep serve  [--stdio | --tcp ADDR] [--workers N] [--queue N]
+//!            [--engine-threads N] [--mem-budget-mb N] [--budget-ms N]
 //! ```
 //!
 //! `<circuit>` is a Bookshelf `.aux` path, a DEF path (pass the library
@@ -31,7 +33,9 @@ fn usage() -> ExitCode {
          [--iters N] [--threads N] [--density F] [--lef FILE] [--quadratic-init]\n            \
          [--levels N] [--warm-start] [--eco XL,YL,XH,YH]\n            \
          [--trace-out FILE.jsonl] [--metrics]\n  \
-         mep stats <circuit> [--lef FILE]\n  mep gen <benchmark> <out-dir>\n  mep bench-list\n\n\
+         mep stats <circuit> [--lef FILE]\n  mep gen <benchmark> <out-dir>\n  mep bench-list\n  \
+         mep serve [--stdio | --tcp ADDR] [--workers N] [--queue N]\n            \
+         [--engine-threads N] [--mem-budget-mb N] [--budget-ms N]\n\n\
          <circuit> = a Bookshelf .aux path, a DEF path (with --lef), or a\n\
          built-in synthetic benchmark name (see `mep bench-list`).\n\
          --levels N runs the multilevel flow (cluster coarsening, N levels,\n\
@@ -40,7 +44,10 @@ fn usage() -> ExitCode {
          --eco re-places only the cells touching the given die window and\n\
          keeps everything else bit-identical (incremental ECO mode).\n\
          --trace-out streams one JSON line per global iteration; --metrics\n\
-         prints the end-of-run telemetry report (DESIGN.md \u{a7}10)."
+         prints the end-of-run telemetry report (DESIGN.md \u{a7}10).\n\
+         `mep serve` runs the placement daemon (JSONL line protocol, see\n\
+         README \u{a7}Serving and DESIGN.md \u{a7}14); --stdio (default) serves one\n\
+         session on stdin/stdout, --tcp ADDR accepts concurrent clients."
     );
     ExitCode::from(2)
 }
@@ -151,6 +158,80 @@ fn main() -> ExitCode {
                 Err(e) => {
                     eprintln!("error: {e}");
                     ExitCode::FAILURE
+                }
+            }
+        }
+        "serve" => {
+            mep_serve::install_quiet_panic_hook();
+            let mut cfg = mep_serve::ServerConfig::default();
+            let mut tcp_addr: Option<String> = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--stdio" => tcp_addr = None,
+                    "--tcp" => {
+                        i += 1;
+                        match args.get(i) {
+                            Some(a) => tcp_addr = Some(a.clone()),
+                            None => return usage(),
+                        }
+                    }
+                    "--workers" => {
+                        i += 1;
+                        cfg.workers = match args.get(i).and_then(|s| s.parse().ok()) {
+                            Some(v) if v >= 1 => v,
+                            _ => return usage(),
+                        };
+                    }
+                    "--queue" => {
+                        i += 1;
+                        cfg.queue_capacity = match args.get(i).and_then(|s| s.parse().ok()) {
+                            Some(v) if v >= 1 => v,
+                            _ => return usage(),
+                        };
+                    }
+                    "--engine-threads" => {
+                        i += 1;
+                        cfg.engine_threads = match args.get(i).and_then(|s| s.parse().ok()) {
+                            Some(v) if v >= 1 => v,
+                            _ => return usage(),
+                        };
+                    }
+                    "--mem-budget-mb" => {
+                        i += 1;
+                        cfg.memory_budget_bytes =
+                            match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                                Some(v) if v >= 1 => v << 20,
+                                _ => return usage(),
+                            };
+                    }
+                    "--budget-ms" => {
+                        i += 1;
+                        cfg.default_budget = match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                            Some(0) => None,
+                            Some(v) => Some(std::time::Duration::from_millis(v)),
+                            None => return usage(),
+                        };
+                    }
+                    _ => return usage(),
+                }
+                i += 1;
+            }
+            match tcp_addr {
+                Some(addr) => {
+                    let server = std::sync::Arc::new(mep_serve::Server::start(cfg));
+                    match mep_serve::serve_tcp(server, &addr) {
+                        Ok(()) => ExitCode::SUCCESS,
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            ExitCode::FAILURE
+                        }
+                    }
+                }
+                None => {
+                    let server = mep_serve::Server::start(cfg);
+                    mep_serve::serve_stdio(&server);
+                    ExitCode::SUCCESS
                 }
             }
         }

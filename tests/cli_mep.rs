@@ -308,6 +308,99 @@ fn eco_flag_freezes_cells_outside_the_window() {
 }
 
 #[test]
+fn serve_stdio_smoke_streams_valid_jsonl_for_a_mixed_batch() {
+    // 20 jobs — 16 clean, 2 with injected NaN faults, 2 that get
+    // cancelled — plus hostile frames, a metrics probe, and a shutdown.
+    // The daemon must exit cleanly with every stdout line valid JSONL and
+    // every job typed-terminal.
+    use mep_serve::{parse_json, JsonValue};
+    use std::io::Write as _;
+
+    let mut input = String::new();
+    for id in 1..=20u64 {
+        let extra = match id {
+            5 | 15 => ",\"fault_injection\":[5,2]",
+            _ => "",
+        };
+        input.push_str(&format!(
+            "{{\"op\":\"place\",\"id\":{id},\"circuit\":\"smoke\",\"max_iters\":{}{extra}}}\n",
+            20 + (id % 3) * 10,
+        ));
+    }
+    // cancel two mid-batch jobs (they may be queued or already running)
+    input.push_str("{\"op\":\"cancel\",\"id\":18}\n{\"op\":\"cancel\",\"id\":20}\n");
+    // hostile frames must produce error events, not kill the stream
+    input.push_str("this is not json\n{\"op\":\"wat\"}\n");
+    input.push_str("{\"op\":\"metrics\"}\n{\"op\":\"shutdown\"}\n");
+
+    let mut child = mep()
+        .args(["serve", "--stdio", "--workers", "2", "--queue", "32"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon starts");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("requests written");
+    let out = child.wait_with_output().expect("daemon exits");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "daemon must exit cleanly\nstdout:\n{stdout}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let frames: Vec<JsonValue> = stdout
+        .lines()
+        .map(|l| parse_json(l).unwrap_or_else(|e| panic!("invalid JSONL {l:?}: {e}")))
+        .collect();
+    let kind = |f: &JsonValue| {
+        f.get("event")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    let accepted = frames.iter().filter(|f| kind(f) == "accepted").count();
+    assert_eq!(accepted, 20, "all 20 jobs admitted:\n{stdout}");
+    // every job reaches exactly one terminal frame, and none failed —
+    // faulted jobs recover via the guard, cancelled jobs land as partials
+    for id in 1..=20u64 {
+        let terminals = frames
+            .iter()
+            .filter(|f| {
+                matches!(kind(f).as_str(), "done" | "failed")
+                    && f.get("id").and_then(JsonValue::as_u64) == Some(id)
+            })
+            .count();
+        assert_eq!(terminals, 1, "job {id} terminal frames:\n{stdout}");
+    }
+    assert!(
+        !frames.iter().any(|f| kind(f) == "failed"),
+        "no job in this batch may fail:\n{stdout}"
+    );
+    assert_eq!(
+        frames.iter().filter(|f| kind(f) == "error").count(),
+        2,
+        "two hostile frames, two error events:\n{stdout}"
+    );
+    assert_eq!(
+        frames.iter().filter(|f| kind(f) == "cancel_ack").count(),
+        2,
+        "both cancels acknowledged:\n{stdout}"
+    );
+    assert!(frames.iter().any(|f| kind(f) == "metrics"));
+    assert_eq!(
+        kind(frames.last().expect("nonempty output")),
+        "shutdown_complete",
+        "shutdown must be the final frame:\n{stdout}"
+    );
+}
+
+#[test]
 fn bad_eco_window_exits_nonzero() {
     let out = mep()
         .args(["place", "smoke", "--eco", "10,10,5,5"])
