@@ -27,11 +27,11 @@ fn bench_stages(c: &mut Criterion) {
     let mut group = c.benchmark_group("flow_stages");
     group.bench_function("legalize_smoke", |b| {
         b.iter(|| {
-            let (legal, _) = legalize(&circuit.design, black_box(&gp.placement));
+            let (legal, _) = legalize(&circuit.design, black_box(&gp.placement)).expect("legalize");
             black_box(legal.x[0])
         })
     });
-    let (legal, _) = legalize(&circuit.design, &gp.placement);
+    let (legal, _) = legalize(&circuit.design, &gp.placement).expect("legalize");
     group.bench_function("detail_place_smoke", |b| {
         b.iter(|| {
             let mut pl = legal.clone();

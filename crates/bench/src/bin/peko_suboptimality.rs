@@ -1,0 +1,344 @@
+//! **Known-optimum suboptimality sweep** (DESIGN.md §15): places the
+//! PEKO-style ladder (`peko_600` / `peko_2400` / `peko_9600`, optima
+//! exact by construction) with every wirelength model × optimizer
+//! config through the full GP → LG → DP pipeline and reports how far
+//! each final *legal* placement is from the true optimum — the one
+//! number ordinary model-vs-model tables cannot produce.
+//!
+//! ```text
+//! cargo run -p mep-bench --release --bin peko_suboptimality [--fast] \
+//!     [--out PATH] [--baseline-out PATH] [--threads N]
+//! cargo run -p mep-bench --release --bin peko_suboptimality [--fast] --guard [BASELINE]
+//! ```
+//!
+//! The default mode writes one JSONL record per run (with full
+//! telemetry, the certificate, and a legality audit) to
+//! `results/peko_reports.jsonl`, refreshes `results/peko_baseline.json`
+//! from the Moreau × Nesterov guard rows, prints the ratio table, and
+//! exits non-zero if any run fails or any reported placement fails the
+//! legality audit.
+//!
+//! `--guard` is the CI quality-regression mode: it re-runs Moreau ×
+//! Nesterov on the guard rungs and exits non-zero if the suboptimality
+//! ratio regressed more than `MEP_PEKO_GUARD_TOLERANCE` (default 0.02 =
+//! 2%) vs the committed baseline. The whole flow is deterministic at
+//! every thread count, so unlike the wall-clock perf guard this one is
+//! noise-free: any drift is a real quality change.
+
+use mep_bench::peko::{
+    audit_json, optimizer_label, row_json, run_peko, write_peko_jsonl, PekoOptions, PekoRow,
+    GUARD_ITERS,
+};
+use mep_bench::Table;
+use mep_netlist::synth::peko::{peko_spec, peko_suite, PekoSpec};
+use mep_obs::json::JsonObject;
+use mep_placer::global::OptimizerKind;
+use mep_wirelength::engine::EvalEngine;
+use mep_wirelength::ModelKind;
+use std::sync::Arc;
+
+/// Ladder rungs re-measured by `--guard` (the smallest two: exhaustive
+/// enough to see drift, fast enough for every CI run; `--fast` keeps
+/// only the first).
+const GUARD_SIZES: [usize; 2] = [600, 2400];
+
+/// The five models of the sweep (the four contestants + exact HPWL with
+/// its subgradient).
+const MODELS: [ModelKind; 5] = [
+    ModelKind::Hpwl,
+    ModelKind::Lse,
+    ModelKind::Wa,
+    ModelKind::BigChks,
+    ModelKind::Moreau,
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let guard = args.iter().any(|a| a == "--guard");
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(mep_wirelength::engine::default_threads);
+
+    if guard {
+        run_guard(&args, fast, threads);
+        return;
+    }
+
+    let out_path =
+        flag_value(&args, "--out").unwrap_or_else(|| "results/peko_reports.jsonl".into());
+    let baseline_path =
+        flag_value(&args, "--baseline-out").unwrap_or_else(|| "results/peko_baseline.json".into());
+
+    let mut specs = peko_suite();
+    if fast {
+        specs.truncate(1);
+    }
+    let opts = PekoOptions {
+        max_iters: GUARD_ITERS,
+        threads,
+    };
+    let engine = Arc::new(EvalEngine::new(threads));
+
+    // the sweep: Nesterov × every model on every rung, plus the
+    // alternative optimizers on the smallest rung (Adam with every
+    // model; conjugate subgradient with the non-smooth HPWL model it
+    // pairs with)
+    let mut jobs: Vec<(PekoSpec, ModelKind, OptimizerKind)> = Vec::new();
+    for spec in &specs {
+        for model in MODELS {
+            jobs.push((spec.clone(), model, OptimizerKind::Nesterov));
+        }
+    }
+    if let Some(smallest) = specs.first() {
+        for model in MODELS {
+            jobs.push((smallest.clone(), model, OptimizerKind::Adam));
+        }
+        jobs.push((
+            smallest.clone(),
+            ModelKind::Hpwl,
+            OptimizerKind::ConjugateSubgradient,
+        ));
+    }
+
+    let mut rows: Vec<PekoRow> = Vec::new();
+    let mut failures = 0usize;
+    for (spec, model, optimizer) in &jobs {
+        eprintln!(
+            "[peko] {} x {} x {} …",
+            spec.name,
+            model.label(),
+            optimizer_label(*optimizer)
+        );
+        match run_peko(spec, *model, *optimizer, &opts, Arc::clone(&engine)) {
+            Ok(row) => {
+                eprintln!(
+                    "[peko]   ratio {:.4} (dpwl {:.0} / opt {:.0}), overflow {:.3}, \
+                     {} iters, {:.1}s, audit {}",
+                    row.ratio,
+                    row.dpwl,
+                    row.optimal_hpwl,
+                    row.overflow,
+                    row.iterations,
+                    row.rt,
+                    row.audit
+                );
+                if !row.audit.is_clean() {
+                    eprintln!(
+                        "[peko]   AUDIT FAIL: {} — {}",
+                        row.audit,
+                        audit_json(&row.audit)
+                    );
+                    failures += 1;
+                }
+                rows.push(row);
+            }
+            Err(e) => {
+                eprintln!(
+                    "[peko]   FAIL: {} x {} x {}: {e}",
+                    spec.name,
+                    model.label(),
+                    optimizer_label(*optimizer)
+                );
+                failures += 1;
+            }
+        }
+    }
+
+    // the ratio table, one row per bench × optimizer, one column per model
+    let mut table = Table::new([
+        "bench",
+        "optimizer",
+        "HPWL",
+        "LSE",
+        "WA",
+        "BiG_CHKS",
+        "Ours",
+    ]);
+    for spec in &specs {
+        for optlabel in ["nesterov", "adam", "cg"] {
+            let cells: Vec<String> = MODELS
+                .iter()
+                .map(|m| {
+                    rows.iter()
+                        .find(|r| {
+                            r.bench == spec.name
+                                && r.model == *m
+                                && optimizer_label(r.optimizer) == optlabel
+                        })
+                        .map(|r| format!("{:.4}", r.ratio))
+                        .unwrap_or_else(|| "-".into())
+                })
+                .collect();
+            if cells.iter().all(|c| c == "-") {
+                continue;
+            }
+            let mut row = vec![spec.name.clone(), optlabel.to_string()];
+            row.extend(cells);
+            table.push(row);
+        }
+    }
+    println!("{}", table.to_text());
+    println!("(suboptimality ratio = final legal HPWL / exact optimum; 1.0 is perfect)");
+
+    if let Err(e) = write_peko_jsonl(&out_path, &rows) {
+        eprintln!("could not write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path} ({} runs)", rows.len());
+
+    // refresh the guard baseline from the Moreau × Nesterov guard rows
+    let baseline_rows: Vec<&PekoRow> = GUARD_SIZES
+        .iter()
+        .filter_map(|&size| {
+            rows.iter().find(|r| {
+                r.movable == size
+                    && r.model == ModelKind::Moreau
+                    && r.optimizer == OptimizerKind::Nesterov
+            })
+        })
+        .collect();
+    if !baseline_rows.is_empty() {
+        let mut o = JsonObject::new();
+        o.field_str("bench", "peko_suboptimality")
+            .field_str(
+                "description",
+                "Moreau x Nesterov suboptimality ratios on the known-optimum ladder. \
+                 The flow is deterministic at any thread count, so the guard compares \
+                 ratios exactly: a drift beyond the tolerance is a real quality change.",
+            )
+            .field_f64("tolerance", 0.02)
+            .field_u64("max_iters", GUARD_ITERS as u64);
+        for r in &baseline_rows {
+            o.field_f64(&format!("moreau_ratio_{}", r.movable), round4(r.ratio));
+        }
+        o.field_raw_array("runs", baseline_rows.iter().map(|r| row_json(r)));
+        match std::fs::write(&baseline_path, format!("{}\n", o.finish())) {
+            Ok(()) => println!("wrote {baseline_path}"),
+            Err(e) => {
+                eprintln!("could not write {baseline_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("[peko] {failures} run(s) failed or produced illegal placements");
+        std::process::exit(1);
+    }
+}
+
+/// CI quality-regression guard: re-run Moreau × Nesterov on the guard
+/// rungs and fail on a ratio regression beyond the tolerance
+/// (`MEP_PEKO_GUARD_TOLERANCE` env override, else the baseline's
+/// `tolerance` field, else 0.02).
+fn run_guard(args: &[String], fast: bool, threads: usize) {
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--guard")
+        .and_then(|i| args.get(i + 1))
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "results/peko_baseline.json".to_string());
+    let text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("[guard] cannot read baseline {baseline_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let tolerance = std::env::var("MEP_PEKO_GUARD_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .or_else(|| scrape_f64(&text, "tolerance"))
+        .unwrap_or(0.02);
+    let max_iters = scrape_f64(&text, "max_iters")
+        .map(|v| v as usize)
+        .unwrap_or(GUARD_ITERS);
+
+    let sizes: &[usize] = if fast {
+        &GUARD_SIZES[..1]
+    } else {
+        &GUARD_SIZES
+    };
+    let opts = PekoOptions { max_iters, threads };
+    let engine = Arc::new(EvalEngine::new(threads));
+    let mut failed = false;
+    for (i, &size) in sizes.iter().enumerate() {
+        let key = format!("moreau_ratio_{size}");
+        let Some(baseline_ratio) = scrape_f64(&text, &key) else {
+            eprintln!("[guard] baseline {baseline_path} has no {key}");
+            std::process::exit(1);
+        };
+        let spec = peko_spec(size, 9001 + i as u64);
+        let row = match run_peko(
+            &spec,
+            ModelKind::Moreau,
+            OptimizerKind::Nesterov,
+            &opts,
+            Arc::clone(&engine),
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("[guard] FAIL: {} did not place: {e}", spec.name);
+                std::process::exit(1);
+            }
+        };
+        if !row.audit.is_clean() {
+            eprintln!(
+                "[guard] FAIL: {} placement is illegal: {}",
+                spec.name, row.audit
+            );
+            failed = true;
+        }
+        let limit = baseline_ratio * (1.0 + tolerance);
+        println!(
+            "[guard] {}: ratio {:.4} vs baseline {:.4} (limit {:.4}, tolerance +{:.0}%)",
+            spec.name,
+            row.ratio,
+            baseline_ratio,
+            limit,
+            tolerance * 100.0
+        );
+        if row.ratio > limit {
+            eprintln!(
+                "[guard] FAIL: {} Moreau suboptimality regressed beyond tolerance",
+                spec.name
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("[guard] OK");
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+}
+
+fn round4(v: f64) -> f64 {
+    (v * 10_000.0).round() / 10_000.0
+}
+
+/// Extracts `"name": <number>` from a flat JSON text. The guard scrapes
+/// only top-level scalar fields written by this same binary, so a full
+/// parser is unnecessary; the nested `runs` array is written *after*
+/// every scraped field so a prefix search never lands inside it.
+fn scrape_f64(text: &str, name: &str) -> Option<f64> {
+    let key = format!("\"{name}\":");
+    let at = text.find(&key)? + key.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}

@@ -5,8 +5,10 @@
 #![warn(missing_docs)]
 
 pub mod flow;
+pub mod peko;
 pub mod svg;
 pub mod table;
 
 pub use flow::{run_benchmark, write_reports_jsonl, BenchmarkRow, FlowOptions};
+pub use peko::{run_peko, write_peko_jsonl, PekoOptions, PekoRow};
 pub use table::Table;

@@ -17,6 +17,12 @@ pub struct Config {
     /// Workspace-relative path prefixes where `Instant::now` /
     /// `SystemTime` are sanctioned (the telemetry layer).
     pub clock_whitelist: Vec<String>,
+    /// Workspace-relative paths of individual modules that must be
+    /// deterministic even though their crate as a whole is not
+    /// result-affecting — e.g. the known-optimum harness plumbing in the
+    /// bench crate, whose measured suboptimality ratios feed the CI
+    /// quality guard and must reproduce bit-exactly.
+    pub deterministic_paths: Vec<String>,
 }
 
 impl Default for Config {
@@ -55,6 +61,14 @@ impl Default for Config {
                 .iter()
                 .map(|s| s.to_string())
                 .collect(),
+            deterministic_paths: [
+                // the PEKO known-optimum harness: its ratios are compared
+                // exactly against a committed baseline by the CI guard
+                "crates/bench/src/peko.rs",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         }
     }
 }
@@ -75,5 +89,11 @@ impl Config {
         self.clock_whitelist
             .iter()
             .any(|p| rel_path.starts_with(p.as_str()))
+    }
+
+    /// True when `rel_path` is individually declared deterministic (the
+    /// determinism rule fires there regardless of the owning crate).
+    pub fn is_deterministic_path(&self, rel_path: &str) -> bool {
+        self.deterministic_paths.iter().any(|p| p == rel_path)
     }
 }

@@ -202,7 +202,10 @@ impl Rule for Determinism {
     }
 
     fn check(&self, ctx: &FileCtx, cfg: &Config, out: &mut Vec<Violation>) {
-        if panic_tolerant(ctx) || !cfg.is_result_affecting(&ctx.file.crate_name) {
+        if panic_tolerant(ctx)
+            || !(cfg.is_result_affecting(&ctx.file.crate_name)
+                || cfg.is_deterministic_path(&ctx.file.rel_path))
+        {
             return;
         }
         let clock_ok = cfg.clock_allowed(&ctx.file.rel_path);

@@ -187,6 +187,27 @@ fn determinism_negative() {
 }
 
 #[test]
+fn determinism_covers_declared_paths_outside_result_affecting_crates() {
+    // the bench crate is not result-affecting, but the PEKO harness
+    // module is individually declared deterministic: its ratios are
+    // compared exactly against a committed baseline by the CI guard
+    let src = "use std::collections::HashMap;\npub fn f() -> HashMap<u32, u32> {\n    HashMap::new()\n}\n";
+    let out = check("crates/bench/src/peko.rs", src);
+    assert!(
+        !new_for(&out, "determinism").is_empty(),
+        "deterministic_paths entry must extend the rule to the harness"
+    );
+    // a sibling bench module stays exempt
+    let out = check("crates/bench/src/flow.rs", src);
+    assert!(new_for(&out, "determinism").is_empty());
+
+    // wall clocks are equally banned in declared-deterministic paths
+    let src = "pub fn f() -> std::time::Instant {\n    std::time::Instant::now()\n}\n";
+    let out = check("crates/bench/src/peko.rs", src);
+    assert_eq!(new_for(&out, "determinism").len(), 1);
+}
+
+#[test]
 fn determinism_suppressed() {
     let src = "use std::collections::HashMap; // lint:allow(determinism): name-keyed lookup, never iterated\npub struct S {\n    // lint:allow(determinism): name-keyed lookup, never iterated\n    pub by_name: HashMap<String, u32>,\n}\n";
     let out = check(LIB, src);

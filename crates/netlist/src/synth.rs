@@ -26,6 +26,8 @@ use crate::placement::Placement;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+pub mod peko;
+
 /// Which contest suite a benchmark mimics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {

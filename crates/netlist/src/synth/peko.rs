@@ -1,0 +1,376 @@
+//! PEKO-style benchmarks with *constructively known* optimal wirelength.
+//!
+//! "Locality and Utilization in Placement Suboptimality" (Cong et al.)
+//! builds Placement Examples with Known Optima by inverting the usual
+//! flow: place the cells on a legal grid **first**, then synthesize nets
+//! exclusively among geometric nearest neighbors so that every net
+//! individually achieves its wirelength lower bound in that placement.
+//! The sum of per-net lower bounds is a lower bound on *any* placement's
+//! total HPWL, and the generating placement attains it — so the optimum
+//! is known exactly, by construction, with integer arithmetic.
+//!
+//! Construction used here:
+//!
+//! * `n` unit (1×1) movable cells fill a centered block of `bw = ⌈√n⌉`
+//!   columns × `⌊n/bw⌋` full rows (plus one partial top row of
+//!   `n mod bw` cells) inside a die sized for the spec utilization.
+//! * Each regular net of degree `d` picks the squarest `cols × rows`
+//!   window with `cols·rows ≥ d` (which attains the HPWL lower bound
+//!   `LB(d) = min_c (c-1) + (⌈d/c⌉-1)`, see [`optimal_shape`]), drops it
+//!   at a random offset inside the full-row block, and pins the first
+//!   `d` cells of the window in row-major order. Its HPWL in the
+//!   generating placement is exactly `(cols-1) + (rows-1) = LB(d)`:
+//!   the first window row is full, so the x-span is `cols-1`, and
+//!   row-major fill uses `⌈d/cols⌉ = rows` rows, so the y-span is
+//!   `rows-1`.
+//! * Each partial-row cell gets one vertical 2-pin stitch net to the
+//!   cell directly below (span 1 = `LB(2)`), so no cell floats free.
+//!
+//! Why `LB(d)` is a true lower bound: a legal placement puts the `d`
+//! pinned cells on `d` *distinct* sites, so a bounding box with x-span
+//! `W` and y-span `H` (in sites) must satisfy `(W+1)(H+1) ≥ d`; minimizing
+//! `W + H` over that constraint gives `LB(d)`. Every net attains its
+//! bound simultaneously in the generating placement, hence
+//! `optimal_hpwl = Σ LB` is the exact global optimum over legal
+//! placements — any legalized result can only match or exceed it.
+//!
+//! All pin offsets are `(0, 0)` (cell centers), all arithmetic on spans
+//! is integral, so [`PekoCircuit::optimal_hpwl`] compares bit-exactly
+//! with [`crate::placement::total_hpwl`] on the optimal placement.
+
+use crate::bookshelf::BookshelfCircuit;
+use crate::design::Design;
+use crate::geom::Rect;
+use crate::ids::CellId;
+use crate::netlist::NetlistBuilder;
+use crate::placement::Placement;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Recipe for one known-optimum circuit.
+#[derive(Debug, Clone)]
+pub struct PekoSpec {
+    /// Benchmark name (`peko_<movable>` for the standard ladder).
+    pub name: String,
+    /// Number of movable unit cells (there are no fixed cells).
+    pub movable: usize,
+    /// Number of regular (window) nets; partial-row stitch nets come on
+    /// top, one per remainder cell.
+    pub nets: usize,
+    /// Target number of pins on regular nets (drives the mean degree of
+    /// the geometric-tail distribution; achieved within a few %).
+    pub pins: usize,
+    /// Placement-area utilization used to size the die.
+    pub utilization: f64,
+    /// Density target handed to the placer. Defaults to 1.0: the optimum
+    /// is a fully packed block, and a lower target would push the density
+    /// force against the known optimum.
+    pub target_density: f64,
+    /// RNG seed (fixed per ladder rung for reproducibility).
+    pub seed: u64,
+}
+
+/// A generated known-optimum circuit: the workload plus its certificate.
+#[derive(Debug, Clone)]
+pub struct PekoCircuit {
+    /// The circuit to place: design geometry, netlist, and the usual
+    /// center-plus-jitter initial placement (NOT the optimum — the
+    /// placer must find its own way).
+    pub circuit: BookshelfCircuit,
+    /// The generating placement, which attains the optimum (legal:
+    /// distinct sites, row/site aligned, inside the die).
+    pub optimal: Placement,
+    /// The exact global-minimum total HPWL over all legal placements.
+    pub optimal_hpwl: f64,
+}
+
+/// Spec for one ladder rung: `movable` unit cells, ISPD-shaped net/pin
+/// counts (nets ≈ movable, mean degree ≈ 4), utilization 0.5.
+pub fn peko_spec(movable: usize, seed: u64) -> PekoSpec {
+    let movable = movable.max(16);
+    PekoSpec {
+        name: format!("peko_{movable}"),
+        movable,
+        nets: movable,
+        pins: movable * 4,
+        utilization: 0.5,
+        target_density: 1.0,
+        seed,
+    }
+}
+
+/// The standard seeded size ladder used by the suboptimality harness.
+pub fn peko_suite() -> Vec<PekoSpec> {
+    vec![
+        peko_spec(600, 9001),
+        peko_spec(2400, 9002),
+        peko_spec(9600, 9003),
+    ]
+}
+
+/// Looks a ladder spec up by name (`peko_600`, `peko_2400`, `peko_9600`).
+pub fn peko_spec_by_name(name: &str) -> Option<PekoSpec> {
+    peko_suite().into_iter().find(|s| s.name == name)
+}
+
+/// The squarest `(cols, rows)` window shape attaining the HPWL lower
+/// bound for `d` cells on distinct sites:
+/// `LB(d) = min over c of (c-1) + (⌈d/c⌉-1)`.
+///
+/// Returns `cols = ⌈√d⌉`, `rows = ⌈d/cols⌉`, which always attains the
+/// bound (verified exhaustively in tests): for any minimizer `(c, r)`,
+/// the transposed shape `(r, ⌈d/r⌉)` has span no larger, so a minimizer
+/// with `c ≤ ⌈√d⌉` exists, and the span function is non-increasing as
+/// `c` grows toward `⌈√d⌉` from either side.
+pub fn optimal_shape(d: usize) -> (usize, usize) {
+    debug_assert!(d >= 1);
+    let mut cols = 1usize;
+    while cols * cols < d {
+        cols += 1;
+    }
+    let rows = d.div_ceil(cols);
+    (cols, rows)
+}
+
+/// The exact HPWL lower bound for a `d`-pin net over legal unit-cell
+/// placements, `min over c of (c-1) + (⌈d/c⌉-1)`.
+pub fn degree_lower_bound(d: usize) -> usize {
+    let (cols, rows) = optimal_shape(d);
+    (cols - 1) + (rows - 1)
+}
+
+/// Generates a known-optimum circuit for a spec.
+///
+/// The returned [`PekoCircuit::optimal_hpwl`] equals
+/// `total_hpwl(&netlist, &optimal)` bit-exactly and is the global
+/// minimum over all legal placements (see the module docs for the
+/// argument). Generation is deterministic in the seed.
+pub fn generate_peko(spec: &PekoSpec) -> PekoCircuit {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let n = spec.movable.max(16);
+
+    // --- the generating grid ------------------------------------------------
+    let bw = {
+        let mut w = 1usize;
+        while w * w < n {
+            w += 1;
+        }
+        w
+    };
+    let full_rows = n / bw; // >= 1 because bw = ceil(sqrt(n)) <= n
+    let rem = n - full_rows * bw;
+    let block_rows = full_rows + usize::from(rem > 0);
+
+    // die sized for the spec utilization, but never smaller than the block
+    let side = ((n as f64 / spec.utilization).sqrt().ceil())
+        .max(bw.max(block_rows) as f64 + 2.0)
+        .max(8.0);
+    let num_rows = side as usize;
+    let die = Rect::new(0.0, 0.0, side, num_rows as f64);
+    // centered block origin, on the site/row lattice
+    let ox = ((side - bw as f64) / 2.0).floor();
+    let oy = ((num_rows as f64 - block_rows as f64) / 2.0).floor();
+
+    // --- cells (all movable, all unit) --------------------------------------
+    let mut builder = NetlistBuilder::with_capacity(n, spec.nets + rem, spec.pins + 2 * rem);
+    for i in 0..n {
+        builder
+            .add_cell(format!("o{i}"), 1.0, 1.0, true)
+            // lint:allow(no-panic-lib): generated names are unique by construction
+            .expect("generated names are unique");
+    }
+
+    // the generating (optimal) placement: row-major block fill
+    let mut optimal = Placement::zeros(n);
+    for i in 0..n {
+        let (r, c) = (i / bw, i % bw);
+        optimal.x[i] = ox + c as f64;
+        optimal.y[i] = oy + r as f64;
+    }
+
+    // --- nets: nearest-neighbor windows at their lower bound ----------------
+    // geometric degree distribution with mean = pins/nets, like the main
+    // generator; degrees capped so the squarest window fits the block
+    let ratio = (spec.pins as f64 / spec.nets.max(1) as f64).max(2.05);
+    let p_geom = 1.0 / (ratio - 1.0); // mean of 2 + Geom(p) is 2 + (1-p)/p
+    let s = bw.min(full_rows);
+    let max_degree = (s * s).clamp(2, 96);
+    let mut optimal_units = 0u64; // Σ LB, in integer site units
+    for ni in 0..spec.nets {
+        let mut degree = 2usize;
+        while degree < max_degree && rng.gen::<f64>() > p_geom {
+            degree += 1;
+        }
+        let (cols, rows) = optimal_shape(degree);
+        debug_assert!(cols <= bw && rows <= full_rows);
+        let bx = rng.gen_range(0..=(bw - cols));
+        let by = rng.gen_range(0..=(full_rows - rows));
+        let pins = (0..degree).map(|k| {
+            let cell = (by + k / cols) * bw + (bx + k % cols);
+            (CellId::from_usize(cell), 0.0, 0.0)
+        });
+        builder.add_net(format!("n{ni}"), pins);
+        optimal_units += ((cols - 1) + (rows - 1)) as u64;
+    }
+    // partial-row stitches: vertical 2-pin nets at their bound of 1
+    for c in 0..rem {
+        let top = full_rows * bw + c;
+        let below = (full_rows - 1) * bw + c;
+        builder.add_net(
+            format!("s{c}"),
+            [
+                (CellId::from_usize(top), 0.0, 0.0),
+                (CellId::from_usize(below), 0.0, 0.0),
+            ],
+        );
+        optimal_units += 1;
+    }
+
+    // --- initial placement: die center + jitter (the ePlace init) -----------
+    let mut placement = Placement::zeros(n);
+    let center = die.center();
+    let jitter = 0.02 * side;
+    for i in 0..n {
+        placement.x[i] = center.x + rng.gen_range(-jitter..=jitter);
+        placement.y[i] = center.y + rng.gen_range(-jitter..=jitter);
+    }
+
+    let netlist = builder.build();
+    let design = Design::with_uniform_rows(
+        spec.name.clone(),
+        netlist,
+        die,
+        1.0,
+        1.0,
+        spec.target_density,
+    )
+    // lint:allow(no-panic-lib): generated geometry is valid by construction
+    .expect("generated geometry is valid");
+
+    PekoCircuit {
+        circuit: BookshelfCircuit { design, placement },
+        optimal,
+        optimal_hpwl: optimal_units as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::total_hpwl;
+
+    #[test]
+    fn shape_attains_exhaustive_lower_bound() {
+        for d in 1..=512usize {
+            let (cols, rows) = optimal_shape(d);
+            assert!(cols * rows >= d, "d={d}: {cols}x{rows} too small");
+            let got = (cols - 1) + (rows - 1);
+            let brute = (1..=d)
+                .map(|c| (c - 1) + (d.div_ceil(c) - 1))
+                .min()
+                .unwrap();
+            assert_eq!(got, brute, "d={d}: squarest shape misses the bound");
+            assert_eq!(degree_lower_bound(d), brute);
+        }
+    }
+
+    #[test]
+    fn optimal_placement_attains_recorded_hpwl_exactly() {
+        for &(m, seed) in &[(16usize, 1u64), (37, 2), (600, 9001), (1000, 3)] {
+            let p = generate_peko(&peko_spec(m, seed));
+            let nl = &p.circuit.design.netlist;
+            let measured = total_hpwl(nl, &p.optimal);
+            assert_eq!(
+                measured, p.optimal_hpwl,
+                "movable={m}: measured {measured} vs recorded {}",
+                p.optimal_hpwl
+            );
+        }
+    }
+
+    #[test]
+    fn every_net_is_at_its_individual_lower_bound() {
+        let p = generate_peko(&peko_spec(600, 9001));
+        let nl = &p.circuit.design.netlist;
+        for net in nl.nets() {
+            let d = nl.net_degree(net);
+            let (mut xl, mut xh) = (f64::INFINITY, f64::NEG_INFINITY);
+            let (mut yl, mut yh) = (f64::INFINITY, f64::NEG_INFINITY);
+            for pin in nl.net_pins(net) {
+                let cell = nl.pin_cell(pin);
+                let x = p.optimal.x[cell.index()];
+                let y = p.optimal.y[cell.index()];
+                xl = xl.min(x);
+                xh = xh.max(x);
+                yl = yl.min(y);
+                yh = yh.max(y);
+            }
+            let span = (xh - xl) + (yh - yl);
+            assert_eq!(
+                span,
+                degree_lower_bound(d) as f64,
+                "net {net:?} (degree {d}) off its bound"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_placement_is_on_distinct_legal_sites() {
+        let p = generate_peko(&peko_spec(600, 9001));
+        let die = p.circuit.design.die;
+        let mut sites: Vec<(i64, i64)> = (0..p.optimal.x.len())
+            .map(|i| {
+                let (x, y) = (p.optimal.x[i], p.optimal.y[i]);
+                assert_eq!(x, x.floor(), "off-site x {x}");
+                assert_eq!(y, y.floor(), "off-row y {y}");
+                assert!(x >= die.xl && x + 1.0 <= die.xh, "x {x} outside die");
+                assert!(y >= die.yl && y + 1.0 <= die.yh, "y {y} outside die");
+                (x as i64, y as i64)
+            })
+            .collect();
+        sites.sort_unstable();
+        let before = sites.len();
+        sites.dedup();
+        assert_eq!(sites.len(), before, "optimal placement overlaps");
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_counts_match() {
+        let spec = peko_spec(600, 9001);
+        let a = generate_peko(&spec);
+        let b = generate_peko(&spec);
+        assert_eq!(a.circuit.placement, b.circuit.placement);
+        assert_eq!(a.optimal, b.optimal);
+        assert_eq!(a.optimal_hpwl, b.optimal_hpwl);
+        let nl = &a.circuit.design.netlist;
+        assert_eq!(nl.num_movable(), spec.movable);
+        assert_eq!(nl.num_fixed(), 0);
+        assert!(nl.num_nets() >= spec.nets);
+        let ratio = nl.num_pins() as f64 / spec.pins as f64;
+        assert!((0.8..1.25).contains(&ratio), "pin ratio {ratio}");
+        for net in nl.nets() {
+            assert!(nl.net_degree(net) >= 2);
+        }
+    }
+
+    #[test]
+    fn ladder_has_three_rungs_and_lookup_works() {
+        let suite = peko_suite();
+        assert_eq!(suite.len(), 3);
+        assert!(peko_spec_by_name("peko_600").is_some());
+        assert!(peko_spec_by_name("peko_9600").is_some());
+        assert!(peko_spec_by_name("peko_7").is_none());
+    }
+
+    #[test]
+    fn utilization_close_to_spec() {
+        let spec = peko_spec(2400, 9002);
+        let c = generate_peko(&spec);
+        let util = c.circuit.design.utilization();
+        assert!(
+            (util - spec.utilization).abs() < 0.15,
+            "utilization {util} vs spec {}",
+            spec.utilization
+        );
+    }
+}

@@ -150,6 +150,27 @@ impl JsonObject {
         self
     }
 
+    /// Adds an array of pre-serialized JSON values verbatim (one element
+    /// per item). The caller is responsible for each item being valid
+    /// JSON — used for arrays of nested objects, e.g. the per-run entries
+    /// of a benchmark baseline.
+    pub fn field_raw_array<I>(&mut self, name: &str, items: I) -> &mut Self
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        let buf = self.key(name);
+        buf.push('[');
+        for (i, item) in items.into_iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            buf.push_str(item.as_ref());
+        }
+        buf.push(']');
+        self
+    }
+
     /// Closes the object and returns the JSON text.
     pub fn finish(mut self) -> String {
         self.buf.push('}');
@@ -189,6 +210,17 @@ mod tests {
         assert_eq!(
             o.finish(),
             r#"{"xs":[1,null],"ns":[1,2],"inner":{"k":1},"none":null,"some":"v","ok":true}"#
+        );
+    }
+
+    #[test]
+    fn raw_array_embeds_nested_objects() {
+        let mut o = JsonObject::new();
+        o.field_raw_array("runs", [r#"{"size":600}"#, r#"{"size":2400}"#])
+            .field_raw_array("empty", std::iter::empty::<&str>());
+        assert_eq!(
+            o.finish(),
+            r#"{"runs":[{"size":600},{"size":2400}],"empty":[]}"#
         );
     }
 }

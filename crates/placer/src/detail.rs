@@ -576,7 +576,7 @@ mod tests {
             ..GlobalConfig::default()
         };
         let gp = place(&c, &cfg).expect("placement flow");
-        let (legal, _) = legalize(&c.design, &gp.placement);
+        let (legal, _) = legalize(&c.design, &gp.placement).expect("legalize");
         (c, legal)
     }
 

@@ -31,6 +31,13 @@ pub enum PlacerError {
         /// What went wrong.
         detail: String,
     },
+    /// Legalization could not produce an overlap-free placement — the
+    /// design's movable area exceeds its free row capacity (globally or
+    /// within one fence region), so some cell has no segment to live in.
+    Legalize {
+        /// Which cell failed to place and why.
+        reason: String,
+    },
 }
 
 impl fmt::Display for PlacerError {
@@ -42,6 +49,9 @@ impl fmt::Display for PlacerError {
             }
             PlacerError::NumericalFailure { iteration, detail } => {
                 write!(f, "numerical failure at iteration {iteration}: {detail}")
+            }
+            PlacerError::Legalize { reason } => {
+                write!(f, "legalization failed: {reason}")
             }
         }
     }
@@ -84,6 +94,11 @@ mod tests {
         }
         .into();
         assert!(e.to_string().contains("line 3"));
+        let e = PlacerError::Legalize {
+            reason: "no free row segment can host cell `c7`".into(),
+        };
+        assert!(e.to_string().contains("legalization failed"));
+        assert!(e.to_string().contains("c7"));
     }
 
     #[test]

@@ -61,6 +61,8 @@ pub use global::{
 pub use guard::{
     Fault, GuardConfig, HealthMonitor, RecoveryAction, RecoveryEvent, RecoveryLog, Termination,
 };
-pub use legalize::{check_legal, legalize, LegalizeReport, Violation};
+pub use legalize::{
+    audit_legality, check_legal, legalize, LegalityAudit, LegalizeReport, Violation,
+};
 pub use pipeline::{run, run_with_engine, PipelineConfig, PipelineResult};
 pub use telemetry::DispHistogram;

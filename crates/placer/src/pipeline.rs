@@ -114,7 +114,7 @@ pub fn run_with_engine(
 
     // lint:allow(determinism): stage wall-time telemetry; durations never feed back into results
     let t1 = Instant::now();
-    let (legal, lg_report) = legalize(design, &gp.placement);
+    let (legal, lg_report) = legalize(design, &gp.placement)?;
     let rt_lg = t1.elapsed().as_secs_f64();
     let lgwl = total_hpwl(&design.netlist, &legal);
 

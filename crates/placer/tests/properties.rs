@@ -4,7 +4,7 @@
 
 use mep_netlist::{Design, NetlistBuilder, Placement, Rect};
 use mep_placer::detail::{refine, DetailConfig};
-use mep_placer::legalize::{check_legal, legalize};
+use mep_placer::legalize::{audit_legality, check_legal, legalize};
 use proptest::prelude::*;
 
 /// A random placement problem: cells with random widths scattered over a
@@ -64,7 +64,7 @@ proptest! {
     #[test]
     fn legalize_always_legal(s in scenarios()) {
         let (design, gp) = build(&s);
-        let (legal, report) = legalize(&design, &gp);
+        let (legal, report) = legalize(&design, &gp).expect("legalize");
         let violations = check_legal(&design, &legal);
         prop_assert!(
             violations.is_empty(),
@@ -78,8 +78,8 @@ proptest! {
     #[test]
     fn legalize_is_idempotent(s in scenarios()) {
         let (design, gp) = build(&s);
-        let (legal, _) = legalize(&design, &gp);
-        let (again, report) = legalize(&design, &legal);
+        let (legal, _) = legalize(&design, &gp).expect("legalize");
+        let (again, report) = legalize(&design, &legal).expect("legalize");
         prop_assert!(check_legal(&design, &again).is_empty());
         // the second pass must not move cells materially
         prop_assert!(
@@ -90,11 +90,73 @@ proptest! {
         let _ = again;
     }
 
+    /// High-utilization stress: random unit-width cells filling 80–100%
+    /// of a small die, scattered arbitrarily (heavy pile-ups force the
+    /// spill and site-snapping paths the two ISSUE 9 legalizer bugs
+    /// lived in). Every *successful* legalization must be pairwise
+    /// overlap-free, in-die, and row/site aligned — measured with the
+    /// same audit helper the PEKO harness uses; an over-capacity input
+    /// must surface as a typed error, never a panic or an illegal
+    /// "success".
+    #[test]
+    fn high_utilization_legalize_is_audit_clean(
+        n in 40usize..81,
+        positions in prop::collection::vec((0.0f64..10.0, 0.0f64..8.0), 80),
+        seed in 0u64..1024,
+    ) {
+        // die of 8 rows x 10 sites = 80 unit sites; n cells => 50-100%
+        let mut b = NetlistBuilder::new();
+        for i in 0..n {
+            b.add_cell(format!("c{i}"), 1.0, 1.0, true).expect("unique");
+        }
+        // a few nets so the workload is not degenerate
+        for k in 0..4usize {
+            let a = (seed as usize + k) % n;
+            let c = (seed as usize + 3 * k + 1) % n;
+            if a != c {
+                b.add_net(
+                    format!("n{k}"),
+                    [
+                        (mep_netlist::CellId::from_usize(a), 0.0, 0.0),
+                        (mep_netlist::CellId::from_usize(c), 0.0, 0.0),
+                    ],
+                );
+            }
+        }
+        let nl = b.build();
+        let design = Design::with_uniform_rows(
+            "dense", nl, Rect::new(0.0, 0.0, 10.0, 8.0), 1.0, 1.0, 1.0,
+        ).expect("valid design");
+        let mut gp = Placement::zeros(n);
+        for (i, &(px, py)) in positions.iter().enumerate().take(n) {
+            gp.x[i] = px;
+            gp.y[i] = py;
+        }
+        match legalize(&design, &gp) {
+            Ok((legal, report)) => {
+                let audit = audit_legality(&design, &legal);
+                prop_assert!(
+                    audit.is_clean(),
+                    "audit {audit} at utilization {:.2} (report {report:?})",
+                    n as f64 / 80.0
+                );
+            }
+            Err(e) => {
+                // capacity can genuinely run out at 100% utilization;
+                // the contract is a typed error, not a panic
+                prop_assert!(
+                    matches!(e, mep_placer::PlacerError::Legalize { .. }),
+                    "unexpected error kind: {e}"
+                );
+            }
+        }
+    }
+
     /// Detailed placement never increases HPWL and preserves legality.
     #[test]
     fn refine_monotone_and_legal(s in scenarios()) {
         let (design, gp) = build(&s);
-        let (legal, _) = legalize(&design, &gp);
+        let (legal, _) = legalize(&design, &gp).expect("legalize");
         let before = mep_netlist::total_hpwl(&design.netlist, &legal);
         let mut refined = legal;
         let report = refine(&design, &mut refined, &DetailConfig::default());

@@ -71,7 +71,7 @@ proptest! {
     #[test]
     fn legalize_respects_fences(s in scenarios()) {
         let (design, gp) = build(&s);
-        let (legal, _) = legalize(&design, &gp);
+        let (legal, _) = legalize(&design, &gp).expect("legalize");
         let violations = check_legal(&design, &legal);
         prop_assert!(violations.is_empty(), "{violations:?}");
         // exclusivity: unconstrained cells never sit inside the fence
@@ -89,7 +89,7 @@ proptest! {
     #[test]
     fn refine_respects_fences(s in scenarios()) {
         let (design, gp) = build(&s);
-        let (legal, _) = legalize(&design, &gp);
+        let (legal, _) = legalize(&design, &gp).expect("legalize");
         let before = mep_netlist::total_hpwl(&design.netlist, &legal);
         let mut refined = legal;
         refine(&design, &mut refined, &DetailConfig::default());

@@ -58,7 +58,10 @@ impl CircuitSource {
             // cost model: estimate_circuit_bytes over the spec's counts
             CircuitSource::Builtin(name) => match lookup_builtin(name) {
                 Some(spec) => estimate_spec_bytes(&spec),
-                None => 0, // unknown name fails at load with JobError::Load
+                None => match synth::peko::peko_spec_by_name(name) {
+                    Some(p) => estimate_peko_bytes(&p),
+                    None => 0, // unknown name fails at load with JobError::Load
+                },
             },
             CircuitSource::Scaled { movable, seed } => {
                 estimate_spec_bytes(&synth::scaled_clustered_spec(*movable, *seed))
@@ -74,9 +77,12 @@ impl CircuitSource {
         match self {
             CircuitSource::Builtin(name) => match lookup_builtin(name) {
                 Some(spec) => Ok(synth::generate(&spec)),
-                None => Err(JobError::Load {
-                    detail: format!("unknown circuit {name:?}"),
-                }),
+                None => match synth::peko::peko_spec_by_name(name) {
+                    Some(p) => Ok(synth::peko::generate_peko(&p).circuit),
+                    None => Err(JobError::Load {
+                        detail: format!("unknown circuit {name:?}"),
+                    }),
+                },
             },
             CircuitSource::Scaled { movable, seed } => Ok(synth::generate(
                 &synth::scaled_clustered_spec(*movable, *seed),
@@ -111,6 +117,16 @@ fn estimate_spec_bytes(spec: &synth::SynthSpec) -> u64 {
     // ~12 f64 arrays over cells (coords, grads, params, snapshots,
     // multilevel copies), ~6 usize-ish arrays over pins, net bounds, plus
     // a density grid that scales with cell count
+    cells * 12 * 8 + pins * 6 * 8 + nets * 4 * 8 + cells * 16
+}
+
+/// Same cost model for the known-optimum (PEKO) ladder, whose cell/net/
+/// pin counts are fixed by the spec (stitch nets add O(√n) more — noise
+/// at this granularity).
+fn estimate_peko_bytes(spec: &synth::peko::PekoSpec) -> u64 {
+    let cells = spec.movable as u64;
+    let nets = spec.nets as u64;
+    let pins = spec.pins as u64;
     cells * 12 * 8 + pins * 6 * 8 + nets * 4 * 8 + cells * 16
 }
 
@@ -337,6 +353,17 @@ mod tests {
         let src = CircuitSource::Builtin("no-such-bench".to_string());
         assert!(matches!(src.load(), Err(JobError::Load { .. })));
         assert_eq!(src.estimated_bytes(), 0);
+    }
+
+    #[test]
+    fn peko_ladder_circuits_are_servable_builtins() {
+        let src = CircuitSource::Builtin("peko_600".to_string());
+        assert!(
+            src.estimated_bytes() > 0,
+            "admission screen must know PEKO sizes up front"
+        );
+        let circuit = src.load().expect("peko_600 loads");
+        assert_eq!(circuit.design.netlist.num_movable(), 600);
     }
 
     #[test]

@@ -85,6 +85,12 @@ fn load_circuit(spec: &str, lef: Option<&str>, density: f64) -> Result<Bookshelf
     if spec == "smoke_clustered" {
         return Ok(synth::generate(&synth::smoke_clustered_spec()));
     }
+    // known-optimum ladder (peko_600 / peko_2400 / peko_9600): placeable
+    // like any other benchmark; the certificate is reported by `mep stats`
+    // and exploited by the `peko_suboptimality` harness
+    if let Some(p) = synth::peko::peko_spec_by_name(spec) {
+        return Ok(synth::peko::generate_peko(&p).circuit);
+    }
     synth::spec_by_name(spec)
         .map(|s| synth::generate(&s))
         .ok_or_else(|| format!("unknown circuit `{spec}` (try `mep bench-list`)"))
@@ -105,6 +111,12 @@ fn main() -> ExitCode {
                 println!("  {:<16} ISPD2019  {:>7} movable cells", s.name, s.movable);
             }
             println!("  {:<16} demo      {:>7} movable cells", "smoke", 400);
+            for s in synth::peko::peko_suite() {
+                println!(
+                    "  {:<16} PEKO      {:>7} movable cells (optimal HPWL known exactly)",
+                    s.name, s.movable
+                );
+            }
             ExitCode::SUCCESS
         }
         "stats" => {
@@ -133,6 +145,13 @@ fn main() -> ExitCode {
                     );
                     let hist = nl.degree_histogram(10);
                     println!("net degrees : {:?} (last bucket = ≥10)", &hist[2..]);
+                    if let Some(p) = synth::peko::peko_spec_by_name(circuit) {
+                        let peko = synth::peko::generate_peko(&p);
+                        println!(
+                            "optimal HPWL: {:.6e} (exact, by construction)",
+                            peko.optimal_hpwl
+                        );
+                    }
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
