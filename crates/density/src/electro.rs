@@ -46,7 +46,15 @@ impl Clone for ExecHook {
             scratch: self
                 .scratch
                 .iter()
-                .map(|m| Mutex::new(m.lock().expect("density scratch lock").clone()))
+                .map(|m| {
+                    // poison recovery: a scratch is plain buffer space, so a
+                    // clone of a poisoned one is still well-formed
+                    let guard = match m.lock() {
+                        Ok(g) => g,
+                        Err(p) => p.into_inner(),
+                    };
+                    Mutex::new(guard.clone())
+                })
                 .collect(),
         }
     }

@@ -793,7 +793,15 @@ impl Clone for Spectral2d {
             scratches: self
                 .scratches
                 .iter()
-                .map(|m| Mutex::new(m.lock().expect("spectral scratch lock").clone()))
+                .map(|m| {
+                    // poison recovery: a scratch is plain buffer space, so a
+                    // clone of a poisoned one is still well-formed
+                    let guard = match m.lock() {
+                        Ok(g) => g,
+                        Err(p) => p.into_inner(),
+                    };
+                    Mutex::new(guard.clone())
+                })
                 .collect(),
             exec: self.exec.clone(),
             calls: self.calls,

@@ -23,6 +23,16 @@ pub struct Config {
     /// bench crate, whose measured suboptimality ratios feed the CI
     /// quality guard and must reproduce bit-exactly.
     pub deterministic_paths: Vec<String>,
+    /// Crates whose lock acquisition orders the `lock-order` rule audits
+    /// (the concurrent daemon layers).
+    pub lock_order_crates: Vec<String>,
+    /// Crates whose atomics the `atomic-ordering` rule audits.
+    pub atomic_crates: Vec<String>,
+    /// Functions (`crate::fn` or `crate::Type::fn`) from which no panic
+    /// site may be transitively reachable outside `catch_unwind` — the
+    /// daemon's job-execution prologue, where a panic would take down a
+    /// worker thread instead of failing one job.
+    pub protected_roots: Vec<String>,
 }
 
 impl Default for Config {
@@ -69,6 +79,27 @@ impl Default for Config {
             .iter()
             .map(|s| s.to_string())
             .collect(),
+            // the daemon and its telemetry substrate hold multiple locks
+            // across call boundaries; everything else is single-lock
+            lock_order_crates: ["serve", "obs"].iter().map(|s| s.to_string()).collect(),
+            // cross-thread control flags live here: the cancel token, the
+            // scheduler's stop/accepting flags, the metric handles
+            atomic_crates: ["serve", "obs", "placer"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            // the worker loop and its claim/finish/recover phases run
+            // outside the per-job catch_unwind; a panic there kills the
+            // worker thread, not just the job
+            protected_roots: [
+                "serve::worker_loop",
+                "serve::claim_next_job",
+                "serve::finish_job",
+                "serve::recover_engine",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         }
     }
 }
@@ -95,5 +126,15 @@ impl Config {
     /// determinism rule fires there regardless of the owning crate).
     pub fn is_deterministic_path(&self, rel_path: &str) -> bool {
         self.deterministic_paths.iter().any(|p| p == rel_path)
+    }
+
+    /// True when `crate_name` is audited by the lock-order rule.
+    pub fn is_lock_order_crate(&self, crate_name: &str) -> bool {
+        self.lock_order_crates.iter().any(|c| c == crate_name)
+    }
+
+    /// True when `crate_name` is audited by the atomic-ordering rule.
+    pub fn is_atomic_crate(&self, crate_name: &str) -> bool {
+        self.atomic_crates.iter().any(|c| c == crate_name)
     }
 }

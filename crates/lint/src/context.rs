@@ -92,8 +92,9 @@ impl<'a> FileCtx<'a> {
 }
 
 /// Scans for test-marking attributes and returns the byte spans of the
-/// items they cover.
-fn find_test_spans(src: &str, tokens: &[Token]) -> Vec<Span> {
+/// items they cover. Public so the workspace-scope analyses (call graph,
+/// panic surface) can classify functions without building a [`FileCtx`].
+pub fn find_test_spans(src: &str, tokens: &[Token]) -> Vec<Span> {
     let mut spans: Vec<Span> = Vec::new();
     let mut i = 0;
     while i < tokens.len() {

@@ -1,17 +1,21 @@
-//! The check engine: runs every rule over every file, applies
-//! suppressions, masks against the baseline, and aggregates the outcome.
+//! The check engine: lexes and item-parses every file, runs the per-file
+//! rules, builds the workspace call graph for the interprocedural rules
+//! (lock-order, atomic-ordering, panic-surface), applies suppressions,
+//! masks against the baseline, and aggregates the outcome.
 
 use std::collections::BTreeMap;
 use std::path::Path;
 
 use crate::baseline::Baseline;
+use crate::callgraph::{FileData, WorkspaceCtx};
 use crate::config::Config;
 use crate::context::FileCtx;
 use crate::diag::Violation;
-use crate::lexer::{self, LineIndex};
 use crate::rules::{self, Rule};
 use crate::suppress::{self, SuppressError, Suppression};
+use crate::surface::{self, PanicSurface};
 use crate::workspace::{self, SourceFile};
+use crate::wrules::{self, WorkspaceRule};
 
 /// A suppression that fired, with what it suppressed.
 #[derive(Debug, Clone)]
@@ -34,11 +38,14 @@ pub struct Outcome {
     /// Malformed / unknown-rule suppression comments (always fail).
     pub suppress_errors: Vec<(String, SuppressError)>,
     /// Well-formed suppressions that silenced nothing (reported as
-    /// warnings so stale allowances get cleaned up, but non-fatal: a
-    /// suppression may guard a pattern the rule only sometimes catches).
+    /// warnings so stale allowances get cleaned up; fatal only under
+    /// `--deny-unused-suppressions`).
     pub unused: Vec<(String, Suppression)>,
     /// Number of files checked.
     pub files: usize,
+    /// The computed panic surface (the `results/panic_surface.json`
+    /// artifact), present after any check.
+    pub panic_surface: Option<PanicSurface>,
 }
 
 impl Outcome {
@@ -63,43 +70,126 @@ impl Outcome {
     }
 }
 
-/// The engine: rule set + configuration + baseline.
+/// The engine: rule set + configuration + baseline + panic ratchet.
 pub struct Engine {
     /// Rule configuration.
     pub config: Config,
     /// Violation allowances.
     pub baseline: Baseline,
+    /// The committed panic surface; when present, any growth of the
+    /// computed surface relative to it is a violation.
+    pub panic_ratchet: Option<PanicSurface>,
     rules: Vec<Box<dyn Rule>>,
+    workspace_rules: Vec<Box<dyn WorkspaceRule>>,
     rule_names: Vec<&'static str>,
 }
 
 impl Engine {
-    /// Builds an engine with the full rule set.
+    /// Builds an engine with the full rule set and no panic ratchet.
     pub fn new(config: Config, baseline: Baseline) -> Self {
         let rules = rules::all_rules();
-        let rule_names = rules.iter().map(|r| r.name()).collect();
+        let workspace_rules = wrules::all_workspace_rules();
+        let mut rule_names: Vec<&'static str> = rules.iter().map(|r| r.name()).collect();
+        rule_names.extend(workspace_rules.iter().map(|r| r.name()));
+        rule_names.push(surface::RULE);
         Self {
             config,
             baseline,
+            panic_ratchet: None,
             rules,
+            workspace_rules,
             rule_names,
         }
     }
 
-    /// Checks one in-memory file, folding results into `outcome`.
+    /// Checks one in-memory file, folding results into `outcome`. The
+    /// interprocedural rules see a one-file workspace, which is exactly
+    /// what the fixture tests want.
     pub fn check_source(&self, file: &SourceFile, src: &str, outcome: &mut Outcome) {
-        let tokens = lexer::lex(src);
-        let lines = LineIndex::new(src);
-        let ctx = FileCtx::new(file, src, &tokens, &lines);
+        self.check_sources(vec![(file.clone(), src.to_string())], outcome);
+    }
 
-        let mut raw = Vec::new();
-        for rule in &self.rules {
-            rule.check(&ctx, &self.config, &mut raw);
+    /// Checks a set of in-memory files as one workspace.
+    pub fn check_sources(&self, sources: Vec<(SourceFile, String)>, outcome: &mut Outcome) {
+        let files: Vec<FileData> = sources
+            .into_iter()
+            .map(|(file, src)| FileData::new(file, src))
+            .collect();
+
+        // phase 1: per-file rules
+        let mut raw_by_file: Vec<Vec<Violation>> = files
+            .iter()
+            .map(|fd| {
+                let ctx = FileCtx::new(&fd.file, &fd.src, &fd.tokens, &fd.lines);
+                let mut raw = Vec::new();
+                for rule in &self.rules {
+                    rule.check(&ctx, &self.config, &mut raw);
+                }
+                raw
+            })
+            .collect();
+
+        // phase 2: workspace-scope rules over the call graph
+        let ws = WorkspaceCtx::build(files);
+        let mut ws_raw: Vec<Violation> = Vec::new();
+        for rule in &self.workspace_rules {
+            rule.check(&ws, &self.config, &mut ws_raw);
+        }
+        let analysis = surface::compute(&ws, &self.config);
+        ws_raw.extend(analysis.root_violations);
+        if let Some(ratchet) = &self.panic_ratchet {
+            for (krate, entry) in analysis.surface.grown_since(ratchet) {
+                let (path, line, chain) = analysis.details.get(&entry).cloned().unwrap_or((
+                    surface::SURFACE_FILE.to_string(),
+                    1,
+                    String::new(),
+                ));
+                ws_raw.push(Violation {
+                    rule: surface::RULE,
+                    path,
+                    line,
+                    col: 1,
+                    message: format!(
+                        "public panic surface grew: [{krate}] {entry} newly reaches a \
+                         panic ({chain}); make it panic-free or consciously re-ratchet \
+                         with `mep-lint baseline`"
+                    ),
+                    snippet: String::new(),
+                });
+            }
         }
 
-        let (suppressions, errors) = suppress::parse(src, &tokens, &lines, &self.rule_names);
+        // route workspace violations to their file for the suppression
+        // pass; violations with no backing file (missing protected-root
+        // specs) fail directly
+        let index: BTreeMap<&str, usize> = ws
+            .files
+            .iter()
+            .enumerate()
+            .map(|(i, fd)| (fd.file.rel_path.as_str(), i))
+            .collect();
+        for v in ws_raw {
+            match index.get(v.path.as_str()) {
+                Some(&i) => raw_by_file[i].push(v),
+                None => outcome.new.push(v),
+            }
+        }
+
+        // phase 3: suppression + baseline passes, per file
+        for (fd, raw) in ws.files.iter().zip(raw_by_file) {
+            self.apply_filters(fd, raw, outcome);
+            outcome.files += 1;
+        }
+        outcome.panic_surface = Some(analysis.surface);
+    }
+
+    /// Applies the suppression and baseline passes to one file's raw
+    /// violations.
+    fn apply_filters(&self, fd: &FileData, raw: Vec<Violation>, outcome: &mut Outcome) {
+        let (suppressions, errors) =
+            suppress::parse(&fd.src, &fd.tokens, &fd.lines, &self.rule_names);
         for e in errors {
-            outcome.suppress_errors.push((file.rel_path.clone(), e));
+            outcome.suppress_errors.push((fd.file.rel_path.clone(), e));
         }
 
         // suppression pass: a violation is silenced by a suppression with
@@ -123,7 +213,7 @@ impl Engine {
         }
         for (i, s) in suppressions.into_iter().enumerate() {
             if !used[i] {
-                outcome.unused.push((file.rel_path.clone(), s));
+                outcome.unused.push((fd.file.rel_path.clone(), s));
             }
         }
 
@@ -135,7 +225,7 @@ impl Engine {
             by_rule.entry(v.rule).or_default().push(v);
         }
         for (rule, vs) in by_rule {
-            let allowed = self.baseline.allowance(rule, &file.rel_path);
+            let allowed = self.baseline.allowance(rule, &fd.file.rel_path);
             if vs.len() <= allowed {
                 outcome.baselined.extend(vs);
             } else {
@@ -150,19 +240,20 @@ impl Engine {
                 }));
             }
         }
-        outcome.files += 1;
     }
 
     /// Checks every discovered file under `root`.
     pub fn check_workspace(&self, root: &Path) -> Result<Outcome, String> {
         let files = workspace::discover(root)
             .map_err(|e| format!("discovering sources under {}: {e}", root.display()))?;
-        let mut outcome = Outcome::default();
-        for file in &files {
+        let mut sources = Vec::with_capacity(files.len());
+        for file in files {
             let src = std::fs::read_to_string(root.join(&file.rel_path))
                 .map_err(|e| format!("reading {}: {e}", file.rel_path))?;
-            self.check_source(file, &src, &mut outcome);
+            sources.push((file, src));
         }
+        let mut outcome = Outcome::default();
+        self.check_sources(sources, &mut outcome);
         outcome.new.sort_by(|a, b| {
             (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
         });
@@ -170,14 +261,21 @@ impl Engine {
     }
 
     /// Regenerates a baseline that exactly covers the current violations
-    /// (suppressed ones stay suppressed, not baselined).
-    pub fn regenerate_baseline(&self, root: &Path) -> Result<Baseline, String> {
-        // run against an empty baseline so every unsuppressed violation
-        // is visible
+    /// (suppressed ones stay suppressed, not baselined), plus the freshly
+    /// computed panic surface to commit as the new ratchet.
+    /// `panic-surface` violations are never baselined: surface growth is
+    /// ratcheted through `results/panic_surface.json` and protected-root
+    /// reachability is always a hard error.
+    pub fn regenerate_baseline(&self, root: &Path) -> Result<(Baseline, PanicSurface), String> {
+        // run against an empty baseline and no ratchet so every
+        // unsuppressed violation is visible
         let fresh = Engine::new(self.config.clone(), Baseline::empty());
         let outcome = fresh.check_workspace(root)?;
         let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
         for v in &outcome.new {
+            if v.rule == surface::RULE {
+                continue;
+            }
             *counts
                 .entry((v.rule.to_string(), v.path.clone()))
                 .or_default() += 1;
@@ -186,11 +284,19 @@ impl Engine {
         for ((rule, path), count) in counts {
             baseline.set(&rule, &path, count);
         }
-        Ok(baseline)
+        Ok((baseline, outcome.panic_surface.unwrap_or_default()))
     }
 
     /// Rule list for `mep-lint rules`.
     pub fn describe_rules(&self) -> Vec<(&'static str, &'static str)> {
-        self.rules.iter().map(|r| (r.name(), r.summary())).collect()
+        let mut out: Vec<(&'static str, &'static str)> =
+            self.rules.iter().map(|r| (r.name(), r.summary())).collect();
+        out.extend(self.workspace_rules.iter().map(|r| (r.name(), r.summary())));
+        out.push((
+            surface::RULE,
+            "the public panic surface may only shrink, and the daemon's protected \
+             roots must be panic-free outside catch_unwind",
+        ));
+        out
     }
 }

@@ -1,0 +1,619 @@
+//! A lightweight item parser over the lexer's token stream.
+//!
+//! This is the syntactic half of the interprocedural rules: it recognizes
+//! `fn` / `mod` / `impl` / `trait` / `struct` / `enum` / `union` items with
+//! their visibility, name, and token extent, recursing into container
+//! bodies (`mod { … }`, `impl { … }`, `trait { … }`) but treating function
+//! bodies as leaves — a nested `fn` inside a body is part of its enclosing
+//! function, which is the granularity the call graph wants.
+//!
+//! Like the lexer it is total: any token stream (including garbage from
+//! the property tests) parses into a forest whose item extents are
+//! properly nested and non-overlapping, so every token is owned by exactly
+//! one innermost item or by the module root. `verify_item_coverage`
+//! checks that tiling invariant, mirroring `lexer::verify_coverage`.
+//!
+//! Deliberate non-goals (documented in DESIGN.md §16): no expression
+//! parsing, no type resolution, no macro expansion. Tokens produced by
+//! macro invocations at item position are consumed as opaque statements
+//! and owned by the enclosing container.
+
+use crate::lexer::{Token, TokenKind};
+
+/// What kind of item a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A function (free, impl method, or trait method).
+    Fn,
+    /// An inline module (`mod m { … }`; `mod m;` has no body).
+    Mod,
+    /// An `impl` block; `name` is the self-type's last path segment.
+    Impl,
+    /// A `trait` definition.
+    Trait,
+    /// A `struct` / `enum` / `union` definition.
+    Struct,
+}
+
+/// One parsed item. Token indices are into the stream the parser was
+/// given; `start..end` covers the item including its attributes.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Classification.
+    pub kind: ItemKind,
+    /// Declared name; for `impl` blocks the self-type's last path segment
+    /// (empty when the type has no usable segment, e.g. `impl [T] …`).
+    pub name: String,
+    /// True for bare `pub` (restricted `pub(crate)` / `pub(super)` /
+    /// `pub(in …)` visibility is not public API and stays `false`).
+    pub is_pub: bool,
+    /// First token of the item (its first attribute, if any).
+    pub start: usize,
+    /// One past the last token of the item.
+    pub end: usize,
+    /// Token indices of the body's `{` and `}` (inclusive), when braced.
+    pub body: Option<(usize, usize)>,
+    /// Nested items (container kinds only; `Fn` bodies are leaves).
+    pub children: Vec<Item>,
+}
+
+/// Parses the whole token stream into the module root's item list.
+pub fn parse_items(src: &str, tokens: &[Token]) -> Vec<Item> {
+    let mut p = Parser { src, tokens };
+    p.container(0, tokens.len())
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    tokens: &'a [Token],
+}
+
+/// Modifier keywords that may precede an item keyword.
+const MODIFIERS: &[&str] = &["const", "async", "unsafe", "default", "extern"];
+
+impl Parser<'_> {
+    fn text(&self, i: usize) -> &str {
+        self.tokens.get(i).map_or("", |t| t.text(self.src))
+    }
+
+    fn is_ident(&self, i: usize) -> bool {
+        self.tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Ident)
+    }
+
+    fn is_punct(&self, i: usize, p: &str) -> bool {
+        self.tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Punct && t.text(self.src) == p)
+    }
+
+    fn is_comment(&self, i: usize) -> bool {
+        self.tokens
+            .get(i)
+            .is_some_and(|t| matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+    }
+
+    /// Parses items until `end`, returning them in order.
+    fn container(&mut self, mut i: usize, end: usize) -> Vec<Item> {
+        let mut items = Vec::new();
+        while i < end {
+            if self.is_comment(i) {
+                i += 1;
+                continue;
+            }
+            let (next, item) = self.item(i, end);
+            debug_assert!(next > i, "item parser must always advance");
+            if let Some(it) = item {
+                items.push(it);
+            }
+            i = next.max(i + 1);
+        }
+        items
+    }
+
+    /// Tries to parse one item starting at `i`; returns (index one past
+    /// the consumed tokens, the item if one was recognized). Unrecognized
+    /// constructs are consumed as one opaque statement and owned by the
+    /// container.
+    fn item(&mut self, start: usize, end: usize) -> (usize, Option<Item>) {
+        let mut i = start;
+        // attributes (`#[…]` and `#![…]`) and doc comments belong to the
+        // item that follows them
+        loop {
+            if self.is_comment(i) {
+                i += 1;
+            } else if self.is_punct(i, "#")
+                && (self.is_punct(i + 1, "[")
+                    || (self.is_punct(i + 1, "!") && self.is_punct(i + 2, "[")))
+            {
+                let open = if self.is_punct(i + 1, "[") {
+                    i + 1
+                } else {
+                    i + 2
+                };
+                i = self.match_delim(open, end, "[", "]");
+            } else {
+                break;
+            }
+            if i >= end {
+                return (end, None);
+            }
+        }
+        // visibility
+        let mut is_pub = false;
+        if self.text(i) == "pub" && self.is_ident(i) {
+            i += 1;
+            if self.is_punct(i, "(") {
+                is_pub = false; // pub(crate) / pub(super) / pub(in …)
+                i = self.match_delim(i, end, "(", ")");
+            } else {
+                is_pub = true;
+            }
+        }
+        // modifiers (const fn, unsafe impl, extern "C" fn, …)
+        while self.is_ident(i) && MODIFIERS.contains(&self.text(i)) {
+            let word = self.text(i).to_string();
+            // `const NAME: T = …;` is an item, not a modifier: only treat
+            // `const` as a modifier when `fn` follows
+            if word == "const" && self.text(i + 1) != "fn" {
+                break;
+            }
+            i += 1;
+            if word == "extern" {
+                // `extern "C" fn` (skip the ABI string); `extern crate x;`
+                // and `extern { … }` blocks fall through as opaque
+                if self
+                    .tokens
+                    .get(i)
+                    .is_some_and(|t| matches!(t.kind, TokenKind::Str | TokenKind::RawStr))
+                {
+                    i += 1;
+                }
+            }
+        }
+        if !self.is_ident(i) || i >= end {
+            return (self.skip_stmt(i.max(start), end), None);
+        }
+        match self.text(i) {
+            "fn" => self.item_fn(start, i, end, is_pub),
+            "mod" => self.item_mod(start, i, end, is_pub),
+            "impl" => self.item_block(start, i, end, is_pub, ItemKind::Impl),
+            "trait" => self.item_block(start, i, end, is_pub, ItemKind::Trait),
+            "struct" | "enum" | "union" => self.item_struct(start, i, end, is_pub),
+            _ => (self.skip_stmt(start, end), None),
+        }
+    }
+
+    /// `fn name … { body }` or `fn name …;` (trait method declaration).
+    /// The body is a leaf: nested fns stay part of this one.
+    fn item_fn(
+        &mut self,
+        start: usize,
+        kw: usize,
+        end: usize,
+        is_pub: bool,
+    ) -> (usize, Option<Item>) {
+        let name_tok = kw + 1;
+        if !self.is_ident(name_tok) {
+            return (self.skip_stmt(start, end), None);
+        }
+        let name = self.text(name_tok).to_string();
+        let (item_end, body) = self.find_body_or_semi(name_tok + 1, end);
+        (
+            item_end,
+            Some(Item {
+                kind: ItemKind::Fn,
+                name,
+                is_pub,
+                start,
+                end: item_end,
+                body,
+                children: Vec::new(),
+            }),
+        )
+    }
+
+    /// `mod name;` or `mod name { items… }`.
+    fn item_mod(
+        &mut self,
+        start: usize,
+        kw: usize,
+        end: usize,
+        is_pub: bool,
+    ) -> (usize, Option<Item>) {
+        let name_tok = kw + 1;
+        if !self.is_ident(name_tok) {
+            return (self.skip_stmt(start, end), None);
+        }
+        let name = self.text(name_tok).to_string();
+        let (item_end, body) = self.find_body_or_semi(name_tok + 1, end);
+        let children = match body {
+            Some((open, close)) if close > open => self.container(open + 1, close),
+            _ => Vec::new(),
+        };
+        (
+            item_end,
+            Some(Item {
+                kind: ItemKind::Mod,
+                name,
+                is_pub,
+                start,
+                end: item_end,
+                body,
+                children,
+            }),
+        )
+    }
+
+    /// `impl … Type { items }` / `trait Name { items }`. For `impl`, the
+    /// name is the self-type's last path segment at angle-depth zero (the
+    /// segment after `for` in `impl Trait for Type`).
+    fn item_block(
+        &mut self,
+        start: usize,
+        kw: usize,
+        end: usize,
+        is_pub: bool,
+        kind: ItemKind,
+    ) -> (usize, Option<Item>) {
+        // scan the header: remember idents at angle-depth 0, stop at `{`/`;`
+        let mut i = kw + 1;
+        let mut angle = 0i32;
+        let mut last_ident = String::new();
+        let mut after_for = String::new();
+        let mut saw_for = false;
+        let mut saw_where = false;
+        while i < end {
+            let t = self.text(i);
+            match t {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "<<" => angle += 2,
+                ">>" => angle -= 2,
+                "{" if angle <= 0 => break,
+                ";" if angle <= 0 => {
+                    // `trait Alias = …;` / degenerate header: brace-less item
+                    let name = if kind == ItemKind::Trait {
+                        last_ident
+                    } else {
+                        after_for
+                    };
+                    return (
+                        i + 1,
+                        Some(Item {
+                            kind,
+                            name,
+                            is_pub,
+                            start,
+                            end: i + 1,
+                            body: None,
+                            children: Vec::new(),
+                        }),
+                    );
+                }
+                "for" if angle <= 0 && self.is_ident(i) => saw_for = true,
+                "where" if angle <= 0 && self.is_ident(i) => saw_where = true,
+                _ if angle <= 0 && !saw_where && self.is_ident(i) => {
+                    last_ident = t.to_string();
+                    if saw_for {
+                        after_for = t.to_string();
+                    } else if kind == ItemKind::Trait && after_for.is_empty() {
+                        // first header ident is the trait name
+                        after_for = t.to_string();
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if i >= end {
+            // unterminated header: consume to end, no item
+            return (end, None);
+        }
+        let name = match kind {
+            ItemKind::Trait => after_for,
+            // `impl Type` → last ident; `impl Trait for Type` → ident after `for`
+            _ if saw_for => after_for,
+            _ => last_ident,
+        };
+        let close = self.match_delim(i, end, "{", "}");
+        let body_close = close.saturating_sub(1).max(i);
+        let children = self.container(i + 1, body_close);
+        (
+            close,
+            Some(Item {
+                kind,
+                name,
+                is_pub,
+                start,
+                end: close,
+                body: Some((i, body_close)),
+                children,
+            }),
+        )
+    }
+
+    /// `struct Name …;` / `struct Name(..);` / `struct Name { fields }` /
+    /// `enum Name { variants }`. Bodies are leaves (fields, not items).
+    fn item_struct(
+        &mut self,
+        start: usize,
+        kw: usize,
+        end: usize,
+        is_pub: bool,
+    ) -> (usize, Option<Item>) {
+        let name_tok = kw + 1;
+        if !self.is_ident(name_tok) {
+            return (self.skip_stmt(start, end), None);
+        }
+        let name = self.text(name_tok).to_string();
+        let (item_end, body) = self.find_body_or_semi(name_tok + 1, end);
+        (
+            item_end,
+            Some(Item {
+                kind: ItemKind::Struct,
+                name,
+                is_pub,
+                start,
+                end: item_end,
+                body,
+                children: Vec::new(),
+            }),
+        )
+    }
+
+    /// From `i`, finds the item's extent: the first `{ … }` block at
+    /// paren/bracket-depth zero (returning its token range), or the first
+    /// `;` if one comes earlier. Unterminated items run to `end`.
+    fn find_body_or_semi(&self, mut i: usize, end: usize) -> (usize, Option<(usize, usize)>) {
+        let mut depth = 0i32;
+        while i < end {
+            let t = self.text(i);
+            if self.tokens[i].kind == TokenKind::Punct {
+                match t {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    ";" if depth <= 0 => return (i + 1, None),
+                    "{" if depth <= 0 => {
+                        let close = self.match_delim(i, end, "{", "}");
+                        return (close, Some((i, close.saturating_sub(1).max(i))));
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        (end, None)
+    }
+
+    /// From the opening delimiter at `open`, returns the index one past
+    /// its matching closer (or `end` when unterminated). Delimiters inside
+    /// strings/comments are already opaque tokens, so this cannot desync.
+    fn match_delim(&self, open: usize, end: usize, op: &str, cl: &str) -> usize {
+        let mut depth = 0i32;
+        let mut i = open;
+        while i < end {
+            if self.tokens[i].kind == TokenKind::Punct {
+                let t = self.text(i);
+                if t == op {
+                    depth += 1;
+                } else if t == cl {
+                    depth -= 1;
+                    if depth <= 0 {
+                        return i + 1;
+                    }
+                }
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Consumes one opaque statement: to the first `;` at delimiter-depth
+    /// zero, or through the first brace block (covers `use`, `const`,
+    /// `static`, `type`, `macro_rules! m { … }`, `extern { … }`). Always
+    /// advances at least one token.
+    fn skip_stmt(&self, start: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut i = start;
+        while i < end {
+            if self.tokens[i].kind == TokenKind::Punct {
+                match self.text(i) {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    ";" if depth <= 0 => return i + 1,
+                    "{" if depth <= 0 => return self.match_delim(i, end, "{", "}"),
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        end.max(start + 1)
+    }
+}
+
+/// Checks the item-tiling invariant, mirroring `lexer::verify_coverage`:
+/// item extents are in bounds, strictly ordered and non-overlapping among
+/// siblings, children lie inside their parent's extent, and bodies lie
+/// inside their item — so every token has exactly one innermost owner (an
+/// item, or the module root when no item covers it). Returns a description
+/// of the first failure.
+pub fn verify_item_coverage(tokens: &[Token], items: &[Item]) -> Result<(), String> {
+    verify_level(tokens.len(), items, 0, tokens.len(), "root")
+}
+
+fn verify_level(
+    n_tokens: usize,
+    items: &[Item],
+    lo: usize,
+    hi: usize,
+    parent: &str,
+) -> Result<(), String> {
+    let mut cursor = lo;
+    for (i, it) in items.iter().enumerate() {
+        if it.start < cursor {
+            return Err(format!(
+                "item {i} ({:?} `{}`) in {parent} overlaps its predecessor: starts at token \
+                 {} before cursor {cursor}",
+                it.kind, it.name, it.start
+            ));
+        }
+        if it.end <= it.start || it.end > hi || it.end > n_tokens {
+            return Err(format!(
+                "item {i} ({:?} `{}`) in {parent} has bad extent {}..{} (container {lo}..{hi})",
+                it.kind, it.name, it.start, it.end
+            ));
+        }
+        if let Some((open, close)) = it.body {
+            if open < it.start || close >= it.end || close < open {
+                return Err(format!(
+                    "item {i} ({:?} `{}`) body {open}..={close} escapes its extent {}..{}",
+                    it.kind, it.name, it.start, it.end
+                ));
+            }
+        }
+        if it.kind == ItemKind::Fn && !it.children.is_empty() {
+            return Err(format!(
+                "fn `{}` has children; fn bodies are leaves",
+                it.name
+            ));
+        }
+        verify_level(n_tokens, &it.children, it.start, it.end, &it.name)?;
+        cursor = it.end;
+    }
+    Ok(())
+}
+
+/// Depth-first walk over an item forest, visiting each item once.
+pub fn walk<'a>(items: &'a [Item], visit: &mut dyn FnMut(&'a Item, &[&'a Item])) {
+    fn inner<'a>(
+        items: &'a [Item],
+        stack: &mut Vec<&'a Item>,
+        visit: &mut dyn FnMut(&'a Item, &[&'a Item]),
+    ) {
+        for it in items {
+            visit(it, stack);
+            stack.push(it);
+            inner(&it.children, stack, visit);
+            stack.pop();
+        }
+    }
+    inner(items, &mut Vec::new(), visit);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn parse(src: &str) -> (Vec<Token>, Vec<Item>) {
+        let tokens = lexer::lex(src);
+        let items = parse_items(src, &tokens);
+        verify_item_coverage(&tokens, &items).unwrap();
+        (tokens, items)
+    }
+
+    #[test]
+    fn free_fns_and_visibility() {
+        let (_, items) =
+            parse("pub fn a() -> u32 { 1 }\nfn b() {}\npub(crate) fn c() {}\npub const fn d() {}");
+        let names: Vec<_> = items.iter().map(|i| (i.name.as_str(), i.is_pub)).collect();
+        assert_eq!(
+            names,
+            vec![("a", true), ("b", false), ("c", false), ("d", true)]
+        );
+        assert!(items.iter().all(|i| i.kind == ItemKind::Fn));
+    }
+
+    #[test]
+    fn impl_blocks_and_methods() {
+        let (_, items) = parse(
+            "struct Foo;\nimpl Foo { pub fn m(&self) {} fn n() {} }\n\
+             impl Clone for Foo { fn clone(&self) -> Self { Foo } }\n\
+             impl<T: Ord> Wrapper<T> { fn get(&self) {} }",
+        );
+        assert_eq!(items[0].kind, ItemKind::Struct);
+        assert_eq!(items[1].kind, ItemKind::Impl);
+        assert_eq!(items[1].name, "Foo");
+        assert_eq!(items[1].children.len(), 2);
+        assert!(items[1].children[0].is_pub);
+        assert_eq!(items[2].name, "Foo", "impl Trait for Type names the type");
+        assert_eq!(items[2].children[0].name, "clone");
+        assert_eq!(items[3].name, "Wrapper", "generics skipped");
+    }
+
+    #[test]
+    fn nested_mods_recurse_but_fn_bodies_are_leaves() {
+        let (_, items) =
+            parse("mod outer { pub mod inner { fn deep() { fn local() {} } } }\nmod external;");
+        assert_eq!(items[0].kind, ItemKind::Mod);
+        let inner = &items[0].children[0];
+        assert_eq!(inner.name, "inner");
+        let deep = &inner.children[0];
+        assert_eq!(deep.name, "deep");
+        assert!(
+            deep.children.is_empty(),
+            "nested fn stays inside its parent"
+        );
+        assert_eq!(items[1].name, "external");
+        assert!(items[1].body.is_none());
+    }
+
+    #[test]
+    fn traits_and_method_decls() {
+        let (_, items) =
+            parse("pub trait Sink: Send { fn emit(&self, e: &str); fn flush(&self) {} }");
+        assert_eq!(items[0].kind, ItemKind::Trait);
+        assert_eq!(items[0].name, "Sink");
+        let kids: Vec<_> = items[0].children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(kids, vec!["emit", "flush"]);
+        assert!(items[0].children[0].body.is_none(), "decl has no body");
+        assert!(items[0].children[1].body.is_some());
+    }
+
+    #[test]
+    fn opaque_statements_do_not_produce_items() {
+        let (_, items) = parse(
+            "use std::sync::Mutex;\nconst N: usize = 3;\nstatic S: &str = \"fn not_an_item() {}\";\n\
+             macro_rules! m { () => { fn macro_fn() {} }; }\nfn real() {}",
+        );
+        assert_eq!(items.len(), 1, "only the real fn is an item: {items:?}");
+        assert_eq!(items[0].name, "real");
+    }
+
+    #[test]
+    fn where_clauses_and_angle_noise() {
+        let (_, items) = parse(
+            "impl<T> Pair<T> where T: Clone + Into<Vec<u8>> { fn swap(&mut self) {} }\n\
+             fn generic<A: Iterator<Item = Vec<u8>>>(a: A) -> impl Iterator<Item = u8> { a.flatten() }",
+        );
+        assert_eq!(
+            items[0].name, "Pair",
+            "where-clause idents are not the name"
+        );
+        assert_eq!(items[1].name, "generic");
+    }
+
+    #[test]
+    fn garbage_is_total() {
+        for src in [
+            "fn",
+            "fn {",
+            "impl",
+            "impl {",
+            "pub pub fn",
+            "} } {",
+            "fn f(",
+            "mod m { fn g(",
+            "trait",
+            "#[",
+            "struct",
+            "impl < {",
+        ] {
+            let tokens = lexer::lex(src);
+            let items = parse_items(src, &tokens);
+            verify_item_coverage(&tokens, &items).unwrap();
+        }
+    }
+}

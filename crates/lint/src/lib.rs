@@ -5,8 +5,11 @@
 //!
 //! The pass is zero-dependency and self-contained (no `syn`, consistent
 //! with the workspace's vendored-offline constraint): a hand-rolled
-//! span-tracking [`lexer`] feeds a set of token-level [`rules`], and an
-//! [`engine`] applies inline [`suppress`]ions
+//! span-tracking [`lexer`] feeds a set of token-level [`rules`], an
+//! [`items`] parser and [`callgraph`] lift the token streams into a
+//! workspace-scope view for the interprocedural rules ([`wrules`]:
+//! lock-order and atomic-ordering; [`surface`]: the ratcheted panic
+//! surface), and an [`engine`] applies inline [`suppress`]ions
 //! (`// lint:allow(rule): reason`, reason mandatory) and the committed
 //! [`baseline`] ratchet before reporting `file:line:col` diagnostics and
 //! a machine-readable [`report`].
@@ -23,15 +26,19 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod callgraph;
 pub mod config;
 pub mod context;
 pub mod diag;
 pub mod engine;
+pub mod items;
 pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod suppress;
+pub mod surface;
 pub mod workspace;
+pub mod wrules;
 
 pub use baseline::Baseline;
 pub use config::Config;

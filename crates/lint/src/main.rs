@@ -2,20 +2,25 @@
 //!
 //! ```text
 //! mep-lint check [--root DIR] [--report PATH] [--no-report]
+//!                [--deny-unused-suppressions]
 //! mep-lint baseline [--root DIR]
 //! mep-lint rules
 //! ```
 //!
 //! `check` exits 0 when no new violations (and no malformed suppressions)
 //! exist, 1 on findings, 2 on usage or I/O errors. By default it writes
-//! the machine-readable posture to `results/lint_report.json` under the
-//! workspace root.
+//! the machine-readable posture to `results/lint_report.json` and the
+//! freshly computed panic-surface ratchet to `results/panic_surface.json`
+//! under the workspace root; the run fails if the surface *grew* relative
+//! to the committed artifact (CI additionally `git diff`s the rewrite so
+//! shrinkage must be committed too).
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use mep_lint::surface::{PanicSurface, SURFACE_FILE};
 use mep_lint::{baseline::BASELINE_FILE, Baseline, Config, Engine};
 
 fn main() -> ExitCode {
@@ -33,12 +38,14 @@ struct Options {
     root: PathBuf,
     report: Option<PathBuf>,
     write_report: bool,
+    deny_unused: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut root = None;
     let mut report = None;
     let mut write_report = true;
+    let mut deny_unused = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -47,6 +54,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 report = Some(PathBuf::from(it.next().ok_or("--report requires a path")?))
             }
             "--no-report" => write_report = false,
+            "--deny-unused-suppressions" => deny_unused = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -63,6 +71,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         root,
         report,
         write_report,
+        deny_unused,
     })
 }
 
@@ -89,7 +98,17 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 
 fn check(opts: &Options) -> Result<ExitCode, String> {
     let baseline = Baseline::load(&opts.root)?;
-    let engine = Engine::new(Config::default(), baseline);
+    let mut engine = Engine::new(Config::default(), baseline);
+
+    // load the committed panic-surface ratchet; a missing file means a
+    // first run (no growth check), a malformed one is an error
+    let surface_path = opts.root.join(SURFACE_FILE);
+    match std::fs::read_to_string(&surface_path) {
+        Ok(text) => engine.panic_ratchet = Some(PanicSurface::parse(&text)?),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(format!("reading {}: {e}", surface_path.display())),
+    }
+
     let outcome = engine.check_workspace(&opts.root)?;
 
     for (path, err) in &outcome.suppress_errors {
@@ -118,6 +137,31 @@ fn check(opts: &Options) -> Result<ExitCode, String> {
         std::fs::write(&path, json + "\n")
             .map_err(|e| format!("writing {}: {e}", path.display()))?;
         println!("report: {}", path.display());
+
+        // rewrite the ratchet with the freshly computed surface so
+        // shrinkage shows up as a committable diff (CI enforces it)
+        if let Some(surface) = &outcome.panic_surface {
+            if let Some(dir) = surface_path.parent() {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("creating {}: {e}", dir.display()))?;
+            }
+            std::fs::write(&surface_path, surface.render())
+                .map_err(|e| format!("writing {}: {e}", surface_path.display()))?;
+            println!(
+                "panic surface: {} public function(s) across {} crate(s) -> {}",
+                surface.len(),
+                surface.crates.len(),
+                surface_path.display()
+            );
+        }
+    }
+
+    if opts.deny_unused && !outcome.unused.is_empty() {
+        eprintln!(
+            "error: {} unused suppression(s) with --deny-unused-suppressions",
+            outcome.unused.len()
+        );
+        return Ok(ExitCode::FAILURE);
     }
 
     Ok(if outcome.failed() {
@@ -129,7 +173,7 @@ fn check(opts: &Options) -> Result<ExitCode, String> {
 
 fn regenerate(opts: &Options) -> Result<ExitCode, String> {
     let engine = Engine::new(Config::default(), Baseline::empty());
-    let baseline = engine.regenerate_baseline(&opts.root)?;
+    let (baseline, surface) = engine.regenerate_baseline(&opts.root)?;
     let path = opts.root.join(BASELINE_FILE);
     std::fs::write(&path, baseline.render())
         .map_err(|e| format!("writing {}: {e}", path.display()))?;
@@ -138,6 +182,18 @@ fn regenerate(opts: &Options) -> Result<ExitCode, String> {
         baseline.len(),
         baseline.total(),
         path.display()
+    );
+    let surface_path = opts.root.join(SURFACE_FILE);
+    if let Some(dir) = surface_path.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    }
+    std::fs::write(&surface_path, surface.render())
+        .map_err(|e| format!("writing {}: {e}", surface_path.display()))?;
+    println!(
+        "panic surface re-ratcheted: {} public function(s) across {} crate(s) -> {}",
+        surface.len(),
+        surface.crates.len(),
+        surface_path.display()
     );
     Ok(ExitCode::SUCCESS)
 }

@@ -1,0 +1,606 @@
+//! Workspace-scope (interprocedural) rules, run after the per-file rules
+//! over the [`WorkspaceCtx`] call graph:
+//!
+//! | rule              | guards                                              |
+//! |-------------------|-----------------------------------------------------|
+//! | `lock-order`      | no two locks acquired in both orders (deadlock)     |
+//! | `atomic-ordering` | no `Relaxed` load gating control flow on an atomic  |
+//! |                   | that other functions write                          |
+//!
+//! (`panic-surface`, the third interprocedural analysis, lives in
+//! [`crate::surface`] because it produces a ratcheted artifact rather
+//! than plain violations.)
+//!
+//! Both rules model *named struct fields* only: a `Mutex` inside a tuple
+//! struct (`Label(Arc<Mutex<String>>)`) is invisible, which is acceptable
+//! because such wrappers are leaves that never acquire a second lock.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::{FileData, WorkspaceCtx};
+use crate::config::Config;
+use crate::diag::Violation;
+use crate::lexer::TokenKind;
+
+/// A rule that inspects the whole workspace at once.
+pub trait WorkspaceRule {
+    /// Stable kebab-case identifier (diagnostics, suppressions, baseline).
+    fn name(&self) -> &'static str;
+    /// One-line description shown by `mep-lint rules`.
+    fn summary(&self) -> &'static str;
+    /// Reports violations across the workspace.
+    fn check(&self, ws: &WorkspaceCtx, cfg: &Config, out: &mut Vec<Violation>);
+}
+
+/// The workspace rule set, in reporting order.
+pub fn all_workspace_rules() -> Vec<Box<dyn WorkspaceRule>> {
+    vec![Box::new(LockOrder), Box::new(AtomicOrdering)]
+}
+
+/// Builds a violation anchored at token `tok` of `fd`.
+fn violation_at(fd: &FileData, tok: usize, rule: &'static str, message: String) -> Violation {
+    let offset = fd.tokens.get(tok).map_or(0, |t| t.span.start);
+    let (line, col) = fd.lines.line_col(offset);
+    Violation {
+        rule,
+        path: fd.file.rel_path.clone(),
+        line,
+        col,
+        message,
+        snippet: fd.line_text(offset).to_string(),
+    }
+}
+
+// --- lock-order -------------------------------------------------------------
+
+/// Potential-deadlock detector: collects `Mutex`/`RwLock` struct fields in
+/// the configured crates, tracks per-function acquisition order (guards
+/// held from acquisition to `drop(..)`, end of statement for temporaries,
+/// or end of the binding's block), propagates transitive acquire-sets
+/// along call edges, and reports any pair of locks taken in both orders.
+struct LockOrder;
+
+/// How an acquired guard is held.
+#[derive(Debug, Clone, PartialEq)]
+enum Binding {
+    /// `foo.lock()` used as a temporary: held to the end of the statement.
+    Temp,
+    /// `let g = foo.lock()`: held until `drop(g)` or the block closes.
+    Named(String, i32),
+}
+
+#[derive(Debug, Clone)]
+struct Held {
+    lock: String,
+    binding: Binding,
+}
+
+/// An ordered acquisition: `first` was held when `second` was taken.
+type PairSites = BTreeMap<(String, String), (usize, usize)>; // -> (file idx, tok)
+
+impl WorkspaceRule for LockOrder {
+    fn name(&self) -> &'static str {
+        "lock-order"
+    }
+
+    fn summary(&self) -> &'static str {
+        "audited crates must acquire any pair of locks in one global order (deadlock freedom)"
+    }
+
+    fn check(&self, ws: &WorkspaceCtx, cfg: &Config, out: &mut Vec<Violation>) {
+        // lock identity = field name of a Mutex/RwLock-typed named field
+        let lock_fields: BTreeSet<&str> = ws
+            .fields
+            .iter()
+            .filter(|f| cfg.is_lock_order_crate(&ws.files[f.file].file.crate_name))
+            .filter(|f| f.type_text.contains("Mutex") || f.type_text.contains("RwLock"))
+            .map(|f| f.name.as_str())
+            .collect();
+        if lock_fields.is_empty() {
+            return;
+        }
+
+        let in_scope: Vec<bool> = ws
+            .fns
+            .iter()
+            .map(|f| cfg.is_lock_order_crate(&ws.files[f.file].file.crate_name) && !f.is_test)
+            .collect();
+
+        // per-fn own acquisitions (in order) and guard-returning signatures
+        let mut own: Vec<Vec<(usize, String)>> = Vec::with_capacity(ws.fns.len());
+        let mut returns_guard: Vec<bool> = Vec::with_capacity(ws.fns.len());
+        for (id, f) in ws.fns.iter().enumerate() {
+            let fd = &ws.files[f.file];
+            own.push(if in_scope[id] {
+                f.body
+                    .map(|(o, c)| scan_acquisitions(fd, o, c, &lock_fields))
+                    .unwrap_or_default()
+            } else {
+                Vec::new()
+            });
+            returns_guard.push(signature_returns_guard(fd, f.name_tok, f.body));
+        }
+
+        // transitive acquire-sets to a fixpoint
+        let mut acquires: Vec<BTreeSet<String>> = own
+            .iter()
+            .map(|a| a.iter().map(|(_, l)| l.clone()).collect())
+            .collect();
+        loop {
+            let mut changed = false;
+            for id in 0..ws.fns.len() {
+                for site in &ws.calls[id] {
+                    for &callee in &site.callees {
+                        if callee == id {
+                            continue;
+                        }
+                        let add: Vec<String> = acquires[callee]
+                            .iter()
+                            .filter(|l| !acquires[id].contains(*l))
+                            .cloned()
+                            .collect();
+                        if !add.is_empty() {
+                            changed = true;
+                            acquires[id].extend(add);
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // simulate held-sets per scoped fn, recording ordered pairs
+        let mut pairs: PairSites = BTreeMap::new();
+        for (id, f) in ws.fns.iter().enumerate() {
+            if !in_scope[id] {
+                continue;
+            }
+            let Some((open, close)) = f.body else {
+                continue;
+            };
+            let fd = &ws.files[f.file];
+            simulate_fn(
+                fd,
+                f.file,
+                open,
+                close,
+                &lock_fields,
+                &ws.calls[id],
+                &acquires,
+                &returns_guard,
+                &mut pairs,
+            );
+        }
+
+        // inversions: (a, b) and (b, a) both present; report once per
+        // unordered pair, anchored at the lexicographically-later
+        // direction, citing the earlier one
+        for ((a, b), &(fi, tok)) in &pairs {
+            if a >= b {
+                continue;
+            }
+            if let Some(&(ofi, otok)) = pairs.get(&(b.clone(), a.clone())) {
+                let ofd = &ws.files[ofi];
+                let oline = ofd.token_line(otok);
+                let fd = &ws.files[fi];
+                out.push(violation_at(
+                    fd,
+                    tok,
+                    self.name(),
+                    format!(
+                        "lock-order inversion: `{b}` is acquired while `{a}` is held here, \
+                         but {}:{oline} takes `{a}` while holding `{b}`; pick one global \
+                         order or narrow a guard's scope",
+                        ofd.file.rel_path
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Lock acquisitions (`field.lock()` / `.read()` / `.write()` with an
+/// empty argument list) in one body, in token order.
+fn scan_acquisitions(
+    fd: &FileData,
+    open: usize,
+    close: usize,
+    lock_fields: &BTreeSet<&str>,
+) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for i in (open + 1)..close {
+        if let Some(lock) = acquisition_at(fd, i, lock_fields) {
+            out.push((i, lock));
+        }
+    }
+    out
+}
+
+/// When token `i` is the method name of `field.lock()` / `field.read()` /
+/// `field.write()` over a known lock field, returns the lock name. The
+/// empty argument list distinguishes guard acquisition from `io::Read` /
+/// `io::Write` calls, which always take a buffer.
+fn acquisition_at(fd: &FileData, i: usize, lock_fields: &BTreeSet<&str>) -> Option<String> {
+    if fd.tokens.get(i)?.kind != TokenKind::Ident {
+        return None;
+    }
+    let name = fd.tokens[i].text(&fd.src);
+    if !matches!(name, "lock" | "read" | "write") {
+        return None;
+    }
+    let o = fd.next_code(i + 1);
+    if fd.tokens.get(o).is_none_or(|t| t.text(&fd.src) != "(")
+        || fd
+            .tokens
+            .get(fd.next_code(o + 1))
+            .is_none_or(|t| t.text(&fd.src) != ")")
+    {
+        return None;
+    }
+    let dot = fd.prev_code(i)?;
+    if fd.tokens[dot].text(&fd.src) != "." {
+        return None;
+    }
+    let recv = fd.prev_code(dot)?;
+    let recv_text = fd.tokens[recv].text(&fd.src);
+    (fd.tokens[recv].kind == TokenKind::Ident && lock_fields.contains(recv_text))
+        .then(|| recv_text.to_string())
+}
+
+/// True when the fn's return type (tokens between `->` and the body)
+/// names a guard type, meaning its acquisitions outlive the call.
+fn signature_returns_guard(fd: &FileData, name_tok: usize, body: Option<(usize, usize)>) -> bool {
+    let end = body.map_or(fd.tokens.len(), |(o, _)| o);
+    let mut saw_arrow = false;
+    for i in name_tok..end {
+        let t = fd.tokens[i].text(&fd.src);
+        if t == "->" {
+            saw_arrow = true;
+        } else if saw_arrow && fd.tokens[i].kind == TokenKind::Ident && t.ends_with("Guard") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Walks one body linearly, maintaining the held-lock set, and records
+/// every ordered pair (held, newly-acquired) — both for direct
+/// acquisitions and through calls into lock-acquiring functions.
+#[allow(clippy::too_many_arguments)]
+fn simulate_fn(
+    fd: &FileData,
+    file_idx: usize,
+    open: usize,
+    close: usize,
+    lock_fields: &BTreeSet<&str>,
+    calls: &[crate::callgraph::CallSite],
+    acquires: &[BTreeSet<String>],
+    returns_guard: &[bool],
+    pairs: &mut PairSites,
+) {
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0i32;
+    let mut stmt_start = open + 1;
+    let call_at: BTreeMap<usize, &crate::callgraph::CallSite> =
+        calls.iter().map(|c| (c.tok, c)).collect();
+
+    // the `let` binding introduced by the current statement, if any
+    let binding_of = |fd: &FileData, stmt: usize, depth: i32| -> Binding {
+        let s = fd.next_code(stmt);
+        if fd.tokens.get(s).is_some_and(|t| t.text(&fd.src) == "let") {
+            let mut n = fd.next_code(s + 1);
+            while fd
+                .tokens
+                .get(n)
+                .is_some_and(|t| matches!(t.text(&fd.src), "mut" | "ref" | "(" | ","))
+            {
+                n = fd.next_code(n + 1);
+            }
+            if fd.tokens.get(n).is_some_and(|t| t.kind == TokenKind::Ident) {
+                return Binding::Named(fd.tokens[n].text(&fd.src).to_string(), depth);
+            }
+        }
+        Binding::Temp
+    };
+
+    let mut i = open + 1;
+    while i < close {
+        let tok = &fd.tokens[i];
+        if tok.kind == TokenKind::Punct {
+            match tok.text(&fd.src) {
+                "{" => {
+                    depth += 1;
+                    stmt_start = i + 1;
+                }
+                "}" => {
+                    held.retain(|h| match &h.binding {
+                        Binding::Named(_, d) => *d < depth,
+                        Binding::Temp => false,
+                    });
+                    depth -= 1;
+                    stmt_start = i + 1;
+                }
+                ";" => {
+                    held.retain(|h| h.binding != Binding::Temp);
+                    stmt_start = i + 1;
+                }
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        if tok.kind == TokenKind::Ident {
+            let text = tok.text(&fd.src);
+            // `drop(name)` releases a named guard
+            if text == "drop" {
+                let o = fd.next_code(i + 1);
+                if fd.tokens.get(o).is_some_and(|t| t.text(&fd.src) == "(") {
+                    let arg = fd.next_code(o + 1);
+                    if fd
+                        .tokens
+                        .get(arg)
+                        .is_some_and(|t| t.kind == TokenKind::Ident)
+                    {
+                        let name = fd.tokens[arg].text(&fd.src);
+                        held.retain(|h| !matches!(&h.binding, Binding::Named(n, _) if n == name));
+                    }
+                }
+            }
+            if let Some(lock) = acquisition_at(fd, i, lock_fields) {
+                for h in &held {
+                    if h.lock != lock {
+                        pairs
+                            .entry((h.lock.clone(), lock.clone()))
+                            .or_insert((file_idx, i));
+                    }
+                }
+                held.push(Held {
+                    lock,
+                    binding: binding_of(fd, stmt_start, depth),
+                });
+            } else if let Some(site) = call_at.get(&i) {
+                // a call into lock-acquiring code: every lock it may take
+                // orders after everything currently held
+                let mut callee_locks: BTreeSet<&String> = BTreeSet::new();
+                let mut guard_call = false;
+                for &callee in &site.callees {
+                    callee_locks.extend(acquires[callee].iter());
+                    guard_call |= returns_guard[callee];
+                }
+                for l in &callee_locks {
+                    for h in &held {
+                        if &h.lock != *l {
+                            pairs
+                                .entry((h.lock.clone(), (*l).clone()))
+                                .or_insert((file_idx, i));
+                        }
+                    }
+                }
+                if guard_call {
+                    // `let g = lock_helper()`: the guard (and its locks)
+                    // stays held in this frame
+                    let b = binding_of(fd, stmt_start, depth);
+                    for l in callee_locks {
+                        held.push(Held {
+                            lock: l.clone(),
+                            binding: b.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+// --- atomic-ordering --------------------------------------------------------
+
+/// Flags `Ordering::Relaxed` loads of atomic struct fields that gate
+/// control flow (`if` / `while` / `match` conditions) when another
+/// function writes the same field — the reader can spin on a stale value
+/// or miss the release of data published before the store. Fields whose
+/// writes all sit in the same function (or that nothing writes) are
+/// single-threaded from the type's perspective and stay quiet.
+struct AtomicOrdering;
+
+const WRITE_OPS: &[&str] = &[
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+impl WorkspaceRule for AtomicOrdering {
+    fn name(&self) -> &'static str {
+        "atomic-ordering"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no Relaxed load may gate control flow on an atomic another function writes"
+    }
+
+    fn check(&self, ws: &WorkspaceCtx, cfg: &Config, out: &mut Vec<Violation>) {
+        let atomic_fields: BTreeSet<&str> = ws
+            .fields
+            .iter()
+            .filter(|f| cfg.is_atomic_crate(&ws.files[f.file].file.crate_name))
+            .filter(|f| {
+                f.type_text
+                    .split_whitespace()
+                    .any(|w| w.starts_with("Atomic"))
+            })
+            .map(|f| f.name.as_str())
+            .collect();
+        if atomic_fields.is_empty() {
+            return;
+        }
+
+        // field -> fns that write it; and candidate relaxed control loads
+        let mut writers: BTreeMap<&str, BTreeSet<usize>> = BTreeMap::new();
+        struct Candidate<'a> {
+            field: &'a str,
+            fn_id: usize,
+            file: usize,
+            tok: usize,
+        }
+        let mut candidates: Vec<Candidate> = Vec::new();
+        for (id, f) in ws.fns.iter().enumerate() {
+            if f.is_test || !cfg.is_atomic_crate(&ws.files[f.file].file.crate_name) {
+                continue;
+            }
+            let Some((open, close)) = f.body else {
+                continue;
+            };
+            let fd = &ws.files[f.file];
+            for i in (open + 1)..close {
+                if fd.tokens[i].kind != TokenKind::Ident {
+                    continue;
+                }
+                let op = fd.tokens[i].text(&fd.src);
+                let is_load = op == "load";
+                if !is_load && !WRITE_OPS.contains(&op) {
+                    continue;
+                }
+                let Some(field) = atomic_receiver(fd, i, &atomic_fields) else {
+                    continue;
+                };
+                if !is_load {
+                    writers.entry(field).or_default().insert(id);
+                    continue;
+                }
+                if relaxed_args(fd, i, close) && in_condition(fd, i, open) {
+                    candidates.push(Candidate {
+                        field,
+                        fn_id: id,
+                        file: f.file,
+                        tok: i,
+                    });
+                }
+            }
+        }
+
+        for c in candidates {
+            let cross_thread = writers
+                .get(c.field)
+                .is_some_and(|w| w.iter().any(|&wid| wid != c.fn_id));
+            if !cross_thread {
+                continue;
+            }
+            let writer = writers[c.field]
+                .iter()
+                .find(|&&wid| wid != c.fn_id)
+                .copied()
+                .unwrap_or(c.fn_id);
+            let (wpath, wline) = ws.fn_location(writer);
+            let fd = &ws.files[c.file];
+            out.push(violation_at(
+                fd,
+                c.tok,
+                self.name(),
+                format!(
+                    "Relaxed load of atomic `{}` gates control flow, but {} ({wpath}:{wline}) \
+                     writes it from another thread; use Acquire here with Release on the \
+                     stores, or justify with a reasoned lint:allow",
+                    c.field,
+                    ws.fn_display(writer)
+                ),
+            ));
+        }
+    }
+}
+
+/// The atomic field a `.load(` / `.store(` method call targets, walking
+/// back over one `[…]` index expression (`counts[i].fetch_add(…)`).
+fn atomic_receiver<'a>(
+    fd: &FileData,
+    method_tok: usize,
+    atomic_fields: &BTreeSet<&'a str>,
+) -> Option<&'a str> {
+    let dot = fd.prev_code(method_tok)?;
+    if fd.tokens[dot].text(&fd.src) != "." {
+        return None;
+    }
+    let mut recv = fd.prev_code(dot)?;
+    if fd.tokens[recv].text(&fd.src) == "]" {
+        // bracket-match backwards to the `[`, then take its receiver
+        let mut depth = 0i32;
+        loop {
+            match fd.tokens[recv].text(&fd.src) {
+                "]" => depth += 1,
+                "[" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        recv = fd.prev_code(recv)?;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            recv = fd.prev_code(recv)?;
+        }
+    }
+    if fd.tokens[recv].kind != TokenKind::Ident {
+        return None;
+    }
+    atomic_fields.get(fd.tokens[recv].text(&fd.src)).copied()
+}
+
+/// True when the call's argument list mentions `Relaxed`.
+fn relaxed_args(fd: &FileData, method_tok: usize, close: usize) -> bool {
+    let open = fd.next_code(method_tok + 1);
+    if fd.tokens.get(open).is_none_or(|t| t.text(&fd.src) != "(") {
+        return false;
+    }
+    let mut depth = 0i32;
+    let mut j = open;
+    while j <= close && j < fd.tokens.len() {
+        match fd.tokens[j].text(&fd.src) {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            "Relaxed" if fd.tokens[j].kind == TokenKind::Ident => return true,
+            _ => {}
+        }
+        j += 1;
+    }
+    false
+}
+
+/// True when the statement containing `tok` is an `if` / `while` / `match`
+/// condition: an `if`/`while`/`match` keyword appears between the last
+/// statement boundary (`;`, `{`, `}`) and the token.
+fn in_condition(fd: &FileData, tok: usize, open: usize) -> bool {
+    let mut j = tok;
+    while j > open {
+        j -= 1;
+        let t = &fd.tokens[j];
+        match t.kind {
+            TokenKind::Punct => {
+                if matches!(t.text(&fd.src), ";" | "{" | "}") {
+                    return false;
+                }
+            }
+            TokenKind::Ident => {
+                if matches!(t.text(&fd.src), "if" | "while" | "match") {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}

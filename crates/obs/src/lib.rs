@@ -3,7 +3,9 @@
 //! Three layers, smallest first:
 //!
 //! * [`json`] — a hand-rolled JSON writer (the crate has no serde and must
-//!   not grow one).
+//!   not grow one); [`parse`] — its reading half, a strict RFC 8259
+//!   recursive-descent parser shared by the daemon's line protocol and
+//!   `mep-lint`'s committed artifacts.
 //! * [`metrics`] — a [`Registry`] of named [`Counter`]s, [`Gauge`]s,
 //!   [`Label`]s and fixed-bucket [`Histogram`]s. Handles are cheap `Arc`
 //!   clones and can be updated lock-free from the hot loop.
@@ -24,6 +26,7 @@
 
 pub mod json;
 pub mod metrics;
+pub mod parse;
 pub mod report;
 pub mod trace;
 

@@ -78,12 +78,18 @@ impl Label {
 
     /// Overwrites the value.
     pub fn set(&self, v: &str) {
-        v.clone_into(&mut self.0.lock().unwrap());
+        match self.0.lock() {
+            Ok(mut g) => v.clone_into(&mut g),
+            Err(p) => v.clone_into(&mut p.into_inner()),
+        }
     }
 
     /// Current value.
     pub fn get(&self) -> String {
-        self.0.lock().unwrap().clone()
+        match self.0.lock() {
+            Ok(g) => g.clone(),
+            Err(p) => p.into_inner().clone(),
+        }
     }
 }
 
@@ -116,7 +122,7 @@ impl Histogram {
     pub fn new(bounds: &[f64]) -> Self {
         assert!(!bounds.is_empty(), "histogram needs at least one bucket");
         assert!(
-            bounds.windows(2).all(|w| w[0] < w[1]),
+            bounds.iter().zip(bounds.iter().skip(1)).all(|(a, b)| a < b),
             "histogram bounds must be strictly increasing"
         );
         let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
@@ -135,15 +141,17 @@ impl Histogram {
     pub fn observe(&self, v: f64) {
         let inner = &*self.inner;
         let idx = if v.is_finite() {
-            inner
-                .bounds
-                .iter()
-                .position(|&b| v <= b)
-                .unwrap_or(inner.bounds.len())
+            // first bucket whose bound covers `v`, or the overflow slot
+            inner.bounds.iter().take_while(|&&b| v > b).count()
         } else {
             inner.bounds.len()
         };
-        inner.counts[idx].fetch_add(1, Ordering::Relaxed);
+        // counts has bounds.len()+1 slots so idx is always in range, but
+        // observe runs on daemon worker threads outside catch_unwind —
+        // stay provably panic-free rather than rely on the invariant
+        if let Some(c) = inner.counts.get(idx) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
         inner.count.fetch_add(1, Ordering::Relaxed);
         if v.is_finite() {
             // CAS loop: contention is negligible (observations come from
@@ -226,8 +234,12 @@ pub enum MetricValue {
 ///
 /// Registration is idempotent: asking twice for the same name returns
 /// handles to the same underlying metric. Asking for a name that is
-/// already registered as a different kind panics — that is a programming
-/// error, not a runtime condition.
+/// already registered as a *different* kind is a programming error, but
+/// a recoverable one: the caller gets a detached metric of the kind it
+/// asked for (updates work but are invisible to [`Registry::snapshot`])
+/// instead of a panic — metrics code runs on daemon worker threads,
+/// where a panic outside the per-job `catch_unwind` would kill the
+/// worker, so the registry is deliberately panic-free.
 #[derive(Debug, Default)]
 pub struct Registry {
     metrics: Mutex<BTreeMap<String, Metric>>,
@@ -239,58 +251,72 @@ impl Registry {
         Self::default()
     }
 
-    /// Returns the counter `name`, registering it on first use.
+    /// The metric map, recovering from poison: entries are only mutated
+    /// under short, panic-free critical sections, so the data is
+    /// consistent even if a poisoned flag ever appears.
+    fn locked_metrics(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        match self.metrics.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Returns the counter `name`, registering it on first use. On kind
+    /// mismatch, returns a detached counter (see the type docs).
     pub fn counter(&self, name: &str) -> Counter {
-        let mut m = self.metrics.lock().unwrap();
+        let mut m = self.locked_metrics();
         match m
             .entry(name.to_string())
             .or_insert_with(|| Metric::Counter(Counter::new()))
         {
             Metric::Counter(c) => c.clone(),
-            other => panic!("metric {name:?} already registered as {other:?}"),
+            _ => Counter::new(),
         }
     }
 
-    /// Returns the gauge `name`, registering it on first use.
+    /// Returns the gauge `name`, registering it on first use. On kind
+    /// mismatch, returns a detached gauge (see the type docs).
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut m = self.metrics.lock().unwrap();
+        let mut m = self.locked_metrics();
         match m
             .entry(name.to_string())
             .or_insert_with(|| Metric::Gauge(Gauge::new()))
         {
             Metric::Gauge(g) => g.clone(),
-            other => panic!("metric {name:?} already registered as {other:?}"),
+            _ => Gauge::new(),
         }
     }
 
-    /// Returns the label `name`, registering it on first use.
+    /// Returns the label `name`, registering it on first use. On kind
+    /// mismatch, returns a detached label (see the type docs).
     pub fn label(&self, name: &str) -> Label {
-        let mut m = self.metrics.lock().unwrap();
+        let mut m = self.locked_metrics();
         match m
             .entry(name.to_string())
             .or_insert_with(|| Metric::Label(Label::new()))
         {
             Metric::Label(l) => l.clone(),
-            other => panic!("metric {name:?} already registered as {other:?}"),
+            _ => Label::new(),
         }
     }
 
     /// Returns the histogram `name`, registering it with `bounds` on first
     /// use. Later calls ignore `bounds` and return the existing histogram.
+    /// On kind mismatch, returns a detached histogram (see the type docs).
     pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
-        let mut m = self.metrics.lock().unwrap();
+        let mut m = self.locked_metrics();
         match m
             .entry(name.to_string())
             .or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
         {
             Metric::Histogram(h) => h.clone(),
-            other => panic!("metric {name:?} already registered as {other:?}"),
+            _ => Histogram::new(bounds),
         }
     }
 
     /// Captures every metric's current value, sorted by name.
     pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
-        let m = self.metrics.lock().unwrap();
+        let m = self.locked_metrics();
         m.iter()
             .map(|(name, metric)| {
                 let value = match metric {
@@ -345,11 +371,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "already registered")]
-    fn kind_mismatch_panics() {
+    fn kind_mismatch_yields_detached_metric() {
         let r = Registry::new();
-        r.counter("x");
-        r.gauge("x");
+        r.counter("x").add(3);
+        // wrong kind for a taken name: the handle works but records
+        // nowhere visible; the original registration is untouched
+        let g = r.gauge("x");
+        g.set(7.5);
+        assert_eq!(g.get(), 7.5);
+        assert_eq!(r.counter("x").get(), 3);
+        assert_eq!(r.snapshot()[0].1, MetricValue::Counter(3));
     }
 
     #[test]

@@ -1,13 +1,15 @@
-//! A minimal recursive-descent JSON parser for the line protocol.
+//! A minimal recursive-descent JSON parser.
 //!
-//! The workspace's own telemetry layer only ever *writes* JSON
-//! (`mep_obs::json`), so the daemon brings the reading half: a strict,
-//! allocation-light parser for single-line protocol frames. It accepts
-//! exactly the JSON grammar (RFC 8259) minus two deliberate omissions —
-//! `\u` escapes decode the BMP only (no surrogate-pair recombination) and
-//! number parsing defers to `f64::from_str` — both far beyond what
-//! protocol frames contain. Every error is a typed `Err(String)` with a
-//! byte offset; a malformed frame must never panic the daemon.
+//! The reading half of [`crate::json`]: a strict, allocation-light parser
+//! for single-line documents (daemon protocol frames, committed ratchet
+//! files). It accepts exactly the JSON grammar (RFC 8259) minus two
+//! deliberate omissions — `\u` escapes decode the BMP only (no
+//! surrogate-pair recombination) and number parsing defers to
+//! `f64::from_str` — both far beyond what its inputs contain. Every error
+//! is a typed `Err(String)` with a byte offset; malformed input must
+//! never panic the caller. It grew up in `crates/serve` (which re-exports
+//! it for protocol use) and moved here so `mep-lint` can read its own
+//! committed artifacts without depending on the daemon.
 
 use std::collections::BTreeMap;
 

@@ -47,7 +47,8 @@ impl RunReport {
         self.metrics
             .binary_search_by(|(n, _)| n.as_str().cmp(name))
             .ok()
-            .map(|i| &self.metrics[i].1)
+            .and_then(|i| self.metrics.get(i))
+            .map(|(_, v)| v)
     }
 
     /// Counter value, if `name` is a counter.

@@ -124,14 +124,24 @@ impl JsonlSink {
 
 impl TraceSink for JsonlSink {
     fn record(&self, rec: &IterationRecord) {
-        let mut w = self.writer.lock().unwrap();
+        // poison recovery: the writer is only touched in these two short
+        // critical sections, so its state is consistent either way — and
+        // sinks are called from daemon worker threads, where a panic
+        // outside the per-job catch_unwind would kill the worker
+        let mut w = match self.writer.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
         // I/O errors here must not abort a placement run; they surface at
         // the explicit end-of-run flush instead.
         let _ = writeln!(w, "{}", rec.to_json());
     }
 
     fn flush(&self) -> std::io::Result<()> {
-        self.writer.lock().unwrap().flush()
+        match self.writer.lock() {
+            Ok(mut g) => g.flush(),
+            Err(p) => p.into_inner().flush(),
+        }
     }
 }
 
@@ -152,9 +162,18 @@ impl RingSink {
         }
     }
 
+    /// The ring buffer, recovering from poison (the buffer is only
+    /// mutated in short, panic-free critical sections).
+    fn locked_buf(&self) -> std::sync::MutexGuard<'_, VecDeque<IterationRecord>> {
+        match self.buf.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
     /// Number of records currently held.
     pub fn len(&self) -> usize {
-        self.buf.lock().unwrap().len()
+        self.locked_buf().len()
     }
 
     /// Whether no records have been kept.
@@ -164,13 +183,13 @@ impl RingSink {
 
     /// Copies out the held records, oldest first.
     pub fn records(&self) -> Vec<IterationRecord> {
-        self.buf.lock().unwrap().iter().cloned().collect()
+        self.locked_buf().iter().cloned().collect()
     }
 }
 
 impl TraceSink for RingSink {
     fn record(&self, rec: &IterationRecord) {
-        let mut buf = self.buf.lock().unwrap();
+        let mut buf = self.locked_buf();
         if buf.len() == self.cap {
             buf.pop_front();
         }

@@ -95,15 +95,19 @@ impl CancelToken {
     }
 
     /// Trips the token explicitly. Idempotent.
+    ///
+    /// Release pairs with the Acquire load in [`state`](Self::state): a
+    /// loop that observes the trip also observes everything the
+    /// cancelling thread wrote before tripping it.
     pub fn cancel(&self) {
-        self.inner.cancelled.store(true, Ordering::Relaxed);
+        self.inner.cancelled.store(true, Ordering::Release);
     }
 
     /// Polls the token. Explicit cancellation wins over an expired
     /// deadline so a client's cancel is reported as such even on a job
     /// whose budget also ran out.
     pub fn state(&self) -> CancelState {
-        if self.inner.cancelled.load(Ordering::Relaxed) {
+        if self.inner.cancelled.load(Ordering::Acquire) {
             return CancelState::Cancelled;
         }
         let deadline = self.inner.deadline_nanos.load(Ordering::Relaxed);

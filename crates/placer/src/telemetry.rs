@@ -30,11 +30,14 @@ pub struct DispHistogram {
 impl DispHistogram {
     /// Records one displacement of `rows` row heights.
     pub fn observe(&mut self, rows: f64) {
-        let idx = DISP_BOUNDS
-            .iter()
-            .position(|&b| rows <= b)
-            .unwrap_or(DISP_BOUNDS.len());
-        self.counts[idx] += 1;
+        // first bucket whose bound covers `rows`, or the overflow slot
+        let idx = DISP_BOUNDS.iter().take_while(|&&b| rows > b).count();
+        // idx is always in range (counts has one slot past the last
+        // bound), but stay provably panic-free: this runs on daemon
+        // worker threads where a stray panic would kill the worker
+        if let Some(c) = self.counts.get_mut(idx) {
+            *c += 1;
+        }
         self.count += 1;
         if rows.is_finite() {
             self.sum += rows;

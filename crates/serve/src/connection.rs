@@ -200,7 +200,7 @@ pub fn serve_tcp(server: Arc<Server>, addr: &str) -> Result<(), String> {
         .map_err(|e| format!("set_nonblocking: {e}"))?;
     let stop = Arc::new(AtomicBool::new(false));
     let mut handles = Vec::new();
-    while !stop.load(Ordering::Relaxed) {
+    while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let server = Arc::clone(&server);
@@ -215,7 +215,7 @@ pub fn serve_tcp(server: Arc<Server>, addr: &str) -> Result<(), String> {
                         let writer: Arc<Mutex<Box<dyn Write + Send>>> =
                             Arc::new(Mutex::new(Box::new(stream)));
                         if serve_connection(&server, BufReader::new(reader), writer) {
-                            stop.store(true, Ordering::Relaxed);
+                            stop.store(true, Ordering::Release);
                         }
                     });
                 if let Ok(h) = handle {

@@ -21,7 +21,6 @@
 pub mod connection;
 pub mod events;
 pub mod job;
-pub mod parse;
 pub mod queue;
 pub mod server;
 
@@ -30,6 +29,7 @@ pub use events::{CollectSink, Event, EventSink, JobTraceSink, NullEventSink, Wri
 pub use job::{
     placement_fingerprint, ChaosMode, CircuitSource, JobError, JobOutcome, JobRequest, JobSummary,
 };
-pub use parse::{parse_json, JsonValue};
+pub use mep_obs::parse;
+pub use mep_obs::parse::{parse_json, JsonValue};
 pub use queue::{BoundedQueue, QueueFull};
 pub use server::{install_quiet_panic_hook, Server, ServerConfig, SubmitError};

@@ -194,6 +194,7 @@ impl Server {
             "serve.jobs.completed",
             "serve.jobs.failed",
             "serve.jobs.panicked",
+            "serve.jobs.emit_panics",
             "serve.jobs.cancel_requests",
             "serve.engine.revalidations",
             "serve.engine.rebuilds",
@@ -235,7 +236,7 @@ impl Server {
         sink: Arc<dyn EventSink>,
     ) -> Result<usize, SubmitError> {
         let shared = &self.shared;
-        if !shared.accepting.load(Ordering::Relaxed) {
+        if !shared.accepting.load(Ordering::Acquire) {
             let err = SubmitError::ShuttingDown;
             shared.metrics.counter("serve.jobs.rejected").add(1);
             sink.emit(&Event::Rejected {
@@ -367,6 +368,7 @@ impl Server {
     /// Blocks until the queue is empty and no job is running.
     pub fn wait_idle(&self) {
         let mut sched = lock_sched(&self.shared);
+        // lint:allow(atomic-ordering): every `running` update happens while the sched mutex this thread holds is locked, and the idle_cv wait re-acquires it — the mutex orders the accesses, Relaxed suffices
         while !(sched.queue.is_empty() && self.shared.running.load(Ordering::Relaxed) == 0) {
             sched = match self.shared.idle_cv.wait(sched) {
                 Ok(g) => g,
@@ -380,11 +382,11 @@ impl Server {
     /// number of jobs that terminated during the drain.
     pub fn shutdown_and_drain(&self) -> u64 {
         let shared = &self.shared;
-        shared.accepting.store(false, Ordering::Relaxed);
+        shared.accepting.store(false, Ordering::Release);
         let before = lock_sched(shared).terminal;
         self.wait_idle();
         let drained = lock_sched(shared).terminal - before;
-        shared.stop.store(true, Ordering::Relaxed);
+        shared.stop.store(true, Ordering::Release);
         shared.work_cv.notify_all();
         let mut workers = match self.workers.lock() {
             Ok(g) => g,
@@ -409,8 +411,8 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         // best-effort: stop workers even if the owner never drained
-        self.shared.accepting.store(false, Ordering::Relaxed);
-        self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.accepting.store(false, Ordering::Release);
+        self.shared.stop.store(true, Ordering::Release);
         self.shared.work_cv.notify_all();
         let mut workers = match self.workers.lock() {
             Ok(g) => g,
@@ -449,31 +451,17 @@ const LATENCY_BUCKETS_MS: &[f64] = &[
     1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
 ];
 
+/// The worker thread body. Everything here runs *outside* the per-job
+/// `catch_unwind` — a panic escaping this loop silently kills a worker —
+/// so `worker_loop`, [`claim_next_job`], and [`finish_job`] are protected
+/// roots of the panic-surface lint (`mep-lint`'s `protected_roots`
+/// config): nothing they call may reach a panic site except through an
+/// explicit `catch_unwind` shield.
 fn worker_loop(shared: &Shared) {
     loop {
-        let job = {
-            let mut sched = lock_sched(shared);
-            loop {
-                if let Some(job) = sched.queue.pop() {
-                    if let Some(entry) = sched.jobs.get_mut(&job.id) {
-                        entry.state = JobState::Running;
-                    }
-                    let depth = sched.queue.len();
-                    shared.running.fetch_add(1, Ordering::Relaxed);
-                    drop(sched);
-                    shared.metrics.gauge("serve.queue.depth").set(depth as f64);
-                    break Some(job);
-                }
-                if shared.stop.load(Ordering::Relaxed) {
-                    break None;
-                }
-                sched = match shared.work_cv.wait(sched) {
-                    Ok(g) => g,
-                    Err(p) => p.into_inner(),
-                };
-            }
+        let Some(job) = claim_next_job(shared) else {
+            return;
         };
-        let Some(job) = job else { return };
 
         let t0 = Instant::now();
         let outcome = run_one(shared, &job);
@@ -483,7 +471,10 @@ fn worker_loop(shared: &Shared) {
             .histogram("serve.job.latency_ms", LATENCY_BUCKETS_MS)
             .observe(latency_ms);
 
-        match &outcome {
+        // the sink is caller-supplied code (the chaos harness makes it
+        // panic on purpose): a panicking sink loses this notification but
+        // must not take the worker thread down with it
+        let emitted = catch_unwind(AssertUnwindSafe(|| match &outcome {
             JobOutcome::Done(summary) => {
                 shared.metrics.counter("serve.jobs.completed").add(1);
                 job.sink.emit(&Event::Done {
@@ -498,17 +489,54 @@ fn worker_loop(shared: &Shared) {
                     error: error.clone(),
                 });
             }
+        }));
+        if emitted.is_err() {
+            shared.metrics.counter("serve.jobs.emit_panics").add(1);
         }
 
-        let mut sched = lock_sched(shared);
-        if let Some(entry) = sched.jobs.get_mut(&job.id) {
-            entry.state = JobState::Terminal;
-        }
-        sched.terminal += 1;
-        shared.running.fetch_sub(1, Ordering::Relaxed);
-        drop(sched);
-        shared.idle_cv.notify_all();
+        finish_job(shared, job.id);
     }
+}
+
+/// Claims the next queued job, blocking on the work condvar until work
+/// arrives or the stop flag is raised (`None` means shut down). Protected
+/// root: runs on the worker thread outside any `catch_unwind`.
+fn claim_next_job(shared: &Shared) -> Option<QueuedJob> {
+    let mut sched = lock_sched(shared);
+    loop {
+        if let Some(job) = sched.queue.pop() {
+            if let Some(entry) = sched.jobs.get_mut(&job.id) {
+                entry.state = JobState::Running;
+            }
+            let depth = sched.queue.len();
+            // ordered by the sched mutex this thread holds (see wait_idle)
+            shared.running.fetch_add(1, Ordering::Relaxed);
+            drop(sched);
+            shared.metrics.gauge("serve.queue.depth").set(depth as f64);
+            return Some(job);
+        }
+        if shared.stop.load(Ordering::Acquire) {
+            return None;
+        }
+        sched = match shared.work_cv.wait(sched) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+    }
+}
+
+/// Marks job `id` terminal and wakes drain/wait callers. Protected root:
+/// runs on the worker thread outside any `catch_unwind`.
+fn finish_job(shared: &Shared, id: u64) {
+    let mut sched = lock_sched(shared);
+    if let Some(entry) = sched.jobs.get_mut(&id) {
+        entry.state = JobState::Terminal;
+    }
+    sched.terminal += 1;
+    // ordered by the sched mutex this thread holds (see wait_idle)
+    shared.running.fetch_sub(1, Ordering::Relaxed);
+    drop(sched);
+    shared.idle_cv.notify_all();
 }
 
 /// Executes one job with full isolation: panics are caught and typed, a
@@ -537,23 +565,35 @@ fn run_one(shared: &Shared, job: &QueuedJob) -> JobOutcome {
         Err(payload) => {
             shared.metrics.counter("serve.jobs.panicked").add(1);
             let detail = panic_message(payload.as_ref());
-            // the job is dead either way; make sure the *daemon* is not:
-            // prove the shared engine still computes known answers
-            // bit-exactly, and replace it if it does not
-            shared.metrics.counter("serve.engine.revalidations").add(1);
-            let engine = match shared.engine.lock() {
-                Ok(g) => Arc::clone(&g),
-                Err(p) => Arc::clone(&p.into_inner()),
-            };
-            if !engine.revalidate() {
-                shared.metrics.counter("serve.engine.rebuilds").add(1);
-                let fresh = Arc::new(EvalEngine::new(shared.cfg.engine_threads));
-                match shared.engine.lock() {
-                    Ok(mut g) => *g = fresh,
-                    Err(p) => *p.into_inner() = fresh,
-                }
-            }
+            recover_engine(shared);
             JobOutcome::Failed(JobError::Panicked { detail })
+        }
+    }
+}
+
+/// Post-panic engine recovery: the job is dead either way; make sure the
+/// *daemon* is not. Proves the shared engine still computes known answers
+/// bit-exactly and replaces it if it does not. Protected root: runs on
+/// the worker thread outside the per-job `catch_unwind`, so the
+/// revalidate/rebuild calls — placement code that may itself panic — are
+/// individually shielded, and everything else here is panic-free.
+fn recover_engine(shared: &Shared) {
+    shared.metrics.counter("serve.engine.revalidations").add(1);
+    let engine = match shared.engine.lock() {
+        Ok(g) => Arc::clone(&g),
+        Err(p) => Arc::clone(&p.into_inner()),
+    };
+    let healthy = catch_unwind(AssertUnwindSafe(|| engine.revalidate())).unwrap_or(false);
+    if !healthy {
+        shared.metrics.counter("serve.engine.rebuilds").add(1);
+        let threads = shared.cfg.engine_threads;
+        if let Ok(fresh) =
+            catch_unwind(AssertUnwindSafe(move || Arc::new(EvalEngine::new(threads))))
+        {
+            match shared.engine.lock() {
+                Ok(mut g) => *g = fresh,
+                Err(p) => *p.into_inner() = fresh,
+            }
         }
     }
 }
